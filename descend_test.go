@@ -1,0 +1,106 @@
+package skiptrie
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDescend(t *testing.T) {
+	st := New(WithWidth(16))
+	for _, k := range []uint64{5, 10, 20, 30, 40} {
+		st.Insert(k)
+	}
+	var got []uint64
+	st.Descend(25, func(k uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{20, 10, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Descend(25) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Descend(25) = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	st.Descend(100, func(uint64) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	// Descend from below the minimum visits nothing.
+	visited := false
+	st.Descend(4, func(uint64) bool { visited = true; return true })
+	if visited {
+		t.Fatal("Descend(4) visited a key")
+	}
+}
+
+func TestDescendIncludesZeroKey(t *testing.T) {
+	st := New(WithWidth(8))
+	st.Insert(0)
+	st.Insert(3)
+	var got []uint64
+	st.Descend(255, func(k uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 2 || got[0] != 3 || got[1] != 0 {
+		t.Fatalf("Descend = %v, want [3 0]", got)
+	}
+}
+
+func TestMapDescend(t *testing.T) {
+	m := NewMap[int](WithWidth(16))
+	for k := uint64(10); k <= 50; k += 10 {
+		m.Store(k, int(k)*2)
+	}
+	sum := 0
+	m.Descend(35, func(k uint64, v int) bool {
+		sum += v
+		return true
+	})
+	// 30+20+10 doubled = 120
+	if sum != 120 {
+		t.Fatalf("Descend sum = %d", sum)
+	}
+}
+
+// Property: Descend enumerates exactly the reverse of Range over the same
+// bound.
+func TestDescendMirrorsRangeQuick(t *testing.T) {
+	f := func(keys []uint16, bound uint16) bool {
+		st := New(WithWidth(16))
+		for _, k := range keys {
+			st.Insert(uint64(k))
+		}
+		var up []uint64
+		st.Range(0, func(k uint64) bool {
+			if k <= uint64(bound) {
+				up = append(up, k)
+			}
+			return true
+		})
+		var down []uint64
+		st.Descend(uint64(bound), func(k uint64) bool {
+			down = append(down, k)
+			return true
+		})
+		if len(up) != len(down) {
+			return false
+		}
+		sort.Slice(down, func(i, j int) bool { return down[i] < down[j] })
+		for i := range up {
+			if up[i] != down[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

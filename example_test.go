@@ -1,0 +1,63 @@
+package skiptrie_test
+
+import (
+	"fmt"
+
+	"skiptrie"
+)
+
+// ExampleSkipTrie demonstrates the sorted-set API.
+func ExampleSkipTrie() {
+	st := skiptrie.New(skiptrie.WithWidth(32))
+	st.Insert(42)
+	st.Insert(100)
+	st.Insert(7)
+
+	if k, ok := st.Predecessor(99); ok {
+		fmt.Println("predecessor(99) =", k)
+	}
+	if k, ok := st.Successor(43); ok {
+		fmt.Println("successor(43) =", k)
+	}
+	st.Range(0, func(k uint64) bool {
+		fmt.Println("key", k)
+		return true
+	})
+	// Output:
+	// predecessor(99) = 42
+	// successor(43) = 100
+	// key 7
+	// key 42
+	// key 100
+}
+
+// ExampleSkipTrie_Descend shows reverse iteration.
+func ExampleSkipTrie_Descend() {
+	st := skiptrie.New(skiptrie.WithWidth(16))
+	for _, k := range []uint64{10, 20, 30} {
+		st.Insert(k)
+	}
+	st.Descend(25, func(k uint64) bool {
+		fmt.Println(k)
+		return true
+	})
+	// Output:
+	// 20
+	// 10
+}
+
+// ExampleMetrics shows step accounting against the paper's cost model.
+func ExampleMetrics() {
+	m := &skiptrie.Metrics{}
+	st := skiptrie.New(skiptrie.WithWidth(32), skiptrie.WithMetrics(m))
+	for k := uint64(0); k < 1000; k++ {
+		st.Insert(k * 4_000_000)
+	}
+	st.Predecessor(2_000_000_000)
+	sn := m.Snapshot()
+	fmt.Println("predecessor ops:", sn.Ops[skiptrie.OpPredecessor])
+	fmt.Println("steps recorded:", sn.AvgSteps(skiptrie.OpPredecessor) > 0)
+	// Output:
+	// predecessor ops: 1
+	// steps recorded: true
+}

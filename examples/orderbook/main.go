@@ -1,0 +1,204 @@
+// orderbook: a lock-free price-time limit order book using two SkipTrie
+// maps — asks keyed ascending, bids keyed by inverted price so that the
+// best level of either side is a Min()/Successor query. Matching uses the
+// same claim-by-delete idiom as examples/eventsim, so multiple matching
+// goroutines can run concurrently with order submission.
+//
+// Keys pack (price, sequence): price-time priority falls out of key
+// order. This exercises the SkipTrie where an ordered concurrent map is
+// genuinely needed: best-level queries are predecessor/successor
+// operations on a 2^64 universe, which the paper's structure serves in
+// O(log log u) rather than O(log m).
+//
+// Run with:
+//
+//	go run ./examples/orderbook
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"skiptrie"
+)
+
+// order is one resting limit order.
+type order struct {
+	id    uint64
+	side  string // "buy" or "sell"
+	price uint64 // integer ticks
+	qty   uint64
+}
+
+// book holds resting orders on both sides.
+type book struct {
+	asks *skiptrie.Map[*order] // key: price<<20 | seq  (ascending = best first)
+	bids *skiptrie.Map[*order] // key: (^price)<<20 | seq (ascending = best first)
+	seq  atomic.Uint64
+}
+
+const priceBits = 44 // prices below 2^44 ticks; 20 bits of sequence
+
+func newBook() *book {
+	return &book{
+		asks: skiptrie.NewMap[*order](),
+		bids: skiptrie.NewMap[*order](),
+	}
+}
+
+func askKey(price, seq uint64) uint64 { return price<<20 | seq&(1<<20-1) }
+
+func bidKey(price, seq uint64) uint64 {
+	inv := (1<<priceBits - 1) - price // higher price -> smaller key
+	return inv<<20 | seq&(1<<20-1)
+}
+
+// rest parks an order on the book.
+func (b *book) rest(o *order) {
+	s := b.seq.Add(1)
+	if o.side == "sell" {
+		b.asks.Store(askKey(o.price, s), o)
+	} else {
+		b.bids.Store(bidKey(o.price, s), o)
+	}
+}
+
+// bestAsk returns the lowest-priced resting sell.
+func (b *book) bestAsk() (uint64, *order, bool) { return b.asks.Successor(0) }
+
+// bestBid returns the highest-priced resting buy.
+func (b *book) bestBid() (uint64, *order, bool) { return b.bids.Successor(0) }
+
+// match crosses the book while the best bid >= best ask, claiming one
+// resting order at a time by Delete (exactly-once, lock-free). It returns
+// the number of trades executed.
+func (b *book) match() int {
+	trades := 0
+	for {
+		bk, bid, ok1 := b.bestBid()
+		ak, ask, ok2 := b.bestAsk()
+		if !ok1 || !ok2 || bid.price < ask.price {
+			return trades
+		}
+		// Claim both sides; on any failure, put the claimed side back and
+		// retry (another matcher got there first).
+		if !b.bids.Delete(bk) {
+			continue
+		}
+		if !b.asks.Delete(ak) {
+			b.bids.Store(bk, bid)
+			continue
+		}
+		qty := min(bid.qty, ask.qty)
+		trades++
+		if bid.qty > qty {
+			rem := *bid
+			rem.qty -= qty
+			b.bids.Store(bk, &rem) // same key: price-time priority kept
+		}
+		if ask.qty > qty {
+			rem := *ask
+			rem.qty -= qty
+			b.asks.Store(ak, &rem)
+		}
+	}
+}
+
+func main() {
+	b := newBook()
+
+	// Deterministic warm-up: a small ladder.
+	id := uint64(0)
+	for i := uint64(0); i < 5; i++ {
+		id++
+		b.rest(&order{id: id, side: "buy", price: 995 - i, qty: 10})
+		id++
+		b.rest(&order{id: id, side: "sell", price: 1005 + i, qty: 10})
+	}
+	if _, bid, ok := b.bestBid(); ok {
+		fmt.Println("best bid:", bid.price)
+	}
+	if _, ask, ok := b.bestAsk(); ok {
+		fmt.Println("best ask:", ask.price)
+	}
+
+	// A crossing order triggers trades.
+	id++
+	b.rest(&order{id: id, side: "buy", price: 1006, qty: 15})
+	trades := b.match()
+	fmt.Printf("crossing buy@1006 produced %d trade(s)\n", trades)
+	if _, ask, ok := b.bestAsk(); ok {
+		fmt.Println("best ask now:", ask.price, "qty", ask.qty)
+	}
+
+	// Concurrent session: 6 submitters fire random orders around the mid
+	// while 2 matchers continuously cross the book.
+	var (
+		wg         sync.WaitGroup
+		submitted  atomic.Int64
+		tradeCount atomic.Int64
+		done       atomic.Bool
+	)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 4000; i++ {
+				side := "buy"
+				price := uint64(980 + rng.Intn(25))
+				if rng.Intn(2) == 0 {
+					side = "sell"
+					price = uint64(995 + rng.Intn(25))
+				}
+				b.rest(&order{
+					id:    uint64(g)<<32 | uint64(i),
+					side:  side,
+					price: price,
+					qty:   uint64(1 + rng.Intn(20)),
+				})
+				submitted.Add(1)
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				tradeCount.Add(int64(b.match()))
+			}
+		}()
+	}
+	// Close the submitters, then let matchers finish the final cross.
+	go func() {
+		for submitted.Load() < 6*4000 {
+		}
+		done.Store(true)
+	}()
+	wg.Wait()
+	tradeCount.Add(int64(b.match()))
+
+	fmt.Printf("concurrent session: %d orders, %d trades\n", submitted.Load(), tradeCount.Load())
+	bk, bid, okB := b.bestBid()
+	ak, ask, okA := b.bestAsk()
+	if okB && okA {
+		fmt.Printf("final book: bid %d x ask %d (uncrossed: %v)\n",
+			bid.price, ask.price, bid.price < ask.price)
+		if bid.price >= ask.price {
+			panic("book left crossed")
+		}
+	}
+	_ = bk
+	_ = ak
+	fmt.Println("resting orders:", b.bids.Len()+b.asks.Len())
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

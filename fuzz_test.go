@@ -1,0 +1,62 @@
+package skiptrie
+
+import (
+	"testing"
+)
+
+// FuzzOpsVsModel interprets the fuzz input as a program of set operations
+// and checks every result against a reference model, then validates the
+// structure. Run with `go test -fuzz=FuzzOpsVsModel` for continuous
+// fuzzing; the seed corpus below runs in normal test mode.
+func FuzzOpsVsModel(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x83, 0x42, 0x02, 0x42})
+	f.Add([]byte{0xFF, 0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07})
+	f.Add([]byte{0x41, 0x41, 0x81, 0x81, 0xC1, 0xC1, 0x01, 0x01})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) > 4096 {
+			t.Skip("program too long")
+		}
+		st := New(WithWidth(16))
+		model := map[uint64]bool{}
+		for i := 0; i+1 < len(program); i += 2 {
+			op := program[i] >> 6
+			// Two bytes of key material over a 16-bit universe, but folded
+			// into a smaller hot range so operations collide.
+			key := uint64(program[i]&0x3F)<<8 | uint64(program[i+1])
+			switch op {
+			case 0:
+				if got, want := st.Insert(key), !model[key]; got != want {
+					t.Fatalf("insert(%d) = %v, want %v", key, got, want)
+				}
+				model[key] = true
+			case 1:
+				if got, want := st.Delete(key), model[key]; got != want {
+					t.Fatalf("delete(%d) = %v, want %v", key, got, want)
+				}
+				delete(model, key)
+			case 2:
+				if got, want := st.Contains(key), model[key]; got != want {
+					t.Fatalf("contains(%d) = %v, want %v", key, got, want)
+				}
+			default:
+				var want uint64
+				have := false
+				for k := range model {
+					if k <= key && (!have || k > want) {
+						want, have = k, true
+					}
+				}
+				got, ok := st.Predecessor(key)
+				if ok != have || (ok && got != want) {
+					t.Fatalf("predecessor(%d) = %d,%v want %d,%v", key, got, ok, want, have)
+				}
+			}
+		}
+		if st.Len() != len(model) {
+			t.Fatalf("Len = %d, model has %d", st.Len(), len(model))
+		}
+		if err := st.Validate(); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package cskiplist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBasics(t *testing.T) {
+	l := New(1)
+	if !l.Insert(5, "five", nil) || l.Insert(5, nil, nil) {
+		t.Fatal("insert semantics")
+	}
+	if !l.Contains(5, nil) || l.Contains(4, nil) {
+		t.Fatal("contains semantics")
+	}
+	if v, ok := l.Value(5, nil); !ok || v != "five" {
+		t.Fatalf("Value = %v, %v", v, ok)
+	}
+	if !l.Delete(5, nil) || l.Delete(5, nil) {
+		t.Fatal("delete semantics")
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredecessorSuccessor(t *testing.T) {
+	l := New(2)
+	for _, k := range []uint64{10, 20, 30} {
+		l.Insert(k, nil, nil)
+	}
+	cases := []struct {
+		q    uint64
+		want uint64
+		ok   bool
+	}{{9, 0, false}, {10, 10, true}, {15, 10, true}, {30, 30, true}, {99, 30, true}}
+	for _, tc := range cases {
+		got, ok := l.Predecessor(tc.q, nil)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("Predecessor(%d) = %d,%v want %d,%v", tc.q, got, ok, tc.want, tc.ok)
+		}
+	}
+	if k, ok := l.Successor(15, nil); !ok || k != 20 {
+		t.Fatalf("Successor(15) = %d, %v", k, ok)
+	}
+	if _, ok := l.Successor(31, nil); ok {
+		t.Fatal("Successor(31) should not exist")
+	}
+}
+
+func TestRandomAgainstModel(t *testing.T) {
+	l := New(3)
+	model := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(15))
+	for i := 0; i < 25000; i++ {
+		k := uint64(rng.Intn(1024))
+		switch rng.Intn(4) {
+		case 0:
+			if l.Insert(k, nil, nil) != !model[k] {
+				t.Fatalf("insert %d mismatch at op %d", k, i)
+			}
+			model[k] = true
+		case 1:
+			if l.Delete(k, nil) != model[k] {
+				t.Fatalf("delete %d mismatch at op %d", k, i)
+			}
+			delete(model, k)
+		case 2:
+			if l.Contains(k, nil) != model[k] {
+				t.Fatalf("contains %d mismatch at op %d", k, i)
+			}
+		default:
+			var want uint64
+			have := false
+			for mk := range model {
+				if mk <= k && (!have || mk > want) {
+					want, have = mk, true
+				}
+			}
+			got, ok := l.Predecessor(k, nil)
+			if ok != have || (ok && got != want) {
+				t.Fatalf("Predecessor(%d) = %d,%v want %d,%v", k, got, ok, want, have)
+			}
+		}
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", l.Len(), len(model))
+	}
+}
+
+func TestConcurrentDisjoint(t *testing.T) {
+	l := New(4)
+	const workers = 8
+	const perG = 1500
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g uint64) {
+			defer wg.Done()
+			base := g * perG * 10
+			for i := uint64(0); i < perG; i++ {
+				if !l.Insert(base+i, nil, nil) {
+					t.Errorf("insert %d failed", base+i)
+					return
+				}
+			}
+			for i := uint64(0); i < perG; i += 2 {
+				if !l.Delete(base+i, nil) {
+					t.Errorf("delete %d failed", base+i)
+					return
+				}
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if want := workers * perG / 2; l.Len() != want {
+		t.Fatalf("Len = %d, want %d", l.Len(), want)
+	}
+}
+
+func TestConcurrentHotKeys(t *testing.T) {
+	l := New(5)
+	const keys = 10
+	const workers = 8
+	var wg sync.WaitGroup
+	deltas := make([][]int, workers)
+	for g := 0; g < workers; g++ {
+		deltas[g] = make([]int, keys)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 100))
+			for r := 0; r < 2000; r++ {
+				k := uint64(rng.Intn(keys))
+				if rng.Intn(2) == 0 {
+					if l.Insert(k, nil, nil) {
+						deltas[g][k]++
+					}
+				} else {
+					if l.Delete(k, nil) {
+						deltas[g][k]--
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		net := 0
+		for g := 0; g < workers; g++ {
+			net += deltas[g][k]
+		}
+		if net != 0 && net != 1 {
+			t.Fatalf("key %d: net = %d", k, net)
+		}
+		if got := l.Contains(uint64(k), nil); got != (net == 1) {
+			t.Fatalf("key %d: contains = %v, net = %d", k, got, net)
+		}
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package cskiplist
+
+import "testing"
+
+func TestEmptyQueries(t *testing.T) {
+	l := New(0) // zero seed selects the default
+	if l.Contains(5, nil) {
+		t.Fatal("empty contains")
+	}
+	if _, ok := l.Predecessor(5, nil); ok {
+		t.Fatal("empty predecessor")
+	}
+	if _, ok := l.Successor(5, nil); ok {
+		t.Fatal("empty successor")
+	}
+	if _, ok := l.Value(5, nil); ok {
+		t.Fatal("empty value")
+	}
+	if l.Delete(5, nil) {
+		t.Fatal("empty delete")
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilValueRoundTrip(t *testing.T) {
+	l := New(9)
+	l.Insert(3, nil, nil)
+	v, ok := l.Value(3, nil)
+	if !ok || v != nil {
+		t.Fatalf("Value = %v, %v", v, ok)
+	}
+}
+
+func TestSuccessorSkipsDeleted(t *testing.T) {
+	l := New(10)
+	for k := uint64(0); k < 50; k++ {
+		l.Insert(k*2, nil, nil)
+	}
+	l.Delete(10, nil)
+	if k, ok := l.Successor(9, nil); !ok || k != 12 {
+		t.Fatalf("Successor(9) = %d, %v after deleting 10", k, ok)
+	}
+	if k, ok := l.Predecessor(11, nil); !ok || k != 8 {
+		t.Fatalf("Predecessor(11) = %d, %v after deleting 10", k, ok)
+	}
+}
+
+func TestBoundaryKeys(t *testing.T) {
+	l := New(11)
+	for _, k := range []uint64{0, ^uint64(0)} {
+		if !l.Insert(k, nil, nil) {
+			t.Fatalf("insert %x failed", k)
+		}
+	}
+	if k, ok := l.Predecessor(^uint64(0), nil); !ok || k != ^uint64(0) {
+		t.Fatalf("Predecessor(max) = %x, %v", k, ok)
+	}
+	if k, ok := l.Predecessor(1, nil); !ok || k != 0 {
+		t.Fatalf("Predecessor(1) = %x, %v", k, ok)
+	}
+	if k, ok := l.Successor(0, nil); !ok || k != 0 {
+		t.Fatalf("Successor(0) = %x, %v", k, ok)
+	}
+	if k, ok := l.Successor(1, nil); !ok || k != ^uint64(0) {
+		t.Fatalf("Successor(1) = %x, %v", k, ok)
+	}
+}
+
+func TestHeightDistribution(t *testing.T) {
+	l := New(12)
+	const n = 1 << 14
+	for k := uint64(0); k < n; k++ {
+		l.Insert(k, nil, nil)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != n {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}

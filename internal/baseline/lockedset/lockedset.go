@@ -1,0 +1,64 @@
+// Package lockedset wraps a treap in a readers-writer lock: the
+// coarse-grained locking baseline for the concurrent benchmarks. Its
+// single lock makes every mutation serialize, which is the behaviour the
+// lock-free structures are designed to beat under contention.
+package lockedset
+
+import (
+	"sync"
+
+	"skiptrie/internal/baseline/treap"
+)
+
+// Set is a sorted set of uint64 keys guarded by an RWMutex.
+type Set struct {
+	mu sync.RWMutex
+	t  *treap.Tree
+}
+
+// New returns an empty set.
+func New(seed uint64) *Set {
+	return &Set{t: treap.New(seed)}
+}
+
+// Insert adds key, reporting whether it was absent.
+func (s *Set) Insert(key uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Insert(key, nil)
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Set) Delete(key uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Delete(key)
+}
+
+// Contains reports whether key is present.
+func (s *Set) Contains(key uint64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.Contains(key)
+}
+
+// Predecessor returns the largest key <= x.
+func (s *Set) Predecessor(x uint64) (uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.Predecessor(x)
+}
+
+// Successor returns the smallest key >= x.
+func (s *Set) Successor(x uint64) (uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.Successor(x)
+}
+
+// Len returns the number of keys.
+func (s *Set) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.Len()
+}

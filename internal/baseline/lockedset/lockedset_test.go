@@ -1,0 +1,52 @@
+package lockedset
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBasics(t *testing.T) {
+	s := New(1)
+	if !s.Insert(5) || s.Insert(5) {
+		t.Fatal("insert semantics")
+	}
+	if !s.Contains(5) || s.Contains(6) {
+		t.Fatal("contains semantics")
+	}
+	if k, ok := s.Predecessor(10); !ok || k != 5 {
+		t.Fatalf("Predecessor(10) = %d, %v", k, ok)
+	}
+	if k, ok := s.Successor(1); !ok || k != 5 {
+		t.Fatalf("Successor(1) = %d, %v", k, ok)
+	}
+	if !s.Delete(5) || s.Delete(5) {
+		t.Fatal("delete semantics")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	s := New(2)
+	var wg sync.WaitGroup
+	const workers = 8
+	const perG = 1000
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g uint64) {
+			defer wg.Done()
+			base := g * perG
+			for i := uint64(0); i < perG; i++ {
+				s.Insert(base + i)
+			}
+			for i := uint64(0); i < perG; i += 2 {
+				s.Delete(base + i)
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if want := workers * perG / 2; s.Len() != want {
+		t.Fatalf("Len = %d, want %d", s.Len(), want)
+	}
+}

@@ -1,0 +1,253 @@
+// Package seqxfast implements Willard's sequential x-fast trie (1983), as
+// described in the SkipTrie paper's introduction: a hash table over all
+// prefixes of the stored keys plus a sorted doubly-linked list of the keys
+// themselves. Predecessor queries take O(log log u) via binary search on
+// prefix length; insertions and deletions take O(log u) because every
+// prefix of the key is touched — the cost the y-fast trie (and the
+// SkipTrie) amortizes away.
+//
+// The implementation is sequential (no synchronization); it exists as the
+// reference point for the concurrent trie in internal/xfast and as the top
+// layer of the y-fast baseline.
+package seqxfast
+
+import "skiptrie/internal/uintbits"
+
+type leaf struct {
+	key        uint64
+	val        any
+	prev, next *leaf
+}
+
+// entry is a trie node: the descendant pointers of the standard
+// construction, kept for both subtrees like the concurrent version so the
+// two are structurally comparable.
+type entry struct {
+	max0 *leaf // largest leaf in the 0-subtree
+	min1 *leaf // smallest leaf in the 1-subtree
+}
+
+// Trie is a sequential x-fast trie over a universe [0, 2^W).
+type Trie struct {
+	width    uint8
+	prefixes map[uint64]*entry
+	head     leaf // sentinel; head.next is the smallest leaf
+	tail     leaf // sentinel; tail.prev is the largest leaf
+	size     int
+}
+
+// New returns an empty trie over a width-w universe (w in [1, 64]).
+func New(w uint8) *Trie {
+	if w < 1 {
+		w = 1
+	}
+	if w > uintbits.MaxWidth {
+		w = uintbits.MaxWidth
+	}
+	t := &Trie{width: w, prefixes: make(map[uint64]*entry)}
+	t.head.next = &t.tail
+	t.tail.prev = &t.head
+	return t
+}
+
+// Width returns the universe width.
+func (t *Trie) Width() uint8 { return t.width }
+
+// Len returns the number of keys.
+func (t *Trie) Len() int { return t.size }
+
+// PrefixCount returns the number of trie nodes (for space accounting).
+func (t *Trie) PrefixCount() int { return len(t.prefixes) }
+
+// Contains reports whether key is present.
+func (t *Trie) Contains(key uint64) bool {
+	l := t.findLeaf(key)
+	return l != nil
+}
+
+// Value returns the value stored under key.
+func (t *Trie) Value(key uint64) (any, bool) {
+	if l := t.findLeaf(key); l != nil {
+		return l.val, true
+	}
+	return nil, false
+}
+
+func (t *Trie) findLeaf(key uint64) *leaf {
+	l := t.predLeaf(key)
+	if l != &t.head && l.key == key {
+		return l
+	}
+	return nil
+}
+
+// lowestAncestorLen binary-searches for the longest prefix of key present
+// in the trie, in O(log W) hash probes.
+func (t *Trie) lowestAncestorLen(key uint64) (uint8, bool) {
+	if _, ok := t.prefixes[uintbits.Prefix{}.Encode()]; !ok {
+		return 0, false
+	}
+	lo, hi := uint8(0), t.width-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if _, ok := t.prefixes[uintbits.PrefixOf(key, mid, t.width).Encode()]; ok {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, true
+}
+
+// predLeaf returns the leaf with the largest key <= key, or the head
+// sentinel.
+func (t *Trie) predLeaf(key uint64) *leaf {
+	n, ok := t.lowestAncestorLen(key)
+	if !ok {
+		return &t.head
+	}
+	e := t.prefixes[uintbits.PrefixOf(key, n, t.width).Encode()]
+	// Standard x-fast argument: at the lowest ancestor, the pointer on the
+	// side opposite the key's next bit is the exact neighbour; when the key
+	// itself is present the ancestor is its length-(W-1) prefix and one of
+	// the pointers is the key's own leaf. Pick any pointer and settle with
+	// O(1) linked-list steps.
+	var l *leaf
+	switch {
+	case e.max0 != nil && e.max0.key <= key:
+		l = e.max0
+	case e.min1 != nil && e.min1.key <= key:
+		l = e.min1
+	case e.max0 != nil:
+		l = e.max0.prev
+	case e.min1 != nil:
+		l = e.min1.prev
+	default:
+		return &t.head
+	}
+	for l != &t.head && l.key > key {
+		l = l.prev
+	}
+	for l.next != &t.tail && l.next.key <= key {
+		l = l.next
+	}
+	return l
+}
+
+// Predecessor returns the largest key <= x.
+func (t *Trie) Predecessor(x uint64) (uint64, bool) {
+	l := t.predLeaf(x)
+	if l == &t.head {
+		return 0, false
+	}
+	return l.key, true
+}
+
+// Successor returns the smallest key >= x.
+func (t *Trie) Successor(x uint64) (uint64, bool) {
+	l := t.predLeaf(x)
+	if l != &t.head && l.key == x {
+		return x, true
+	}
+	if l.next == &t.tail {
+		return 0, false
+	}
+	return l.next.key, true
+}
+
+// Min returns the smallest key.
+func (t *Trie) Min() (uint64, bool) {
+	if t.head.next == &t.tail {
+		return 0, false
+	}
+	return t.head.next.key, true
+}
+
+// Max returns the largest key.
+func (t *Trie) Max() (uint64, bool) {
+	if t.tail.prev == &t.head {
+		return 0, false
+	}
+	return t.tail.prev.key, true
+}
+
+// Insert adds key, reporting whether it was absent. O(log u): every proper
+// prefix of the key is created or updated.
+func (t *Trie) Insert(key uint64, val any) bool {
+	if t.width < 64 && key >= 1<<t.width {
+		return false
+	}
+	pred := t.predLeaf(key)
+	if pred != &t.head && pred.key == key {
+		return false
+	}
+	l := &leaf{key: key, val: val, prev: pred, next: pred.next}
+	pred.next.prev = l
+	pred.next = l
+	t.size++
+	for n := uint8(0); n < t.width; n++ {
+		p := uintbits.PrefixOf(key, n, t.width).Encode()
+		d := uintbits.Bit(key, n, t.width)
+		e := t.prefixes[p]
+		if e == nil {
+			e = &entry{}
+			t.prefixes[p] = e
+		}
+		if d == 0 {
+			if e.max0 == nil || e.max0.key < key {
+				e.max0 = l
+			}
+		} else {
+			if e.min1 == nil || e.min1.key > key {
+				e.min1 = l
+			}
+		}
+	}
+	return true
+}
+
+// Delete removes key, reporting whether it was present. O(log u).
+func (t *Trie) Delete(key uint64) bool {
+	l := t.findLeaf(key)
+	if l == nil {
+		return false
+	}
+	l.prev.next = l.next
+	l.next.prev = l.prev
+	t.size--
+	for n := uint8(0); n < t.width; n++ {
+		p := uintbits.PrefixOf(key, n, t.width)
+		e := t.prefixes[p.Encode()]
+		if e == nil {
+			continue
+		}
+		d := uintbits.Bit(key, n, t.width)
+		if d == 0 && e.max0 == l {
+			// New max of the 0-subtree is l.prev if it is still inside.
+			if l.prev != &t.head && p.Child(0).IsPrefixOfKey(l.prev.key, t.width) {
+				e.max0 = l.prev
+			} else {
+				e.max0 = nil
+			}
+		} else if d == 1 && e.min1 == l {
+			if l.next != &t.tail && p.Child(1).IsPrefixOfKey(l.next.key, t.width) {
+				e.min1 = l.next
+			} else {
+				e.min1 = nil
+			}
+		}
+		if e.max0 == nil && e.min1 == nil {
+			delete(t.prefixes, p.Encode())
+		}
+	}
+	return true
+}
+
+// Ascend calls fn on each key in ascending order until fn returns false.
+func (t *Trie) Ascend(fn func(key uint64, val any) bool) {
+	for l := t.head.next; l != &t.tail; l = l.next {
+		if !fn(l.key, l.val) {
+			return
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package seqxfast
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasics(t *testing.T) {
+	x := New(16)
+	if !x.Insert(100, "v") || x.Insert(100, "w") {
+		t.Fatal("insert semantics")
+	}
+	if !x.Contains(100) || x.Contains(99) {
+		t.Fatal("contains semantics")
+	}
+	if v, ok := x.Value(100); !ok || v != "v" {
+		t.Fatalf("Value = %v, %v", v, ok)
+	}
+	if !x.Delete(100) || x.Delete(100) {
+		t.Fatal("delete semantics")
+	}
+	if x.PrefixCount() != 0 {
+		t.Fatalf("%d prefixes after emptying", x.PrefixCount())
+	}
+}
+
+func TestOutOfUniverse(t *testing.T) {
+	x := New(8)
+	if x.Insert(256, nil) {
+		t.Fatal("inserted out-of-universe key")
+	}
+}
+
+func TestPredecessorExhaustive(t *testing.T) {
+	x := New(8)
+	model := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(5))
+	for wave := 0; wave < 8; wave++ {
+		for i := 0; i < 40; i++ {
+			k := uint64(rng.Intn(256))
+			if rng.Intn(2) == 0 {
+				x.Insert(k, nil)
+				model[k] = true
+			} else {
+				x.Delete(k)
+				delete(model, k)
+			}
+		}
+		for q := uint64(0); q < 256; q++ {
+			var want uint64
+			have := false
+			for k := range model {
+				if k <= q && (!have || k > want) {
+					want, have = k, true
+				}
+			}
+			got, ok := x.Predecessor(q)
+			if ok != have || (ok && got != want) {
+				t.Fatalf("wave %d: Predecessor(%d) = %d,%v want %d,%v", wave, q, got, ok, want, have)
+			}
+			var wantS uint64
+			haveS := false
+			for k := range model {
+				if k >= q && (!haveS || k < wantS) {
+					wantS, haveS = k, true
+				}
+			}
+			gotS, okS := x.Successor(q)
+			if okS != haveS || (okS && gotS != wantS) {
+				t.Fatalf("wave %d: Successor(%d) = %d,%v want %d,%v", wave, q, gotS, okS, wantS, haveS)
+			}
+		}
+	}
+}
+
+func TestMinMaxAscend(t *testing.T) {
+	x := New(32)
+	keys := []uint64{500, 42, 999999, 7}
+	for _, k := range keys {
+		x.Insert(k, k*2)
+	}
+	if k, ok := x.Min(); !ok || k != 7 {
+		t.Fatalf("Min = %d, %v", k, ok)
+	}
+	if k, ok := x.Max(); !ok || k != 999999 {
+		t.Fatalf("Max = %d, %v", k, ok)
+	}
+	var got []uint64
+	x.Ascend(func(k uint64, v any) bool {
+		got = append(got, k)
+		if v != k*2 {
+			t.Fatalf("value of %d = %v", k, v)
+		}
+		return true
+	})
+	want := []uint64{7, 42, 500, 999999}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ascend = %v", got)
+		}
+	}
+}
+
+func TestWidth64(t *testing.T) {
+	x := New(64)
+	keys := []uint64{0, ^uint64(0), 1 << 63}
+	for _, k := range keys {
+		if !x.Insert(k, nil) {
+			t.Fatalf("insert %x failed", k)
+		}
+	}
+	if k, ok := x.Predecessor(^uint64(0)); !ok || k != ^uint64(0) {
+		t.Fatalf("Predecessor(max) = %x", k)
+	}
+	if k, ok := x.Predecessor(1<<63 - 1); !ok || k != 0 {
+		t.Fatalf("Predecessor(2^63-1) = %x, %v", k, ok)
+	}
+	for _, k := range keys {
+		if !x.Delete(k) {
+			t.Fatalf("delete %x failed", k)
+		}
+	}
+	if x.PrefixCount() != 0 {
+		t.Fatal("prefixes leaked")
+	}
+}
+
+func TestPrefixCountGrowth(t *testing.T) {
+	// Insert/delete cycles must not leak prefixes.
+	x := New(16)
+	for round := 0; round < 5; round++ {
+		for k := uint64(0); k < 300; k++ {
+			x.Insert(k*37%65536, nil)
+		}
+		for k := uint64(0); k < 300; k++ {
+			x.Delete(k * 37 % 65536)
+		}
+		if x.PrefixCount() != 0 || x.Len() != 0 {
+			t.Fatalf("round %d: %d prefixes, %d keys", round, x.PrefixCount(), x.Len())
+		}
+	}
+}

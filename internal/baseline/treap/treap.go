@@ -1,0 +1,300 @@
+// Package treap implements a randomized balanced binary search tree
+// (Seidel-Aragon treap) over uint64 keys, with O(log n) expected insert,
+// delete, predecessor and — crucially for the y-fast trie — O(log n)
+// split and merge. It plays the role of the y-fast trie's per-bucket
+// "balanced binary search tree" (Willard 1983, as recounted in the
+// SkipTrie paper's introduction): buckets are split and merged during
+// rebalancing, which is exactly the operation the SkipTrie eliminates.
+//
+// The implementation is sequential; wrap it in a lock for concurrent use
+// (see internal/baseline/lockedset).
+package treap
+
+import "skiptrie/internal/uintbits"
+
+// Tree is a treap. The zero value is an empty tree ready for use.
+type Tree struct {
+	root *node
+	size int
+	rng  uint64
+}
+
+type node struct {
+	key         uint64
+	val         any
+	prio        uint64
+	left, right *node
+}
+
+// New returns an empty treap seeded with seed (0 selects a default).
+func New(seed uint64) *Tree {
+	if seed == 0 {
+		seed = 0x7EA9_5EED
+	}
+	return &Tree{rng: seed}
+}
+
+func (t *Tree) nextPrio() uint64 {
+	t.rng += 0x9E3779B97F4A7C15
+	return uintbits.Mix64(t.rng)
+}
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds key, reporting whether it was absent.
+func (t *Tree) Insert(key uint64, val any) bool {
+	if t.contains(t.root, key) {
+		return false
+	}
+	t.root = t.insert(t.root, &node{key: key, val: val, prio: t.nextPrio()})
+	t.size++
+	return true
+}
+
+func (t *Tree) insert(n, item *node) *node {
+	if n == nil {
+		return item
+	}
+	if item.key < n.key {
+		n.left = t.insert(n.left, item)
+		if n.left.prio > n.prio {
+			n = rotateRight(n)
+		}
+	} else {
+		n.right = t.insert(n.right, item)
+		if n.right.prio > n.prio {
+			n = rotateLeft(n)
+		}
+	}
+	return n
+}
+
+func rotateRight(n *node) *node {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	return l
+}
+
+func rotateLeft(n *node) *node {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	return r
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree) Delete(key uint64) bool {
+	var deleted bool
+	t.root, deleted = deleteNode(t.root, key)
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func deleteNode(n *node, key uint64) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var deleted bool
+	switch {
+	case key < n.key:
+		n.left, deleted = deleteNode(n.left, key)
+	case key > n.key:
+		n.right, deleted = deleteNode(n.right, key)
+	default:
+		return mergeNodes(n.left, n.right), true
+	}
+	return n, deleted
+}
+
+// mergeNodes joins two treaps where every key in a is less than every key
+// in b.
+func mergeNodes(a, b *node) *node {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case a.prio >= b.prio:
+		a.right = mergeNodes(a.right, b)
+		return a
+	default:
+		b.left = mergeNodes(a, b.left)
+		return b
+	}
+}
+
+// Contains reports whether key is present.
+func (t *Tree) Contains(key uint64) bool { return t.contains(t.root, key) }
+
+func (t *Tree) contains(n *node, key uint64) bool {
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Value returns the value stored under key.
+func (t *Tree) Value(key uint64) (any, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	return nil, false
+}
+
+// Predecessor returns the largest key <= x.
+func (t *Tree) Predecessor(x uint64) (uint64, bool) {
+	var best uint64
+	have := false
+	n := t.root
+	for n != nil {
+		if n.key <= x {
+			best, have = n.key, true
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return best, have
+}
+
+// Successor returns the smallest key >= x.
+func (t *Tree) Successor(x uint64) (uint64, bool) {
+	var best uint64
+	have := false
+	n := t.root
+	for n != nil {
+		if n.key >= x {
+			best, have = n.key, true
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return best, have
+}
+
+// Min returns the smallest key.
+func (t *Tree) Min() (uint64, bool) {
+	n := t.root
+	if n == nil {
+		return 0, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, true
+}
+
+// Max returns the largest key.
+func (t *Tree) Max() (uint64, bool) {
+	n := t.root
+	if n == nil {
+		return 0, false
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, true
+}
+
+// SplitAt divides the tree: keys < pivot remain, keys >= pivot are
+// returned as a new tree. O(log n) expected — this is the bucket-split
+// operation of the y-fast trie's rebalancing.
+func (t *Tree) SplitAt(pivot uint64) *Tree {
+	left, right := split(t.root, pivot)
+	t.root = left
+	rightTree := New(t.nextPrio())
+	rightTree.root = right
+	t.size = count(t.root)
+	rightTree.size = count(rightTree.root)
+	return rightTree
+}
+
+func split(n *node, pivot uint64) (left, right *node) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.key < pivot {
+		l, r := split(n.right, pivot)
+		n.right = l
+		return n, r
+	}
+	l, r := split(n.left, pivot)
+	n.left = r
+	return l, n
+}
+
+// Merge absorbs other into t. Every key in other must exceed every key in
+// t. O(log n) expected — the bucket-merge operation of y-fast rebalancing.
+func (t *Tree) Merge(other *Tree) {
+	t.root = mergeNodes(t.root, other.root)
+	t.size += other.size
+	other.root = nil
+	other.size = 0
+}
+
+func count(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + count(n.left) + count(n.right)
+}
+
+// Ascend calls fn on each key in ascending order until fn returns false.
+func (t *Tree) Ascend(fn func(key uint64, val any) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend(n *node, fn func(uint64, any) bool) bool {
+	if n == nil {
+		return true
+	}
+	return ascend(n.left, fn) && fn(n.key, n.val) && ascend(n.right, fn)
+}
+
+// CheckInvariants verifies the BST ordering and heap priority properties,
+// returning false on violation (a bug).
+func (t *Tree) CheckInvariants() bool {
+	ok := true
+	var walk func(n *node, lo, hi uint64, hasLo, hasHi bool)
+	walk = func(n *node, lo, hi uint64, hasLo, hasHi bool) {
+		if n == nil || !ok {
+			return
+		}
+		if hasLo && n.key <= lo || hasHi && n.key >= hi {
+			ok = false
+			return
+		}
+		if n.left != nil && n.left.prio > n.prio {
+			ok = false
+			return
+		}
+		if n.right != nil && n.right.prio > n.prio {
+			ok = false
+			return
+		}
+		walk(n.left, lo, n.key, hasLo, true)
+		walk(n.right, n.key, hi, true, hasHi)
+	}
+	walk(t.root, 0, 0, false, false)
+	return ok && count(t.root) == t.size
+}

@@ -1,0 +1,206 @@
+package treap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	tr := New(1)
+	if tr.Len() != 0 {
+		t.Fatal("new treap not empty")
+	}
+	if !tr.Insert(5, "five") || tr.Insert(5, "again") {
+		t.Fatal("insert semantics")
+	}
+	if !tr.Contains(5) || tr.Contains(4) {
+		t.Fatal("contains semantics")
+	}
+	if v, ok := tr.Value(5); !ok || v != "five" {
+		t.Fatalf("Value(5) = %v, %v", v, ok)
+	}
+	if !tr.Delete(5) || tr.Delete(5) {
+		t.Fatal("delete semantics")
+	}
+	if !tr.CheckInvariants() {
+		t.Fatal("invariants broken")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var tr Tree
+	tr.Insert(1, nil)
+	tr.Insert(2, nil)
+	if !tr.Contains(1) || !tr.Contains(2) {
+		t.Fatal("zero-value treap broken")
+	}
+}
+
+func TestPredecessorSuccessor(t *testing.T) {
+	tr := New(2)
+	for _, k := range []uint64{10, 20, 30} {
+		tr.Insert(k, nil)
+	}
+	if k, ok := tr.Predecessor(25); !ok || k != 20 {
+		t.Fatalf("Predecessor(25) = %d, %v", k, ok)
+	}
+	if k, ok := tr.Predecessor(10); !ok || k != 10 {
+		t.Fatalf("Predecessor(10) = %d, %v", k, ok)
+	}
+	if _, ok := tr.Predecessor(9); ok {
+		t.Fatal("Predecessor(9) should not exist")
+	}
+	if k, ok := tr.Successor(25); !ok || k != 30 {
+		t.Fatalf("Successor(25) = %d, %v", k, ok)
+	}
+	if _, ok := tr.Successor(31); ok {
+		t.Fatal("Successor(31) should not exist")
+	}
+	if k, ok := tr.Min(); !ok || k != 10 {
+		t.Fatalf("Min = %d, %v", k, ok)
+	}
+	if k, ok := tr.Max(); !ok || k != 30 {
+		t.Fatalf("Max = %d, %v", k, ok)
+	}
+}
+
+func TestRandomAgainstModel(t *testing.T) {
+	tr := New(3)
+	model := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(500))
+		switch rng.Intn(3) {
+		case 0:
+			if tr.Insert(k, nil) != !model[k] {
+				t.Fatal("insert mismatch")
+			}
+			model[k] = true
+		case 1:
+			if tr.Delete(k) != model[k] {
+				t.Fatal("delete mismatch")
+			}
+			delete(model, k)
+		case 2:
+			if tr.Contains(k) != model[k] {
+				t.Fatal("contains mismatch")
+			}
+		}
+	}
+	if !tr.CheckInvariants() {
+		t.Fatal("invariants broken after churn")
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", tr.Len(), len(model))
+	}
+}
+
+func TestSplitMerge(t *testing.T) {
+	tr := New(4)
+	for k := uint64(0); k < 100; k++ {
+		tr.Insert(k, int(k))
+	}
+	right := tr.SplitAt(50)
+	if tr.Len() != 50 || right.Len() != 50 {
+		t.Fatalf("split sizes %d/%d", tr.Len(), right.Len())
+	}
+	if k, _ := tr.Max(); k != 49 {
+		t.Fatalf("left max = %d", k)
+	}
+	if k, _ := right.Min(); k != 50 {
+		t.Fatalf("right min = %d", k)
+	}
+	if !tr.CheckInvariants() || !right.CheckInvariants() {
+		t.Fatal("invariants broken after split")
+	}
+	// Values survive the split.
+	if v, ok := right.Value(75); !ok || v != 75 {
+		t.Fatalf("right.Value(75) = %v, %v", v, ok)
+	}
+	tr.Merge(right)
+	if tr.Len() != 100 || right.Len() != 0 {
+		t.Fatalf("merge sizes %d/%d", tr.Len(), right.Len())
+	}
+	if !tr.CheckInvariants() {
+		t.Fatal("invariants broken after merge")
+	}
+	for k := uint64(0); k < 100; k++ {
+		if !tr.Contains(k) {
+			t.Fatalf("key %d lost across split/merge", k)
+		}
+	}
+}
+
+func TestSplitAtAbsentPivot(t *testing.T) {
+	tr := New(5)
+	for k := uint64(0); k < 50; k += 5 {
+		tr.Insert(k, nil)
+	}
+	right := tr.SplitAt(12) // pivot not a key
+	if k, _ := tr.Max(); k != 10 {
+		t.Fatalf("left max = %d", k)
+	}
+	if k, _ := right.Min(); k != 15 {
+		t.Fatalf("right min = %d", k)
+	}
+}
+
+func TestSplitEmptyAndBoundary(t *testing.T) {
+	tr := New(6)
+	right := tr.SplitAt(5)
+	if tr.Len() != 0 || right.Len() != 0 {
+		t.Fatal("split of empty treap")
+	}
+	tr.Insert(10, nil)
+	right = tr.SplitAt(0) // everything moves right
+	if tr.Len() != 0 || right.Len() != 1 {
+		t.Fatalf("boundary split %d/%d", tr.Len(), right.Len())
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := New(7)
+	rng := rand.New(rand.NewSource(9))
+	want := map[uint64]bool{}
+	for i := 0; i < 300; i++ {
+		k := rng.Uint64()
+		tr.Insert(k, nil)
+		want[k] = true
+	}
+	var got []uint64
+	tr.Ascend(func(k uint64, _ any) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Ascend visited %d, want %d", len(got), len(want))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("Ascend out of order")
+	}
+}
+
+func TestPredecessorQuick(t *testing.T) {
+	f := func(keys []uint16, q uint16) bool {
+		tr := New(8)
+		set := map[uint64]bool{}
+		for _, k := range keys {
+			tr.Insert(uint64(k), nil)
+			set[uint64(k)] = true
+		}
+		var want uint64
+		have := false
+		for k := range set {
+			if k <= uint64(q) && (!have || k > want) {
+				want, have = k, true
+			}
+		}
+		got, ok := tr.Predecessor(uint64(q))
+		return ok == have && (!ok || got == want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,310 @@
+// Package veb implements a van Emde Boas tree (van Emde Boas 1975), the
+// original O(log log u) predecessor structure the SkipTrie paper cites as
+// the sequential gold standard. Clusters are stored sparsely in hash maps
+// so the structure uses O(m log log u) space even for u = 2^64 (the
+// classic array layout would need O(u)).
+//
+// The implementation is sequential and exists as a reference
+// implementation and correctness oracle for the T1/T2 experiments.
+package veb
+
+// Tree is a van Emde Boas tree over a universe [0, 2^W).
+type Tree struct {
+	width uint8
+	root  *vnode
+	size  int
+}
+
+// vnode is one recursive vEB node over a width-w sub-universe. min/max are
+// stored outside the clusters (the standard trick that makes the recursion
+// T(w) = T(w/2) + O(1)).
+type vnode struct {
+	w        uint8
+	any      bool
+	min, max uint64
+	summary  *vnode
+	clusters map[uint64]*vnode
+}
+
+// New returns an empty tree over a width-w universe (clamped to [1, 64]).
+func New(w uint8) *Tree {
+	if w < 1 {
+		w = 1
+	}
+	if w > 64 {
+		w = 64
+	}
+	return &Tree{width: w, root: &vnode{w: w}}
+}
+
+// Width returns the universe width.
+func (t *Tree) Width() uint8 { return t.width }
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return t.size }
+
+// high/low split a key into cluster index and offset. loW = floor(w/2),
+// hiW = ceil(w/2).
+func (n *vnode) loW() uint8 { return n.w / 2 }
+
+func (n *vnode) high(x uint64) uint64 { return x >> n.loW() }
+
+func (n *vnode) low(x uint64) uint64 { return x & (1<<n.loW() - 1) }
+
+func (n *vnode) index(hi, lo uint64) uint64 { return hi<<n.loW() | lo }
+
+func (n *vnode) cluster(i uint64, create bool) *vnode {
+	c := n.clusters[i]
+	if c == nil && create {
+		if n.clusters == nil {
+			n.clusters = make(map[uint64]*vnode)
+		}
+		c = &vnode{w: n.loW()}
+		n.clusters[i] = c
+	}
+	return c
+}
+
+func (n *vnode) summaryNode(create bool) *vnode {
+	if n.summary == nil && create {
+		n.summary = &vnode{w: n.w - n.loW()}
+	}
+	return n.summary
+}
+
+// Insert adds key, reporting whether it was absent.
+func (t *Tree) Insert(key uint64) bool {
+	if t.width < 64 && key >= 1<<t.width {
+		return false
+	}
+	if t.root.contains(key) {
+		return false
+	}
+	t.root.insert(key)
+	t.size++
+	return true
+}
+
+func (n *vnode) insert(x uint64) {
+	if !n.any {
+		n.any, n.min, n.max = true, x, x
+		return
+	}
+	if x < n.min {
+		x, n.min = n.min, x
+	}
+	if x > n.max {
+		n.max = x
+	}
+	if n.w <= 1 || x == n.min {
+		return
+	}
+	hi, lo := n.high(x), n.low(x)
+	c := n.cluster(hi, true)
+	if !c.any {
+		n.summaryNode(true).insert(hi)
+	}
+	c.insert(lo)
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree) Delete(key uint64) bool {
+	if t.width < 64 && key >= 1<<t.width {
+		return false
+	}
+	if !t.root.contains(key) {
+		return false
+	}
+	t.root.delete(key)
+	t.size--
+	return true
+}
+
+func (n *vnode) delete(x uint64) {
+	if n.min == n.max {
+		n.any = false
+		return
+	}
+	if n.w <= 1 {
+		// Width-1 universe holding both 0 and 1: the survivor is x's
+		// complement.
+		n.min = x ^ 1
+		n.max = n.min
+		return
+	}
+	if x == n.min {
+		// Pull the new min out of the first cluster.
+		s := n.summary
+		if s == nil || !s.any {
+			n.min = n.max
+			return
+		}
+		firstCluster := s.min
+		c := n.clusters[firstCluster]
+		x = n.index(firstCluster, c.min)
+		n.min = x
+		// Fall through to delete x from its cluster.
+	}
+	hi, lo := n.high(x), n.low(x)
+	c := n.clusters[hi]
+	if c == nil {
+		return
+	}
+	c.delete(lo)
+	if !c.any {
+		delete(n.clusters, hi)
+		if n.summary != nil {
+			n.summary.delete(hi)
+		}
+	}
+	if x == n.max {
+		s := n.summary
+		if s == nil || !s.any {
+			n.max = n.min
+		} else {
+			lastCluster := s.max
+			n.max = n.index(lastCluster, n.clusters[lastCluster].max)
+		}
+	}
+}
+
+// Contains reports whether key is present.
+func (t *Tree) Contains(key uint64) bool {
+	if t.width < 64 && key >= 1<<t.width {
+		return false
+	}
+	return t.root.contains(key)
+}
+
+func (n *vnode) contains(x uint64) bool {
+	if !n.any {
+		return false
+	}
+	if x == n.min || x == n.max {
+		return true
+	}
+	if n.w <= 1 {
+		return false
+	}
+	c := n.clusters[n.high(x)]
+	return c != nil && c.contains(n.low(x))
+}
+
+// Predecessor returns the largest key <= x.
+func (t *Tree) Predecessor(x uint64) (uint64, bool) {
+	if t.width < 64 && x >= 1<<t.width {
+		x = 1<<t.width - 1
+	}
+	if t.root.contains(x) {
+		return x, true
+	}
+	return t.root.pred(x)
+}
+
+// pred returns the largest key strictly... at most x (x itself excluded by
+// callers when needed; here: largest key <= x assuming x not present works
+// too since equality shortcut happens earlier).
+func (n *vnode) pred(x uint64) (uint64, bool) {
+	if !n.any {
+		return 0, false
+	}
+	if x >= n.max {
+		return n.max, true
+	}
+	if x < n.min {
+		return 0, false
+	}
+	if n.w <= 1 {
+		// x == 0 impossible here (x < max, x >= min, min < max).
+		return n.min, true
+	}
+	hi, lo := n.high(x), n.low(x)
+	c := n.clusters[hi]
+	if c != nil && c.any && lo >= c.min {
+		sublo, ok := c.pred(lo)
+		if ok {
+			return n.index(hi, sublo), true
+		}
+	}
+	// Look in an earlier cluster via the summary.
+	if n.summary != nil {
+		if prevHi, ok := n.summary.predStrict(hi); ok {
+			pc := n.clusters[prevHi]
+			return n.index(prevHi, pc.max), true
+		}
+	}
+	return n.min, true
+}
+
+// predStrict returns the largest key < x.
+func (n *vnode) predStrict(x uint64) (uint64, bool) {
+	if x == 0 {
+		return 0, false
+	}
+	return n.pred(x - 1)
+}
+
+// Successor returns the smallest key >= x.
+func (t *Tree) Successor(x uint64) (uint64, bool) {
+	if t.width < 64 && x >= 1<<t.width {
+		return 0, false
+	}
+	if t.root.contains(x) {
+		return x, true
+	}
+	return t.root.succ(x)
+}
+
+func (n *vnode) succ(x uint64) (uint64, bool) {
+	if !n.any {
+		return 0, false
+	}
+	if x <= n.min {
+		return n.min, true
+	}
+	if x > n.max {
+		return 0, false
+	}
+	if n.w <= 1 {
+		return n.max, true
+	}
+	hi, lo := n.high(x), n.low(x)
+	c := n.clusters[hi]
+	if c != nil && c.any && lo <= c.max {
+		subhi, ok := c.succ(lo)
+		if ok {
+			return n.index(hi, subhi), true
+		}
+	}
+	if n.summary != nil {
+		if nextHi, ok := n.summary.succStrict(hi); ok {
+			nc := n.clusters[nextHi]
+			return n.index(nextHi, nc.min), true
+		}
+	}
+	return n.max, true
+}
+
+// succStrict returns the smallest key > x.
+func (n *vnode) succStrict(x uint64) (uint64, bool) {
+	if x == ^uint64(0) {
+		return 0, false
+	}
+	return n.succ(x + 1)
+}
+
+// Min returns the smallest key.
+func (t *Tree) Min() (uint64, bool) {
+	if !t.root.any {
+		return 0, false
+	}
+	return t.root.min, true
+}
+
+// Max returns the largest key.
+func (t *Tree) Max() (uint64, bool) {
+	if !t.root.any {
+		return 0, false
+	}
+	return t.root.max, true
+}

@@ -1,0 +1,160 @@
+package veb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasics(t *testing.T) {
+	v := New(16)
+	if !v.Insert(100) || v.Insert(100) {
+		t.Fatal("insert semantics")
+	}
+	if !v.Contains(100) || v.Contains(99) {
+		t.Fatal("contains semantics")
+	}
+	if !v.Delete(100) || v.Delete(100) {
+		t.Fatal("delete semantics")
+	}
+	if v.Len() != 0 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+}
+
+func TestSmallUniverseExhaustive(t *testing.T) {
+	for _, w := range []uint8{1, 2, 3, 4, 8} {
+		v := New(w)
+		model := map[uint64]bool{}
+		space := uint64(1) << w
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < 4000; i++ {
+			k := rng.Uint64() % space
+			switch rng.Intn(3) {
+			case 0:
+				if v.Insert(k) != !model[k] {
+					t.Fatalf("w=%d: insert %d mismatch", w, k)
+				}
+				model[k] = true
+			case 1:
+				if v.Delete(k) != model[k] {
+					t.Fatalf("w=%d: delete %d mismatch", w, k)
+				}
+				delete(model, k)
+			case 2:
+				if v.Contains(k) != model[k] {
+					t.Fatalf("w=%d: contains %d mismatch", w, k)
+				}
+			}
+			// Check pred/succ at a random point each iteration.
+			q := rng.Uint64() % space
+			var wantP uint64
+			haveP := false
+			var wantS uint64
+			haveS := false
+			for mk := range model {
+				if mk <= q && (!haveP || mk > wantP) {
+					wantP, haveP = mk, true
+				}
+				if mk >= q && (!haveS || mk < wantS) {
+					wantS, haveS = mk, true
+				}
+			}
+			gotP, okP := v.Predecessor(q)
+			if okP != haveP || (okP && gotP != wantP) {
+				t.Fatalf("w=%d: Predecessor(%d) = %d,%v want %d,%v", w, q, gotP, okP, wantP, haveP)
+			}
+			gotS, okS := v.Successor(q)
+			if okS != haveS || (okS && gotS != wantS) {
+				t.Fatalf("w=%d: Successor(%d) = %d,%v want %d,%v", w, q, gotS, okS, wantS, haveS)
+			}
+		}
+	}
+}
+
+func TestLargeUniverse(t *testing.T) {
+	v := New(64)
+	keys := []uint64{0, 1, ^uint64(0), 1 << 63, 0xDEADBEEF, 1 << 40}
+	for _, k := range keys {
+		if !v.Insert(k) {
+			t.Fatalf("insert %x failed", k)
+		}
+	}
+	if k, ok := v.Min(); !ok || k != 0 {
+		t.Fatalf("Min = %x", k)
+	}
+	if k, ok := v.Max(); !ok || k != ^uint64(0) {
+		t.Fatalf("Max = %x", k)
+	}
+	if k, ok := v.Predecessor(1<<40 - 1); !ok || k != 0xDEADBEEF {
+		t.Fatalf("Predecessor(2^40-1) = %x, %v", k, ok)
+	}
+	if k, ok := v.Successor(2); !ok || k != 0xDEADBEEF {
+		t.Fatalf("Successor(2) = %x, %v", k, ok)
+	}
+	for _, k := range keys {
+		if !v.Delete(k) {
+			t.Fatalf("delete %x failed", k)
+		}
+	}
+	if v.Len() != 0 {
+		t.Fatal("not empty after deleting all")
+	}
+}
+
+func TestRandom32(t *testing.T) {
+	v := New(32)
+	model := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Uint32())
+		switch rng.Intn(3) {
+		case 0:
+			if v.Insert(k) != !model[k] {
+				t.Fatalf("insert %d mismatch", k)
+			}
+			model[k] = true
+		case 1:
+			if v.Delete(k) != model[k] {
+				t.Fatalf("delete %d mismatch", k)
+			}
+			delete(model, k)
+		default:
+			q := uint64(rng.Uint32())
+			var want uint64
+			have := false
+			for mk := range model {
+				if mk <= q && (!have || mk > want) {
+					want, have = mk, true
+				}
+			}
+			got, ok := v.Predecessor(q)
+			if ok != have || (ok && got != want) {
+				t.Fatalf("Predecessor(%d) = %d,%v want %d,%v", q, got, ok, want, have)
+			}
+		}
+	}
+	if v.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", v.Len(), len(model))
+	}
+}
+
+func TestDeleteMinMaxPaths(t *testing.T) {
+	v := New(16)
+	for k := uint64(0); k < 100; k++ {
+		v.Insert(k * 100)
+	}
+	// Repeatedly delete the min, checking the new min.
+	for k := uint64(0); k < 50; k++ {
+		if m, ok := v.Min(); !ok || m != k*100 {
+			t.Fatalf("Min = %d, want %d", m, k*100)
+		}
+		v.Delete(k * 100)
+	}
+	// Then the max.
+	for k := uint64(99); k >= 80; k-- {
+		if m, ok := v.Max(); !ok || m != k*100 {
+			t.Fatalf("Max = %d, want %d", m, k*100)
+		}
+		v.Delete(k * 100)
+	}
+}

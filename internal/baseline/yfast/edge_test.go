@@ -1,0 +1,111 @@
+package yfast
+
+import "testing"
+
+func TestWidthClamp(t *testing.T) {
+	if New(0).Width() != 1 {
+		t.Fatal("width 0 not clamped to 1")
+	}
+	if New(200).Width() != 64 {
+		t.Fatal("width 200 not clamped to 64")
+	}
+	if New(24).Width() != 24 {
+		t.Fatal("width 24 mangled")
+	}
+}
+
+func TestMergeRightNeighbour(t *testing.T) {
+	// Drain the leftmost bucket so it underflows with no left neighbour:
+	// the rebalance must absorb the right neighbour instead.
+	y := New(16)
+	for k := uint64(0); k < 500; k++ {
+		y.Insert(k, nil)
+	}
+	if y.SeparatorCount() < 3 {
+		t.Skip("not enough buckets to exercise the merge-right path")
+	}
+	merges := y.Merges
+	// Delete keys in ascending order: the separator-0 bucket underflows
+	// first, and it has no left neighbour.
+	for k := uint64(0); k < 400; k++ {
+		if !y.Delete(k) {
+			t.Fatalf("delete %d failed", k)
+		}
+	}
+	if y.Merges == merges {
+		t.Fatal("ascending drain triggered no merges")
+	}
+	if err := y.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(400); k < 500; k++ {
+		if !y.Contains(k) {
+			t.Fatalf("key %d lost during merges", k)
+		}
+	}
+}
+
+func TestSuccessorBeforeFirstSeparator(t *testing.T) {
+	// The separator-0 bucket always covers the bottom of the universe, so
+	// a successor query below every key must still find the minimum.
+	y := New(16)
+	y.Insert(1000, nil)
+	if k, ok := y.Successor(0); !ok || k != 1000 {
+		t.Fatalf("Successor(0) = %d, %v", k, ok)
+	}
+	if k, ok := y.Successor(1000); !ok || k != 1000 {
+		t.Fatalf("Successor(1000) = %d, %v", k, ok)
+	}
+	if _, ok := y.Successor(1001); ok {
+		t.Fatal("Successor(1001) should not exist")
+	}
+}
+
+func TestEmptyQueries(t *testing.T) {
+	y := New(16)
+	if _, ok := y.Predecessor(100); ok {
+		t.Fatal("empty predecessor")
+	}
+	if _, ok := y.Successor(100); ok {
+		t.Fatal("empty successor")
+	}
+	if _, ok := y.Min(); ok {
+		t.Fatal("empty min")
+	}
+	if _, ok := y.Max(); ok {
+		t.Fatal("empty max")
+	}
+	if _, ok := y.Value(5); ok {
+		t.Fatal("empty value")
+	}
+	if y.Delete(5) {
+		t.Fatal("empty delete")
+	}
+	if err := y.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleKeyLifecycle(t *testing.T) {
+	y := New(8)
+	y.Insert(42, "x")
+	if k, ok := y.Max(); !ok || k != 42 {
+		t.Fatalf("Max = %d, %v", k, ok)
+	}
+	y.Delete(42)
+	if y.SeparatorCount() != 0 {
+		t.Fatalf("%d separators after deleting the only key", y.SeparatorCount())
+	}
+	// Reuse after full drain.
+	y.Insert(7, nil)
+	if !y.Contains(7) {
+		t.Fatal("reinsert after drain failed")
+	}
+}
+
+func TestOutOfUniverseInsert(t *testing.T) {
+	y := New(8)
+	if y.Insert(256, nil) {
+		t.Fatal("out-of-universe insert succeeded")
+	}
+}

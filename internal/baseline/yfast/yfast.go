@@ -1,0 +1,358 @@
+// Package yfast implements Willard's sequential y-fast trie, the structure
+// the SkipTrie replaces with probabilistic balancing. Keys are partitioned
+// into buckets of Θ(log u) consecutive keys; each bucket is a balanced BST
+// (a treap here, matching internal/baseline/treap); one separator per
+// bucket lives in an x-fast trie (internal/baseline/seqxfast).
+//
+// Predecessor queries cost O(log log u): an x-fast lookup to find the
+// bucket plus a BST search inside it. Updates cost amortized O(log log u):
+// the O(log u) work of splitting or merging a bucket — removing and
+// inserting separators in the x-fast trie and splitting/merging treaps —
+// happens only once per Θ(log u) updates. This explicit rebalancing is
+// exactly the machinery the paper calls "a nightmare in a concurrent
+// setting" and the SkipTrie eliminates; the package exists as the
+// sequential reference and, wrapped in a lock (Locked), as a baseline.
+package yfast
+
+import (
+	"fmt"
+	"sync"
+
+	"skiptrie/internal/baseline/seqxfast"
+	"skiptrie/internal/baseline/treap"
+	"skiptrie/internal/uintbits"
+)
+
+// Trie is a sequential y-fast trie.
+type Trie struct {
+	width uint8
+	reps  *seqxfast.Trie // separator -> *treap.Tree (stored as leaf value)
+	size  int
+	seed  uint64
+
+	// Splits and Merges count rebalancing events (for the T3 narrative:
+	// the SkipTrie performs none).
+	Splits, Merges int
+}
+
+// New returns an empty y-fast trie over a width-w universe.
+func New(w uint8) *Trie {
+	if w < 1 {
+		w = 1
+	}
+	if w > uintbits.MaxWidth {
+		w = uintbits.MaxWidth
+	}
+	return &Trie{width: w, reps: seqxfast.New(w), seed: 0x1F0_1DED}
+}
+
+// Width returns the universe width.
+func (t *Trie) Width() uint8 { return t.width }
+
+// Len returns the number of keys.
+func (t *Trie) Len() int { return t.size }
+
+// maxBucket is the split threshold: 2 log u.
+func (t *Trie) maxBucket() int { return 2 * int(t.width) }
+
+// minBucket is the merge threshold: log u / 4, at least 1.
+func (t *Trie) minBucket() int {
+	m := int(t.width) / 4
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// bucketFor returns the separator and treap of the bucket covering key.
+// The separator 0 bucket always exists once the trie is nonempty, so the
+// x-fast predecessor always resolves.
+func (t *Trie) bucketFor(key uint64) (uint64, *treap.Tree, bool) {
+	rep, ok := t.reps.Predecessor(key)
+	if !ok {
+		return 0, nil, false
+	}
+	v, _ := t.reps.Value(rep)
+	return rep, v.(*treap.Tree), true
+}
+
+// Insert adds key, reporting whether it was absent.
+func (t *Trie) Insert(key uint64, val any) bool {
+	if t.width < 64 && key >= 1<<t.width {
+		return false
+	}
+	rep, bucket, ok := t.bucketFor(key)
+	if !ok {
+		// First insert: create the all-covering separator-0 bucket.
+		bucket = treap.New(t.nextSeed())
+		t.reps.Insert(0, bucket)
+		rep = 0
+	}
+	if !bucket.Insert(key, val) {
+		return false
+	}
+	t.size++
+	if bucket.Len() > t.maxBucket() {
+		t.splitBucket(rep, bucket)
+	}
+	return true
+}
+
+func (t *Trie) nextSeed() uint64 {
+	t.seed += 0x9E3779B97F4A7C15
+	return uintbits.Mix64(t.seed)
+}
+
+// splitBucket divides an oversized bucket at its median key, inserting the
+// median as a new separator: the O(log u) rebalancing step.
+func (t *Trie) splitBucket(rep uint64, bucket *treap.Tree) {
+	t.Splits++
+	median, ok := kth(bucket, bucket.Len()/2)
+	if !ok || median == rep {
+		return // degenerate (all keys equal the separator); cannot split
+	}
+	right := bucket.SplitAt(median)
+	t.reps.Insert(median, right)
+}
+
+// kth returns the k-th smallest key (0-based). O(bucket size), which is
+// O(log u) — within the amortized budget of a split.
+func kth(b *treap.Tree, k int) (uint64, bool) {
+	var out uint64
+	found := false
+	i := 0
+	b.Ascend(func(key uint64, _ any) bool {
+		if i == k {
+			out, found = key, true
+			return false
+		}
+		i++
+		return true
+	})
+	return out, found
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Trie) Delete(key uint64) bool {
+	rep, bucket, ok := t.bucketFor(key)
+	if !ok {
+		return false
+	}
+	if !bucket.Delete(key) {
+		return false
+	}
+	t.size--
+	if bucket.Len() < t.minBucket() {
+		t.rebalanceAfterDelete(rep, bucket)
+	}
+	return true
+}
+
+// rebalanceAfterDelete merges an underfull bucket with a neighbour and
+// re-splits if the result is oversized — the other O(log u) step.
+func (t *Trie) rebalanceAfterDelete(rep uint64, bucket *treap.Tree) {
+	if t.size == 0 {
+		// Last key gone: drop every separator so the structure is empty.
+		t.reps.Delete(rep)
+		return
+	}
+	// Prefer merging into the left neighbour.
+	if rep > 0 {
+		if lrep, ok := t.reps.Predecessor(rep - 1); ok {
+			lv, _ := t.reps.Value(lrep)
+			left := lv.(*treap.Tree)
+			t.Merges++
+			left.Merge(bucket)
+			t.reps.Delete(rep)
+			if left.Len() > t.maxBucket() {
+				t.splitBucket(lrep, left)
+			}
+			return
+		}
+	}
+	// No left neighbour: absorb the right neighbour into this bucket.
+	if rrep, ok := t.sepAfter(rep); ok {
+		rv, _ := t.reps.Value(rrep)
+		right := rv.(*treap.Tree)
+		t.Merges++
+		bucket.Merge(right)
+		t.reps.Delete(rrep)
+		if bucket.Len() > t.maxBucket() {
+			t.splitBucket(rep, bucket)
+		}
+	}
+	// Only bucket left: nothing to merge with; small is fine.
+}
+
+// Contains reports whether key is present.
+func (t *Trie) Contains(key uint64) bool {
+	_, bucket, ok := t.bucketFor(key)
+	return ok && bucket.Contains(key)
+}
+
+// Value returns the value stored under key.
+func (t *Trie) Value(key uint64) (any, bool) {
+	_, bucket, ok := t.bucketFor(key)
+	if !ok {
+		return nil, false
+	}
+	return bucket.Value(key)
+}
+
+// Predecessor returns the largest key <= x.
+func (t *Trie) Predecessor(x uint64) (uint64, bool) {
+	rep, bucket, ok := t.bucketFor(x)
+	if !ok {
+		return 0, false
+	}
+	if k, ok := bucket.Predecessor(x); ok {
+		return k, true
+	}
+	// Every key of this bucket exceeds x; the answer is the left
+	// neighbour's max (left buckets are never empty).
+	if rep == 0 {
+		return 0, false
+	}
+	lrep, ok := t.reps.Predecessor(rep - 1)
+	if !ok {
+		return 0, false
+	}
+	lv, _ := t.reps.Value(lrep)
+	return lv.(*treap.Tree).Max()
+}
+
+// Successor returns the smallest key >= x.
+func (t *Trie) Successor(x uint64) (uint64, bool) {
+	rep, bucket, ok := t.bucketFor(x)
+	if !ok {
+		// x precedes every separator; check the first bucket.
+		if frep, ok := t.reps.Min(); ok {
+			fv, _ := t.reps.Value(frep)
+			return fv.(*treap.Tree).Successor(x)
+		}
+		return 0, false
+	}
+	if k, ok := bucket.Successor(x); ok {
+		return k, true
+	}
+	if rrep, ok := t.sepAfter(rep); ok {
+		rv, _ := t.reps.Value(rrep)
+		return rv.(*treap.Tree).Min()
+	}
+	return 0, false
+}
+
+// sepAfter returns the separator strictly after rep, guarding overflow.
+func (t *Trie) sepAfter(rep uint64) (uint64, bool) {
+	if rep == ^uint64(0) {
+		return 0, false
+	}
+	return t.reps.Successor(rep + 1)
+}
+
+// Min returns the smallest key.
+func (t *Trie) Min() (uint64, bool) { return t.Successor(0) }
+
+// Max returns the largest key.
+func (t *Trie) Max() (uint64, bool) {
+	if t.width == 64 {
+		return t.Predecessor(^uint64(0))
+	}
+	return t.Predecessor(1<<t.width - 1)
+}
+
+// SeparatorCount returns the number of buckets (for space accounting).
+func (t *Trie) SeparatorCount() int { return t.reps.Len() }
+
+// Validate checks the bucket partition invariants: every key lies in the
+// bucket whose separator range covers it, non-lone buckets respect the
+// size bounds loosely, and the total size is consistent.
+func (t *Trie) Validate() error {
+	total := 0
+	var badErr error
+	prevSep := uint64(0)
+	first := true
+	t.reps.Ascend(func(sep uint64, v any) bool {
+		bucket := v.(*treap.Tree)
+		if !bucket.CheckInvariants() {
+			badErr = fmt.Errorf("yfast: bucket %d treap invariants broken", sep)
+			return false
+		}
+		if !first && sep <= prevSep {
+			badErr = fmt.Errorf("yfast: separators out of order")
+			return false
+		}
+		bucket.Ascend(func(key uint64, _ any) bool {
+			if key < sep {
+				badErr = fmt.Errorf("yfast: key %d below its separator %d", key, sep)
+				return false
+			}
+			return true
+		})
+		if badErr != nil {
+			return false
+		}
+		total += bucket.Len()
+		prevSep, first = sep, false
+		return true
+	})
+	if badErr != nil {
+		return badErr
+	}
+	if total != t.size {
+		return fmt.Errorf("yfast: bucket sizes sum to %d, recorded %d", total, t.size)
+	}
+	return nil
+}
+
+// Locked wraps a y-fast trie in a mutex: the "lock-based y-fast trie"
+// comparison point for concurrent benchmarks.
+type Locked struct {
+	mu sync.Mutex
+	t  *Trie
+}
+
+// NewLocked returns an empty mutex-protected y-fast trie.
+func NewLocked(w uint8) *Locked { return &Locked{t: New(w)} }
+
+// Insert adds key under the lock.
+func (l *Locked) Insert(key uint64, val any) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Insert(key, val)
+}
+
+// Delete removes key under the lock.
+func (l *Locked) Delete(key uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Delete(key)
+}
+
+// Contains reports membership under the lock.
+func (l *Locked) Contains(key uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Contains(key)
+}
+
+// Predecessor queries under the lock.
+func (l *Locked) Predecessor(x uint64) (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Predecessor(x)
+}
+
+// Successor queries under the lock.
+func (l *Locked) Successor(x uint64) (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Successor(x)
+}
+
+// Len returns the key count under the lock.
+func (l *Locked) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Len()
+}

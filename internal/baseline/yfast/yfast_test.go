@@ -1,0 +1,190 @@
+package yfast
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBasics(t *testing.T) {
+	y := New(16)
+	if !y.Insert(100, "v") || y.Insert(100, nil) {
+		t.Fatal("insert semantics")
+	}
+	if !y.Contains(100) || y.Contains(99) {
+		t.Fatal("contains semantics")
+	}
+	if v, ok := y.Value(100); !ok || v != "v" {
+		t.Fatalf("Value = %v, %v", v, ok)
+	}
+	if !y.Delete(100) || y.Delete(100) {
+		t.Fatal("delete semantics")
+	}
+	if y.Len() != 0 {
+		t.Fatalf("Len = %d", y.Len())
+	}
+	if err := y.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketSplitting(t *testing.T) {
+	y := New(16) // maxBucket = 32
+	for k := uint64(0); k < 1000; k++ {
+		y.Insert(k, nil)
+	}
+	if y.Splits == 0 {
+		t.Fatal("1000 sequential inserts triggered no splits")
+	}
+	if y.SeparatorCount() < 1000/64 {
+		t.Fatalf("only %d buckets for 1000 keys", y.SeparatorCount())
+	}
+	if err := y.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Rebalancing must amortize: splits are at most inserts / (log u).
+	if y.Splits > 1000/8 {
+		t.Fatalf("%d splits for 1000 inserts — not amortized", y.Splits)
+	}
+}
+
+func TestBucketMerging(t *testing.T) {
+	y := New(16)
+	for k := uint64(0); k < 1000; k++ {
+		y.Insert(k, nil)
+	}
+	for k := uint64(0); k < 1000; k++ {
+		if !y.Delete(k) {
+			t.Fatalf("delete %d failed", k)
+		}
+	}
+	if y.Merges == 0 {
+		t.Fatal("full drain triggered no merges")
+	}
+	if y.Len() != 0 {
+		t.Fatalf("Len = %d after drain", y.Len())
+	}
+	if y.SeparatorCount() != 0 {
+		t.Fatalf("%d separators after drain", y.SeparatorCount())
+	}
+}
+
+func TestPredecessorExhaustive(t *testing.T) {
+	y := New(8)
+	model := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(17))
+	for wave := 0; wave < 10; wave++ {
+		for i := 0; i < 50; i++ {
+			k := uint64(rng.Intn(256))
+			if rng.Intn(3) < 2 {
+				y.Insert(k, nil)
+				model[k] = true
+			} else {
+				y.Delete(k)
+				delete(model, k)
+			}
+		}
+		if err := y.Validate(); err != nil {
+			t.Fatalf("wave %d: %v", wave, err)
+		}
+		for q := uint64(0); q < 256; q++ {
+			var want uint64
+			have := false
+			for k := range model {
+				if k <= q && (!have || k > want) {
+					want, have = k, true
+				}
+			}
+			got, ok := y.Predecessor(q)
+			if ok != have || (ok && got != want) {
+				t.Fatalf("wave %d: Predecessor(%d) = %d,%v want %d,%v", wave, q, got, ok, want, have)
+			}
+			var wantS uint64
+			haveS := false
+			for k := range model {
+				if k >= q && (!haveS || k < wantS) {
+					wantS, haveS = k, true
+				}
+			}
+			gotS, okS := y.Successor(q)
+			if okS != haveS || (okS && gotS != wantS) {
+				t.Fatalf("wave %d: Successor(%d) = %d,%v want %d,%v", wave, q, gotS, okS, wantS, haveS)
+			}
+		}
+	}
+}
+
+func TestLargeRandom(t *testing.T) {
+	y := New(32)
+	model := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 30000; i++ {
+		k := uint64(rng.Intn(1 << 20))
+		switch rng.Intn(3) {
+		case 0:
+			if y.Insert(k, nil) != !model[k] {
+				t.Fatalf("insert %d mismatch", k)
+			}
+			model[k] = true
+		case 1:
+			if y.Delete(k) != model[k] {
+				t.Fatalf("delete %d mismatch", k)
+			}
+			delete(model, k)
+		case 2:
+			if y.Contains(k) != model[k] {
+				t.Fatalf("contains %d mismatch", k)
+			}
+		}
+	}
+	if y.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", y.Len(), len(model))
+	}
+	if err := y.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	y := New(64)
+	for _, k := range []uint64{1 << 40, 17, ^uint64(0)} {
+		y.Insert(k, nil)
+	}
+	if k, ok := y.Min(); !ok || k != 17 {
+		t.Fatalf("Min = %d, %v", k, ok)
+	}
+	if k, ok := y.Max(); !ok || k != ^uint64(0) {
+		t.Fatalf("Max = %x, %v", k, ok)
+	}
+}
+
+func TestLockedWrapper(t *testing.T) {
+	l := NewLocked(20)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g uint64) {
+			defer wg.Done()
+			base := g * 100000
+			for i := uint64(0); i < 500; i++ {
+				l.Insert(base+i, nil)
+			}
+			for i := uint64(0); i < 500; i += 2 {
+				l.Delete(base + i)
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if l.Len() != 4*250 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if k, ok := l.Predecessor(100); !ok || k != 99 {
+		t.Fatalf("Predecessor(100) = %d, %v", k, ok)
+	}
+	if k, ok := l.Successor(100); !ok || k != 101 {
+		t.Fatalf("Successor(100) = %d, %v", k, ok)
+	}
+	if l.Contains(100) {
+		t.Fatal("deleted key still present")
+	}
+}

@@ -1,0 +1,297 @@
+// Package core composes the SkipTrie from its substrates: the truncated
+// lock-free skiplist (internal/skiplist), the concurrent x-fast trie over
+// the skiplist's top level (internal/xfast), and the split-ordered hash
+// table underneath the trie (internal/splitorder).
+//
+// The composition follows Section 4.1 of the paper:
+//
+//	predecessor(x) = skiplistPred(x, xFastTriePred(x))        (Alg 5)
+//	insert(x):  trie-pred, skiplist insert, trie walk if top  (Alg 6)
+//	delete(x):  trie-pred, skiplist delete, trie walk if top  (Alg 7)
+//
+// Every operation takes an optional *stats.Op for step accounting; pass
+// nil to disable.
+package core
+
+import (
+	"skiptrie/internal/skiplist"
+	"skiptrie/internal/stats"
+	"skiptrie/internal/uintbits"
+	"skiptrie/internal/xfast"
+)
+
+// SkipTrie is a lock-free, linearizable predecessor structure over the
+// integer universe [0, 2^Width).
+type SkipTrie struct {
+	width uint8
+	list  *skiplist.List
+	trie  *xfast.Trie
+}
+
+// Config configures a SkipTrie.
+type Config struct {
+	// Width is the universe width W = log u, in [1, 64]. Keys must be
+	// < 2^Width. The default (0) means 64.
+	Width uint8
+	// DisableDCSS replaces every DCSS with a plain CAS, the degraded mode
+	// the paper proves remains linearizable and lock-free (T7 ablation).
+	DisableDCSS bool
+	// Repair selects the top-level prev-pointer discipline (T8 ablation).
+	Repair skiplist.RepairMode
+	// Seed seeds tower-height randomness; 0 selects a fixed default.
+	Seed uint64
+}
+
+// New returns an empty SkipTrie.
+func New(cfg Config) *SkipTrie {
+	w := cfg.Width
+	if w == 0 || w > uintbits.MaxWidth {
+		w = uintbits.MaxWidth
+	}
+	l := skiplist.New(skiplist.Config{
+		Levels:      uintbits.Levels(w),
+		DisableDCSS: cfg.DisableDCSS,
+		Repair:      cfg.Repair,
+		Seed:        cfg.Seed,
+	})
+	return &SkipTrie{
+		width: w,
+		list:  l,
+		trie:  xfast.New(xfast.Config{Width: w, List: l, DisableDCSS: cfg.DisableDCSS}),
+	}
+}
+
+// Width returns the universe width W = log u.
+func (s *SkipTrie) Width() uint8 { return s.width }
+
+// Levels returns the number of skiplist levels (log log u).
+func (s *SkipTrie) Levels() int { return s.list.Levels() }
+
+// Len returns the number of keys (approximate under concurrent mutation).
+func (s *SkipTrie) Len() int { return s.list.Len() }
+
+// inUniverse reports whether key fits the configured universe.
+func (s *SkipTrie) inUniverse(key uint64) bool {
+	return s.width == 64 || key < 1<<s.width
+}
+
+// Insert adds key with an optional associated value, reporting whether the
+// key was absent. Inserting a key outside the universe returns false.
+// This is the paper's Algorithm 6.
+func (s *SkipTrie) Insert(key uint64, val any, c *stats.Op) bool {
+	if !s.inUniverse(key) {
+		return false
+	}
+	start := s.trie.Pred(key, false, c)
+	if start.IsData() && start.Key() == key && !start.Marked() {
+		return false // Alg 6 line 1: already present as a top-level node
+	}
+	res := s.list.Insert(key, val, start, c)
+	if !res.Inserted {
+		return false
+	}
+	if res.Top != nil {
+		// The tower reached the top level: insert the key's prefixes into
+		// the x-fast trie (Alg 6 lines 5-19).
+		c.TouchTrie()
+		s.trie.InsertWalk(res.Top, c)
+	}
+	return true
+}
+
+// Delete removes key, reporting whether this call removed it. This is the
+// paper's Algorithm 7.
+func (s *SkipTrie) Delete(key uint64, c *stats.Op) bool {
+	if !s.inUniverse(key) {
+		return false
+	}
+	// Alg 7 line 1 uses predecessor(key-1): a strictly smaller top-level
+	// anchor, so the descent does not start on the node being deleted.
+	start := s.trie.Pred(key, true, c)
+	res := s.list.Delete(key, start, c)
+	if !res.Deleted {
+		return false
+	}
+	if res.Top != nil {
+		// The tower had reached the top level: disconnect the key's
+		// prefixes from the trie (Alg 7 lines 5-22).
+		c.TouchTrie()
+		s.trie.DeleteWalk(key, res.Top, start, c)
+	}
+	return true
+}
+
+// Contains reports whether key is present.
+func (s *SkipTrie) Contains(key uint64, c *stats.Op) bool {
+	if !s.inUniverse(key) {
+		return false
+	}
+	start := s.trie.Pred(key, false, c)
+	if start.IsData() && start.Key() == key && !start.Marked() {
+		return true
+	}
+	br := s.list.PredecessorBracket(key, start, c)
+	return br.Right.IsData() && br.Right.Key() == key
+}
+
+// Find returns the value associated with key.
+func (s *SkipTrie) Find(key uint64, c *stats.Op) (any, bool) {
+	n, ok := s.FindNode(key, c)
+	if !ok {
+		return nil, false
+	}
+	return n.Value(), true
+}
+
+// FindNode returns the level-0 node holding key, if present.
+func (s *SkipTrie) FindNode(key uint64, c *stats.Op) (*skiplist.Node, bool) {
+	if !s.inUniverse(key) {
+		return nil, false
+	}
+	start := s.trie.Pred(key, false, c)
+	return s.list.Find(key, start, c)
+}
+
+// Predecessor returns the largest key <= x and its value. This is the
+// paper's Algorithm 5.
+func (s *SkipTrie) Predecessor(x uint64, c *stats.Op) (uint64, any, bool) {
+	if !s.inUniverse(x) {
+		x = 1<<s.width - 1 // clamp: everything in-universe is <= x
+	}
+	start := s.trie.Pred(x, false, c)
+	br := s.list.PredecessorBracket(x, start, c)
+	if br.Right.IsData() && br.Right.Key() == x {
+		return x, br.Right.Value(), true
+	}
+	if br.Left.IsData() {
+		return br.Left.Key(), br.Left.Value(), true
+	}
+	return 0, nil, false
+}
+
+// StrictPredecessor returns the largest key < x and its value.
+func (s *SkipTrie) StrictPredecessor(x uint64, c *stats.Op) (uint64, any, bool) {
+	if !s.inUniverse(x) {
+		return s.Max(c)
+	}
+	start := s.trie.Pred(x, true, c)
+	br := s.list.PredecessorBracket(x, start, c)
+	if br.Left.IsData() {
+		return br.Left.Key(), br.Left.Value(), true
+	}
+	return 0, nil, false
+}
+
+// Successor returns the smallest key >= x and its value.
+func (s *SkipTrie) Successor(x uint64, c *stats.Op) (uint64, any, bool) {
+	if !s.inUniverse(x) {
+		return 0, nil, false
+	}
+	start := s.trie.Pred(x, true, c)
+	br := s.list.PredecessorBracket(x, start, c)
+	if br.Right.IsData() {
+		return br.Right.Key(), br.Right.Value(), true
+	}
+	return 0, nil, false
+}
+
+// StrictSuccessor returns the smallest key > x and its value.
+func (s *SkipTrie) StrictSuccessor(x uint64, c *stats.Op) (uint64, any, bool) {
+	if x == ^uint64(0) {
+		return 0, nil, false
+	}
+	return s.Successor(x+1, c)
+}
+
+// Min returns the smallest key and its value.
+func (s *SkipTrie) Min(c *stats.Op) (uint64, any, bool) {
+	return s.Successor(0, c)
+}
+
+// MaxKey returns the largest key of the universe, 2^Width - 1.
+func (s *SkipTrie) MaxKey() uint64 { return ^uint64(0) >> (64 - s.width) }
+
+// Max returns the largest key and its value.
+func (s *SkipTrie) Max(c *stats.Op) (uint64, any, bool) {
+	start := s.trie.Pred(s.MaxKey(), false, c)
+	br := s.list.LastBracket(start, c)
+	if br.Left.IsData() {
+		return br.Left.Key(), br.Left.Value(), true
+	}
+	return 0, nil, false
+}
+
+// Range calls fn for keys >= from in ascending order until fn returns
+// false. The iteration is weakly consistent: it reflects some interleaving
+// of concurrent updates.
+func (s *SkipTrie) Range(from uint64, fn func(key uint64, val any) bool, c *stats.Op) {
+	if !s.inUniverse(from) {
+		return
+	}
+	start := s.trie.Pred(from, true, c)
+	br := s.list.PredecessorBracket(from, start, c)
+	n := br.Right
+	for n.IsData() {
+		sc, _ := n.LoadSucc()
+		if !sc.Marked {
+			if !fn(n.Key(), n.Value()) {
+				return
+			}
+		}
+		n = sc.Next
+	}
+}
+
+// Descend calls fn for keys <= from in descending order until fn returns
+// false. Each step is a strict-predecessor query (O(log log u)), since the
+// level-0 list is singly linked; the iteration is weakly consistent.
+func (s *SkipTrie) Descend(from uint64, fn func(key uint64, val any) bool, c *stats.Op) {
+	k, v, ok := s.Predecessor(from, c)
+	for ok {
+		if !fn(k, v) {
+			return
+		}
+		if k == 0 {
+			return
+		}
+		k, v, ok = s.StrictPredecessor(k, c)
+	}
+}
+
+// SpaceStats describes the structure's memory footprint in node counts,
+// for the T6 experiment.
+type SpaceStats struct {
+	Keys        int // level-0 skiplist nodes (keys)
+	TowerNodes  int // skiplist nodes across all levels
+	TriePrefix  int // trie nodes (hash table entries)
+	HashBuckets int // split-ordered hash table buckets
+}
+
+// Space returns current space statistics (approximate under concurrency).
+func (s *SkipTrie) Space() SpaceStats {
+	return SpaceStats{
+		Keys:        s.list.Len(),
+		TowerNodes:  s.list.NodeCount(),
+		TriePrefix:  s.trie.PrefixCount(),
+		HashBuckets: s.trie.Buckets(),
+	}
+}
+
+// TopGaps returns the distribution of level-0 key counts between
+// consecutive top-level (trie-indexed) keys, for the F1 experiment. Call
+// at quiescence.
+func (s *SkipTrie) TopGaps() []int { return s.list.TopGaps() }
+
+// LevelCounts returns the number of keys present on each skiplist level
+// (index 0 = all keys). Call at quiescence.
+func (s *SkipTrie) LevelCounts() []int { return s.list.LevelCounts() }
+
+// Validate sweeps the quiescent structure and checks every invariant of
+// the skiplist, the doubly-linked top level, and the trie. Only call while
+// no operations are in flight.
+func (s *SkipTrie) Validate() error {
+	if err := s.list.Validate(); err != nil {
+		return err
+	}
+	return s.trie.Validate()
+}

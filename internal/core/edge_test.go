@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"skiptrie/internal/uintbits"
+)
+
+func TestWidthAndLevels(t *testing.T) {
+	for _, w := range []uint8{1, 8, 16, 32, 64} {
+		s := New(Config{Width: w})
+		if s.Width() != w {
+			t.Fatalf("Width = %d, want %d", s.Width(), w)
+		}
+		if s.Levels() != uintbits.Levels(w) {
+			t.Fatalf("Levels = %d, want %d", s.Levels(), uintbits.Levels(w))
+		}
+	}
+	// Width 0 defaults to 64.
+	if s := New(Config{}); s.Width() != 64 {
+		t.Fatalf("default Width = %d", s.Width())
+	}
+}
+
+func TestDescendCore(t *testing.T) {
+	s := New(Config{Width: 16, Seed: 2})
+	for k := uint64(1); k <= 5; k++ {
+		s.Insert(k*100, int(k), nil)
+	}
+	var keys []uint64
+	var vals []any
+	s.Descend(450, func(k uint64, v any) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return true
+	}, nil)
+	if len(keys) != 4 || keys[0] != 400 || keys[3] != 100 {
+		t.Fatalf("Descend keys = %v", keys)
+	}
+	if vals[0] != 4 || vals[3] != 1 {
+		t.Fatalf("Descend vals = %v", vals)
+	}
+}
+
+func TestValidateDetectsNothingOnHealthy(t *testing.T) {
+	s := New(Config{Width: 16, Seed: 3})
+	for k := uint64(0); k < 1000; k++ {
+		s.Insert(k, nil, nil)
+	}
+	for k := uint64(0); k < 1000; k += 2 {
+		s.Delete(k, nil)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("healthy structure failed validation: %v", err)
+	}
+}
+
+func TestStrictPredecessorAboveUniverse(t *testing.T) {
+	s := New(Config{Width: 8, Seed: 4})
+	s.Insert(200, nil, nil)
+	// StrictPredecessor of an out-of-universe x is just Max.
+	if k, _, ok := s.StrictPredecessor(1<<20, nil); !ok || k != 200 {
+		t.Fatalf("StrictPredecessor(big) = %d, %v", k, ok)
+	}
+	// Successor of an out-of-universe x does not exist.
+	if _, _, ok := s.Successor(1<<20, nil); ok {
+		t.Fatal("Successor(big) exists")
+	}
+	// Range from out-of-universe start visits nothing.
+	n := 0
+	s.Range(1<<20, func(uint64, any) bool { n++; return true }, nil)
+	if n != 0 {
+		t.Fatalf("Range(big) visited %d", n)
+	}
+}
+
+func TestFindAndValues(t *testing.T) {
+	s := New(Config{Width: 16, Seed: 5})
+	s.Insert(77, "hello", nil)
+	v, ok := s.Find(77, nil)
+	if !ok || v != "hello" {
+		t.Fatalf("Find = %v, %v", v, ok)
+	}
+	if _, ok := s.Find(78, nil); ok {
+		t.Fatal("Find(78) succeeded")
+	}
+	n, ok := s.FindNode(77, nil)
+	if !ok || n.Key() != 77 {
+		t.Fatalf("FindNode = %v, %v", n, ok)
+	}
+	n.SetValue("bye")
+	if v, _ := s.Find(77, nil); v != "bye" {
+		t.Fatalf("value after SetValue = %v", v)
+	}
+	if _, ok := s.FindNode(1<<40, nil); ok {
+		t.Fatal("FindNode out of universe succeeded")
+	}
+}

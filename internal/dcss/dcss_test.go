@@ -1,0 +1,305 @@
+package dcss
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestZeroValueLoad(t *testing.T) {
+	var a Atom[int]
+	v, w := a.Load()
+	if v != 0 {
+		t.Fatalf("zero Atom value = %d", v)
+	}
+	if _, ok := a.CompareAndSwap(w, 42); !ok {
+		t.Fatal("CAS from zero witness failed")
+	}
+	if got := a.Value(); got != 42 {
+		t.Fatalf("value = %d, want 42", got)
+	}
+}
+
+func TestStoreLoad(t *testing.T) {
+	var a Atom[string]
+	a.Store("hello")
+	if got := a.Value(); got != "hello" {
+		t.Fatalf("value = %q", got)
+	}
+}
+
+func TestCASSuccessAndFailure(t *testing.T) {
+	var a Atom[int]
+	a.Store(1)
+	_, w := a.Load()
+	w2, ok := a.CompareAndSwap(w, 2)
+	if !ok {
+		t.Fatal("first CAS failed")
+	}
+	// Stale witness must fail.
+	if _, ok := a.CompareAndSwap(w, 3); ok {
+		t.Fatal("CAS with stale witness succeeded")
+	}
+	if got := a.Value(); got != 2 {
+		t.Fatalf("value = %d, want 2", got)
+	}
+	// Returned witness chains.
+	if _, ok := a.CompareAndSwap(w2, 3); !ok {
+		t.Fatal("CAS with returned witness failed")
+	}
+	if got := a.Value(); got != 3 {
+		t.Fatalf("value = %d, want 3", got)
+	}
+}
+
+func TestCASNoValueABA(t *testing.T) {
+	// Value equality is NOT enough: a witness from before an intervening
+	// write must fail even when the value was restored.
+	var a Atom[int]
+	a.Store(7)
+	_, w := a.Load()
+	_, w2, _ := loadCAS(&a, w, 8)
+	if _, ok := a.CompareAndSwap(w2, 7); !ok {
+		t.Fatal("restore CAS failed")
+	}
+	if _, ok := a.CompareAndSwap(w, 9); ok {
+		t.Fatal("ABA: CAS with pre-cycle witness succeeded")
+	}
+}
+
+func loadCAS[T any](a *Atom[T], w Witness[T], v T) (T, Witness[T], bool) {
+	w2, ok := a.CompareAndSwap(w, v)
+	return v, w2, ok
+}
+
+func TestDCSSGuardTrue(t *testing.T) {
+	var x, y Atom[int]
+	x.Store(1)
+	y.Store(10)
+	_, wx := x.Load()
+	_, wy := y.Load()
+	if _, ok := x.DCSS(wx, 2, func() bool { return y.Holds(wy) }); !ok {
+		t.Fatal("DCSS with valid guard failed")
+	}
+	if got := x.Value(); got != 2 {
+		t.Fatalf("x = %d, want 2", got)
+	}
+}
+
+func TestDCSSGuardFalse(t *testing.T) {
+	var x, y Atom[int]
+	x.Store(1)
+	y.Store(10)
+	_, wx := x.Load()
+	_, wy := y.Load()
+	// Invalidate the guard before the DCSS.
+	if _, ok := y.CompareAndSwap(wy, 11); !ok {
+		t.Fatal("setup CAS failed")
+	}
+	if _, ok := x.DCSS(wx, 2, func() bool { return y.Holds(wy) }); ok {
+		t.Fatal("DCSS with invalid guard succeeded")
+	}
+	if got := x.Value(); got != 1 {
+		t.Fatalf("x = %d after failed DCSS, want 1", got)
+	}
+	// The atom is fully restored: the original witness still works.
+	if _, ok := x.CompareAndSwap(wx, 3); !ok {
+		t.Fatal("CAS after failed DCSS did not restore the old cell")
+	}
+}
+
+func TestDCSSStaleWitness(t *testing.T) {
+	var x Atom[int]
+	x.Store(1)
+	_, wx := x.Load()
+	if _, ok := x.CompareAndSwap(wx, 2); !ok {
+		t.Fatal("setup CAS failed")
+	}
+	if _, ok := x.DCSS(wx, 3, func() bool { return true }); ok {
+		t.Fatal("DCSS with stale witness succeeded")
+	}
+}
+
+func TestHoldsResolvesDescriptor(t *testing.T) {
+	// A failing descriptor left mid-flight must be resolved by Holds/Load so
+	// the pre-DCSS witness remains current.
+	var x Atom[int]
+	x.Store(5)
+	_, wx := x.Load()
+	var guardRuns atomic.Int32
+	var once sync.Once
+	guardRan := make(chan struct{})
+	unblock := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		x.DCSS(wx, 6, func() bool {
+			guardRuns.Add(1)
+			once.Do(func() { close(guardRan) })
+			<-unblock
+			return false
+		})
+	}()
+	<-guardRan
+	// Descriptor is installed and its owner's guard is blocked. A concurrent
+	// Load must help: it evaluates the guard itself (guards are safe to run
+	// by multiple helpers), resolves the descriptor to "failed", and then
+	// observes the restored value.
+	close(unblock)
+	v, _ := x.Load()
+	if v != 5 {
+		t.Fatalf("x = %d, want restored 5", v)
+	}
+	<-done
+	if got := x.Value(); got != 5 {
+		t.Fatalf("x = %d after failed DCSS, want 5", got)
+	}
+	if guardRuns.Load() < 1 {
+		t.Fatal("guard never ran")
+	}
+}
+
+func TestDCSSAtomicityStress(t *testing.T) {
+	// Invariant: x may only be incremented while flag y holds "open". One
+	// goroutine flips y open/closed; others DCSS-increment x guarded on y
+	// being open, recording the y-witness generation they used. Afterwards,
+	// the number of successful increments must equal x's final value
+	// (no lost updates) — and no increment may have fired with a closed
+	// witness.
+	var x Atom[int]
+	var y Atom[bool]
+	x.Store(0)
+	y.Store(true)
+
+	const (
+		workers = 8
+		rounds  = 2000
+	)
+	var succ atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Flipper.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		open := true
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, w := y.Load()
+			open = !open
+			y.CompareAndSwap(w, open)
+		}
+	}()
+
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for {
+					yv, wy := y.Load()
+					if !yv {
+						continue // wait for open
+					}
+					xv, wx := x.Load()
+					if _, ok := x.DCSS(wx, xv+1, func() bool { return y.Holds(wy) }); ok {
+						succ.Add(1)
+						break
+					}
+				}
+			}
+		}()
+	}
+
+	// Wait for workers, then stop the flipper.
+	doneWorkers := make(chan struct{})
+	go func() {
+		// The flipper is wg member too, so track workers separately.
+		close(doneWorkers)
+	}()
+	<-doneWorkers
+	// Busy-join the workers by polling the success count.
+	for int(succ.Load()) < workers*rounds {
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := x.Value(); got != workers*rounds {
+		t.Fatalf("x = %d, want %d (lost or phantom updates)", got, workers*rounds)
+	}
+}
+
+func TestConcurrentCASCounter(t *testing.T) {
+	var a Atom[int]
+	const (
+		workers = 8
+		perG    = 5000
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < perG; n++ {
+				for {
+					v, w := a.Load()
+					if _, ok := a.CompareAndSwap(w, v+1); ok {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Value(); got != workers*perG {
+		t.Fatalf("counter = %d, want %d", got, workers*perG)
+	}
+}
+
+func TestDCSSNeverLeavesDescriptorVisible(t *testing.T) {
+	// After a DCSS returns, a plain Load must observe a plain value
+	// (descriptors are transient).
+	var x, y Atom[int]
+	x.Store(0)
+	y.Store(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 3000; n++ {
+				xv, wx := x.Load()
+				_, wy := y.Load()
+				x.DCSS(wx, xv+1, func() bool { return y.Holds(wy) })
+				yv, wyy := y.Load()
+				y.CompareAndSwap(wyy, yv+1)
+			}
+		}()
+	}
+	wg.Wait()
+	// Termination of all Loads above is itself the assertion (a stuck
+	// descriptor would spin forever); sanity-check a final read.
+	_ = x.Value()
+	_ = y.Value()
+}
+
+func TestWitnessFromDCSSChains(t *testing.T) {
+	var x Atom[int]
+	x.Store(1)
+	_, w := x.Load()
+	w2, ok := x.DCSS(w, 2, func() bool { return true })
+	if !ok {
+		t.Fatal("DCSS failed")
+	}
+	if _, ok := x.CompareAndSwap(w2, 3); !ok {
+		t.Fatal("CAS with DCSS-returned witness failed")
+	}
+	if got := x.Value(); got != 3 {
+		t.Fatalf("x = %d, want 3", got)
+	}
+}

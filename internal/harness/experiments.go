@@ -1,0 +1,366 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"skiptrie/internal/baseline/cskiplist"
+	"skiptrie/internal/baseline/lockedset"
+	"skiptrie/internal/baseline/yfast"
+	"skiptrie/internal/core"
+	"skiptrie/internal/skiplist"
+	"skiptrie/internal/stats"
+	"skiptrie/internal/uintbits"
+	"skiptrie/internal/workload"
+)
+
+// Scale controls experiment sizes so the same code serves quick `go test
+// -bench` runs and the larger cmd/skipbench sweeps.
+type Scale struct {
+	M        int           // resident keys
+	Queries  int           // sequential measured queries
+	Duration time.Duration // per concurrent cell
+	Threads  []int         // thread counts for scaling experiments
+}
+
+// DefaultScale is sized for seconds-per-experiment runs.
+func DefaultScale() Scale {
+	return Scale{
+		M:        1 << 14,
+		Queries:  20000,
+		Duration: 150 * time.Millisecond,
+		Threads:  []int{1, 2, 4, 8},
+	}
+}
+
+// T1PredecessorVsUniverse: predecessor step cost grows like log log u for
+// the SkipTrie and stays ~log m for the classic skiplist, independent of u.
+func T1PredecessorVsUniverse(sc Scale) Result {
+	res := Result{
+		Name:   "T1 predecessor cost vs universe width",
+		Claim:  "SkipTrie predecessor is O(log log u); skiplist is O(log m) independent of u",
+		Header: []string{"W=log u", "levels", "st steps/op", "st probes/op", "sl steps/op", "sl/st"},
+	}
+	for _, w := range []uint8{8, 16, 24, 32, 48, 64} {
+		st := SkipTrieSet{T: core.New(core.Config{Width: w, Seed: 11})}
+		sl := CSkipListSet{L: cskiplist.New(11)}
+		m := sc.M
+		if w < 16 {
+			m = min(m, 1<<(w-2)) // keep small universes sparse
+		}
+		Prefill(st, m, w)
+		Prefill(sl, m, w)
+		gen := workload.Uniform{W: w}
+		stSteps := MeasureSteps(st, gen, workload.Mix{}, sc.Queries, 101)
+		slSteps := MeasureSteps(sl, gen, workload.Mix{}, sc.Queries, 101)
+		q := float64(sc.Queries)
+		res.AddRow(
+			I(int(w)),
+			I(uintbits.Levels(w)),
+			F(float64(stSteps.Steps())/q),
+			F(float64(stSteps.HashProbes)/q),
+			F(float64(slSteps.Steps())/q),
+			F2(float64(slSteps.Steps())/float64(stSteps.Steps())),
+		)
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf("m = %d resident keys, uniform queries", sc.M))
+	return res
+}
+
+// T2PredecessorVsM: the intro's worked example — SkipTrie cost flat in m,
+// skiplist cost grows with log m; crossover at small m.
+func T2PredecessorVsM(sc Scale) Result {
+	res := Result{
+		Name:   "T2 predecessor cost vs number of keys (W=32)",
+		Claim:  "SkipTrie cost flat in m; skiplist grows as log m (paper: m=2^20,u=2^32: log m=20 vs log log u=5)",
+		Header: []string{"m", "log m", "st steps/op", "sl steps/op", "sl/st", "st ns/op", "sl ns/op"},
+	}
+	const w = 32
+	for _, logM := range []int{10, 12, 14, 16, 18, 20} {
+		m := 1 << logM
+		if m > sc.M*64 {
+			break
+		}
+		st := SkipTrieSet{T: core.New(core.Config{Width: w, Seed: 7})}
+		sl := CSkipListSet{L: cskiplist.New(7)}
+		Prefill(st, m, w)
+		Prefill(sl, m, w)
+		gen := workload.Uniform{W: w}
+		q := sc.Queries
+		t0 := time.Now()
+		stSteps := MeasureSteps(st, gen, workload.Mix{}, q, 303)
+		stNs := float64(time.Since(t0).Nanoseconds()) / float64(q)
+		t0 = time.Now()
+		slSteps := MeasureSteps(sl, gen, workload.Mix{}, q, 303)
+		slNs := float64(time.Since(t0).Nanoseconds()) / float64(q)
+		res.AddRow(
+			I(m), I(logM),
+			F(float64(stSteps.Steps())/float64(q)),
+			F(float64(slSteps.Steps())/float64(q)),
+			F2(float64(slSteps.Steps())/float64(stSteps.Steps())),
+			F(stNs), F(slNs),
+		)
+	}
+	return res
+}
+
+// T3AmortizedUpdates: updates amortize trie maintenance — only ~1/log u of
+// them touch the x-fast trie, so the mean update cost stays O(log log u).
+func T3AmortizedUpdates(sc Scale) Result {
+	res := Result{
+		Name:   "T3 amortized update cost",
+		Claim:  "only ~1/log u of updates touch the trie; amortized update cost O(log log u)",
+		Header: []string{"W", "ins steps/op", "del steps/op", "touch rate", "1/log u", "trie lvls/touch"},
+	}
+	for _, w := range []uint8{16, 32, 64} {
+		st := core.New(core.Config{Width: w, Seed: 5})
+		set := SkipTrieSet{T: st}
+		Prefill(set, sc.M, w)
+		rng := rand.New(rand.NewSource(404))
+		gen := workload.Uniform{W: w}
+		var insSteps, insLvls, delSteps, delLvls uint64
+		insTouches, delTouches := 0, 0
+		var inserted []uint64
+		insOps := sc.Queries / 2
+		for i := 0; i < insOps; i++ {
+			k := gen.Next(rng)
+			var c stats.Op
+			if set.Insert(k, &c) {
+				inserted = append(inserted, k)
+			}
+			insSteps += c.Steps()
+			insLvls += c.TrieLevels
+			if c.TrieTouch {
+				insTouches++
+			}
+		}
+		for _, k := range inserted {
+			var c stats.Op
+			set.Delete(k, &c)
+			delSteps += c.Steps()
+			delLvls += c.TrieLevels
+			if c.TrieTouch {
+				delTouches++
+			}
+		}
+		touchRate := float64(insTouches) / float64(insOps)
+		lvlsPerTouch := 0.0
+		if t := insTouches + delTouches; t > 0 {
+			lvlsPerTouch = float64(insLvls+delLvls) / float64(t)
+		}
+		res.AddRow(
+			I(int(w)),
+			F(float64(insSteps)/float64(insOps)),
+			F(float64(delSteps)/float64(max(len(inserted), 1))),
+			F2(touchRate),
+			F2(1/float64(w)),
+			F(lvlsPerTouch),
+		)
+	}
+	res.Notes = append(res.Notes,
+		"touch rate = fraction of inserts whose tower reached the top level (paper: 2^-(levels-1) = 1/log u)")
+	return res
+}
+
+// T4Throughput: concurrent throughput scaling against the baselines.
+func T4Throughput(sc Scale) Result {
+	res := Result{
+		Name:   "T4 throughput vs goroutines (W=32)",
+		Claim:  "lock-free scaling: SkipTrie sustains throughput under concurrency; coarse locks serialize",
+		Header: []string{"mix", "threads", "skiptrie kop/s", "skiplist kop/s", "yfast+lock kop/s", "treap+lock kop/s"},
+	}
+	const w = 32
+	mixes := []workload.Mix{
+		{InsertPct: 5, DeletePct: 5},
+		{InsertPct: 25, DeletePct: 25},
+	}
+	for _, mix := range mixes {
+		for _, threads := range sc.Threads {
+			row := []string{mix.String(), I(threads)}
+			for _, build := range []func() Set{
+				func() Set { return SkipTrieSet{T: core.New(core.Config{Width: w, Seed: 3})} },
+				func() Set { return CSkipListSet{L: cskiplist.New(3)} },
+				func() Set { return LockedYFastSet{Y: yfast.NewLocked(w)} },
+				func() Set { return LockedTreapSet{S: lockedset.New(3)} },
+			} {
+				s := build()
+				Prefill(s, sc.M, w)
+				r := RunConcurrent(s, workload.Uniform{W: w}, mix, threads, sc.Duration, 900+int64(threads))
+				row = append(row, F(r.OpsPerMs))
+			}
+			res.AddRow(row...)
+		}
+	}
+	return res
+}
+
+// T5Contention: steps per operation under a hot key window as the thread
+// count grows — the "+c" term of Theorem 4.3 (additive, not
+// multiplicative).
+func T5Contention(sc Scale) Result {
+	res := Result{
+		Name:   "T5 contention: steps/op on a hot window (W=32)",
+		Claim:  "contention adds +c to query cost rather than multiplying it",
+		Header: []string{"threads", "pred steps/op", "update steps/op", "kop/s"},
+	}
+	const w = 32
+	for _, threads := range sc.Threads {
+		st := SkipTrieSet{T: core.New(core.Config{Width: w, Seed: 21})}
+		Prefill(st, sc.M, w)
+		gen := workload.Clustered{W: w, Base: 1 << 20, Span: 1024}
+		r := RunConcurrent(st, gen, workload.Mix{InsertPct: 25, DeletePct: 25}, threads, sc.Duration, 31+int64(threads))
+		// Attribute steps: reads vs writes are mixed; report overall plus
+		// CAS+DCSS (write-side) separately.
+		opsF := float64(max(r.Ops, 1))
+		res.AddRow(
+			I(threads),
+			F(float64(r.Steps.Hops+r.Steps.HashProbes)/opsF),
+			F(float64(r.Steps.CAS+r.Steps.DCSS)/opsF),
+			F(r.OpsPerMs),
+		)
+	}
+	res.Notes = append(res.Notes, "hot window of 1024 keys; 50/25/25 mix")
+	return res
+}
+
+// T6Space: O(m) space — tower nodes ~2m, trie prefixes ~m, both flat in m.
+func T6Space(sc Scale) Result {
+	res := Result{
+		Name:   "T6 space per key",
+		Claim:  "O(m) space: ~2 tower nodes/key and O(1) trie prefixes/key, for any universe",
+		Header: []string{"W", "m", "tower nodes/key", "trie prefixes/key", "top-level rate", "1/log u"},
+	}
+	for _, w := range []uint8{16, 32, 64} {
+		for _, m := range []int{sc.M / 4, sc.M} {
+			st := core.New(core.Config{Width: w, Seed: 17})
+			Prefill(SkipTrieSet{T: st}, m, w)
+			sp := st.Space()
+			gaps := st.TopGaps()
+			tops := len(gaps) - 1
+			if tops < 1 {
+				tops = 1
+			}
+			res.AddRow(
+				I(int(w)), I(m),
+				F2(float64(sp.TowerNodes)/float64(m)),
+				F2(float64(sp.TriePrefix)/float64(m)),
+				F2(float64(tops)/float64(m)),
+				F2(1/float64(w)),
+			)
+		}
+	}
+	return res
+}
+
+// F1TopGaps: Figure 1's structural claim — trie-indexed keys are spaced
+// geometrically with mean ~log u.
+func F1TopGaps(sc Scale) Result {
+	res := Result{
+		Name:   "F1 top-level gap distribution",
+		Claim:  "gaps between trie-indexed keys ~ Geometric(1/log u): mean ~= log u (Fig 1)",
+		Header: []string{"W", "m", "gaps", "mean", "p50", "p90", "p99", "max", "predicted mean"},
+	}
+	for _, w := range []uint8{16, 32, 64} {
+		st := core.New(core.Config{Width: w, Seed: 29})
+		Prefill(SkipTrieSet{T: st}, sc.M, w)
+		gaps := st.TopGaps()
+		sort.Ints(gaps)
+		n := len(gaps)
+		if n == 0 {
+			continue
+		}
+		sum := 0
+		for _, g := range gaps {
+			sum += g
+		}
+		pick := func(q float64) int { return gaps[min(int(q*float64(n)), n-1)] }
+		predicted := float64(int(1) << (uintbits.Levels(w) - 1))
+		res.AddRow(
+			I(int(w)), I(sc.M), I(n),
+			F(float64(sum)/float64(n)),
+			I(pick(0.5)), I(pick(0.9)), I(pick(0.99)), I(gaps[n-1]),
+			F(predicted),
+		)
+	}
+	return res
+}
+
+// T7DCSSvsCAS: the fallback mode (DCSS replaced by CAS) stays correct; its
+// cost is comparable.
+func T7DCSSvsCAS(sc Scale) Result {
+	res := Result{
+		Name:   "T7 DCSS vs CAS-fallback",
+		Claim:  "replacing DCSS with CAS preserves linearizability and lock-freedom; perf is comparable",
+		Header: []string{"mode", "threads", "kop/s", "steps/op", "validate"},
+	}
+	const w = 32
+	for _, disable := range []bool{false, true} {
+		mode := "DCSS"
+		if disable {
+			mode = "CAS-only"
+		}
+		for _, threads := range []int{1, sc.Threads[len(sc.Threads)-1]} {
+			st := core.New(core.Config{Width: w, DisableDCSS: disable, Seed: 43})
+			s := SkipTrieSet{T: st}
+			Prefill(s, sc.M, w)
+			r := RunConcurrent(s, workload.Uniform{W: w}, workload.Mix{InsertPct: 25, DeletePct: 25}, threads, sc.Duration, 77)
+			verdict := "ok"
+			if err := st.Validate(); err != nil {
+				verdict = "FAIL: " + err.Error()
+			}
+			res.AddRow(mode, I(threads), F(r.OpsPerMs),
+				F(float64(r.Steps.Steps())/float64(max(r.Ops, 1))), verdict)
+		}
+	}
+	return res
+}
+
+// T8PrevRepair: the paper's Section 1 design discussion — relaxed prev
+// repair (option 2, the paper's choice) vs eager helping (option 1).
+func T8PrevRepair(sc Scale) Result {
+	res := Result{
+		Name:   "T8 prev-pointer repair discipline",
+		Claim:  "relaxed repair (paper's choice) avoids eager helping's extra write contention",
+		Header: []string{"mode", "threads", "kop/s", "writes/op", "reads/op"},
+	}
+	const w = 16 // small width: more keys reach the top, stressing prev repair
+	for _, eager := range []bool{false, true} {
+		mode := "relaxed (opt 2)"
+		repair := skiplist.RepairRelaxed
+		if eager {
+			mode = "eager (opt 1)"
+			repair = skiplist.RepairEager
+		}
+		for _, threads := range []int{1, sc.Threads[len(sc.Threads)-1]} {
+			st := core.New(core.Config{Width: w, Repair: repair, Seed: 61})
+			s := SkipTrieSet{T: st}
+			Prefill(s, sc.M/4, w)
+			// Insert/delete-heavy mix on a hot window maximizes top-level
+			// churn, the scenario of Fig 2.
+			gen := workload.Clustered{W: w, Base: 1 << 12, Span: 4096}
+			r := RunConcurrent(s, gen, workload.Mix{InsertPct: 45, DeletePct: 45}, threads, sc.Duration, 88)
+			opsF := float64(max(r.Ops, 1))
+			res.AddRow(mode, I(threads), F(r.OpsPerMs),
+				F2(float64(r.Steps.CAS+r.Steps.DCSS)/opsF),
+				F2(float64(r.Steps.Hops+r.Steps.HashProbes)/opsF))
+		}
+	}
+	return res
+}
+
+// All runs every experiment.
+func All(sc Scale) []Result {
+	return []Result{
+		T1PredecessorVsUniverse(sc),
+		T2PredecessorVsM(sc),
+		T3AmortizedUpdates(sc),
+		T4Throughput(sc),
+		T5Contention(sc),
+		T6Space(sc),
+		F1TopGaps(sc),
+		T7DCSSvsCAS(sc),
+		T8PrevRepair(sc),
+	}
+}

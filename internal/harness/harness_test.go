@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"skiptrie/internal/baseline/cskiplist"
+	"skiptrie/internal/baseline/lockedset"
+	"skiptrie/internal/baseline/yfast"
+	"skiptrie/internal/core"
+	"skiptrie/internal/workload"
+)
+
+// tinyScale keeps harness tests fast.
+func tinyScale() Scale {
+	return Scale{
+		M:        1 << 9,
+		Queries:  400,
+		Duration: 20 * time.Millisecond,
+		Threads:  []int{1, 2},
+	}
+}
+
+func TestResultFprint(t *testing.T) {
+	r := Result{
+		Name:   "demo",
+		Claim:  "a claim",
+		Header: []string{"col", "longer-col"},
+		Notes:  []string{"a note"},
+	}
+	r.AddRow("1", "2")
+	r.AddRow("333333", "4")
+	var b strings.Builder
+	r.Fprint(&b)
+	out := b.String()
+	for _, want := range []string{"== demo ==", "claim: a claim", "col", "333333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAdaptersAgree(t *testing.T) {
+	// All four adapters expose the same semantics.
+	sets := []Set{
+		SkipTrieSet{T: core.New(core.Config{Width: 16, Seed: 2})},
+		CSkipListSet{L: cskiplist.New(2)},
+		LockedYFastSet{Y: yfast.NewLocked(16)},
+		LockedTreapSet{S: lockedset.New(2)},
+	}
+	for _, s := range sets {
+		if s.Name() == "" {
+			t.Fatal("unnamed set")
+		}
+		if !s.Insert(10, nil) || s.Insert(10, nil) {
+			t.Fatalf("%s: insert semantics", s.Name())
+		}
+		if !s.Contains(10, nil) || s.Contains(11, nil) {
+			t.Fatalf("%s: contains semantics", s.Name())
+		}
+		if k, ok := s.Predecessor(50, nil); !ok || k != 10 {
+			t.Fatalf("%s: Predecessor(50) = %d, %v", s.Name(), k, ok)
+		}
+		if !s.Delete(10, nil) || s.Delete(10, nil) {
+			t.Fatalf("%s: delete semantics", s.Name())
+		}
+	}
+}
+
+func TestPrefill(t *testing.T) {
+	s := SkipTrieSet{T: core.New(core.Config{Width: 32, Seed: 4})}
+	keys := Prefill(s, 100, 32)
+	if len(keys) != 100 {
+		t.Fatalf("prefilled %d keys", len(keys))
+	}
+	for _, k := range keys {
+		if !s.Contains(k, nil) {
+			t.Fatalf("prefilled key %d missing", k)
+		}
+	}
+}
+
+func TestMeasureSteps(t *testing.T) {
+	s := SkipTrieSet{T: core.New(core.Config{Width: 32, Seed: 6})}
+	Prefill(s, 500, 32)
+	total := MeasureSteps(s, workload.Uniform{W: 32}, workload.Mix{}, 100, 1)
+	if total.Steps() == 0 {
+		t.Fatal("no steps measured")
+	}
+}
+
+func TestRunConcurrentCounts(t *testing.T) {
+	s := SkipTrieSet{T: core.New(core.Config{Width: 24, Seed: 8})}
+	Prefill(s, 256, 24)
+	r := RunConcurrent(s, workload.Uniform{W: 24}, workload.Mix{InsertPct: 20, DeletePct: 20}, 2, 30*time.Millisecond, 5)
+	if r.Ops == 0 {
+		t.Fatal("no ops executed")
+	}
+	if r.OpsPerMs <= 0 {
+		t.Fatal("throughput not positive")
+	}
+	if r.Steps.Steps() == 0 {
+		t.Fatal("no steps aggregated")
+	}
+	if err := s.T.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Each experiment must run end-to-end at tiny scale and produce rows.
+func TestExperimentsProduceRows(t *testing.T) {
+	sc := tinyScale()
+	for _, tc := range []struct {
+		name string
+		run  func(Scale) Result
+	}{
+		{"T1", T1PredecessorVsUniverse},
+		{"T2", T2PredecessorVsM},
+		{"T3", T3AmortizedUpdates},
+		{"T4", T4Throughput},
+		{"T5", T5Contention},
+		{"T6", T6Space},
+		{"F1", F1TopGaps},
+		{"T7", T7DCSSvsCAS},
+		{"T8", T8PrevRepair},
+	} {
+		res := tc.run(sc)
+		if len(res.Rows) == 0 {
+			t.Fatalf("%s produced no rows", tc.name)
+		}
+		for _, row := range res.Rows {
+			if len(row) != len(res.Header) {
+				t.Fatalf("%s: row width %d != header %d", tc.name, len(row), len(res.Header))
+			}
+		}
+	}
+}
+
+func TestT7ReportsValidation(t *testing.T) {
+	res := T7DCSSvsCAS(tinyScale())
+	for _, row := range res.Rows {
+		if row[len(row)-1] != "ok" {
+			t.Fatalf("T7 validation failed: %v", row)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package linearize provides a brute-force linearizability checker for
+// concurrent histories of sorted-set operations (insert, delete, contains,
+// predecessor) — the correctness condition Theorem 4.3 claims for the
+// SkipTrie.
+//
+// The checker enumerates linearization orders consistent with the
+// history's real-time partial order (an operation that returned before
+// another was invoked must be linearized first) and tests whether some
+// order's sequential semantics reproduces every recorded result. The
+// search is exponential in general, so it is meant for small histories
+// (up to ~25 operations over a handful of keys); a key observation makes
+// memoization sound: for fixed per-operation results, the set state after
+// linearizing any subset of operations is determined by the subset alone
+// (each key's presence is its net count of effectual inserts minus
+// effectual deletes), so failed subsets can be pruned globally.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// OpType is the operation class of a history event.
+type OpType int
+
+// Operation classes.
+const (
+	Insert OpType = iota
+	Delete
+	Contains
+	Predecessor
+)
+
+// String names the operation class.
+func (t OpType) String() string {
+	switch t {
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	case Contains:
+		return "contains"
+	case Predecessor:
+		return "predecessor"
+	default:
+		return fmt.Sprintf("OpType(%d)", int(t))
+	}
+}
+
+// Event is one completed operation in a concurrent history.
+type Event struct {
+	Type OpType
+	Key  uint64 // argument
+	// Results: Ok is the boolean result of insert/delete/contains, and the
+	// "found" result of predecessor; Res is predecessor's returned key.
+	Ok  bool
+	Res uint64
+	// Invoke and Return are strictly increasing global timestamps.
+	Invoke, Return int64
+}
+
+// String renders the event compactly for failure logs.
+func (e Event) String() string {
+	return fmt.Sprintf("%s(%d)=(%d,%v)@[%d,%d]", e.Type, e.Key, e.Res, e.Ok, e.Invoke, e.Return)
+}
+
+// Check reports whether the history is linearizable under sorted-set
+// semantics. Histories longer than 64 events are rejected outright (the
+// search would be intractable and the bitmask memoization would overflow).
+func Check(history []Event) (bool, error) {
+	n := len(history)
+	if n == 0 {
+		return true, nil
+	}
+	if n > 64 {
+		return false, fmt.Errorf("linearize: history of %d events exceeds the 64-event limit", n)
+	}
+	evs := append([]Event(nil), history...)
+	// Sort by invocation for deterministic iteration; order within the
+	// search is governed by the partial order, not this sort.
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Invoke < evs[j].Invoke })
+
+	// precedes[i] = bitmask of events that must linearize before event i
+	// (returned before i's invocation).
+	precedes := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if evs[j].Return < evs[i].Invoke {
+				precedes[i] |= 1 << j
+			}
+		}
+	}
+
+	// The state after linearizing a subset is subset-determined; presence
+	// of key k = net effectual inserts. Track it incrementally in a map.
+	state := map[uint64]bool{}
+	failed := make(map[uint64]bool)
+
+	var dfs func(done uint64) bool
+	dfs = func(done uint64) bool {
+		if done == 1<<n-1 {
+			return true
+		}
+		if failed[done] {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << i
+			if done&bit != 0 || precedes[i]&^done != 0 {
+				continue // already linearized, or a predecessor is pending
+			}
+			e := evs[i]
+			if !matches(e, state) {
+				continue
+			}
+			apply(e, state, true)
+			if dfs(done | bit) {
+				return true
+			}
+			apply(e, state, false)
+		}
+		failed[done] = true
+		return false
+	}
+	return dfs(0), nil
+}
+
+// matches reports whether e's recorded result is consistent with the
+// current sequential state.
+func matches(e Event, state map[uint64]bool) bool {
+	switch e.Type {
+	case Insert:
+		return e.Ok == !state[e.Key]
+	case Delete:
+		return e.Ok == state[e.Key]
+	case Contains:
+		return e.Ok == state[e.Key]
+	case Predecessor:
+		var want uint64
+		have := false
+		for k, present := range state {
+			if present && k <= e.Key && (!have || k > want) {
+				want, have = k, true
+			}
+		}
+		return e.Ok == have && (!have || e.Res == want)
+	default:
+		return false
+	}
+}
+
+// apply performs (or undoes) e's effect on the state.
+func apply(e Event, state map[uint64]bool, forward bool) {
+	switch e.Type {
+	case Insert:
+		if e.Ok {
+			state[e.Key] = forward
+		}
+	case Delete:
+		if e.Ok {
+			state[e.Key] = !forward
+		}
+	}
+}
+
+// Recorder collects a concurrent history with globally ordered timestamps.
+// It is safe for concurrent use.
+type Recorder struct {
+	clock  atomic.Int64
+	mu     sync.Mutex
+	events []Event
+}
+
+// Invoke stamps an operation's invocation and returns the timestamp.
+func (r *Recorder) Invoke() int64 { return r.clock.Add(1) }
+
+// Record completes an operation: stamps its return and appends the event.
+func (r *Recorder) Record(t OpType, key uint64, ok bool, res uint64, invoke int64) {
+	ret := r.clock.Add(1)
+	r.mu.Lock()
+	r.events = append(r.events, Event{
+		Type: t, Key: key, Ok: ok, Res: res,
+		Invoke: invoke, Return: ret,
+	})
+	r.mu.Unlock()
+}
+
+// History returns the recorded events.
+func (r *Recorder) History() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}

@@ -1,0 +1,16 @@
+package skiplist
+
+import "skiptrie/internal/stats"
+
+// InsertWithHeight exposes height-controlled insertion so tests can build
+// deterministic tower shapes.
+func (l *List) InsertWithHeight(key uint64, val any, start *Node, h int, c *stats.Op) InsertResult {
+	return l.insertWithHeight(key, val, start, h, c)
+}
+
+// SetTestHook installs a synchronization-point hook and returns a restore
+// function.
+func SetTestHook(fn func(site string, n *Node)) (restore func()) {
+	testHook = fn
+	return func() { testHook = nil }
+}

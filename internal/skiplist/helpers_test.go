@@ -1,0 +1,12 @@
+package skiplist
+
+import "testing"
+
+// CheckInvariants fails the test if the quiescent list violates any
+// structural invariant.
+func CheckInvariants(tb testing.TB, l *List) {
+	tb.Helper()
+	if err := l.Validate(); err != nil {
+		tb.Fatalf("invariant violation: %v", err)
+	}
+}

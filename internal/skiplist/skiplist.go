@@ -1,0 +1,771 @@
+// Package skiplist implements the SkipTrie paper's truncated lock-free
+// skiplist (Section 2) together with the doubly-linked list over its top
+// level (Section 3).
+//
+// The skiplist has a fixed number of levels — O(log log u) of them, chosen
+// by the universe width — rather than O(log m). Each key occupies a tower
+// of nodes linked by down pointers; the level-0 node is the tower's root
+// and carries the stop flag that freezes the tower when a delete begins
+// (Section 2). Each node's next pointer and marked bit live in one atomic
+// word (Harris-style logical deletion); a back pointer, set before a node
+// is marked, lets concurrent operations recover when a node is deleted
+// from under their feet (Fomitchev-Ruppert).
+//
+// Top-level nodes additionally carry a prev pointer forming a doubly-linked
+// list. Linearizability relies only on the forward direction; prev pointers
+// are guides (Section 3). They are set by FixPrev via DCSS, conditioned on
+// the predecessor remaining unmarked and adjacent, so a prev pointer never
+// targets a marked node. The ready flag records that a node's insertion
+// into the doubly-linked list finished. Both repair disciplines discussed
+// in the paper's introduction are implemented: the default relaxed mode
+// (option 2, the paper's choice — transient backward gaps are tolerated and
+// repaired by the in-flight insert) and the eager-helping mode (option 1 —
+// an insert recursively helps its successors before declaring itself
+// ready), selectable per list for the T8 ablation.
+package skiplist
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"skiptrie/internal/dcss"
+	"skiptrie/internal/stats"
+	"skiptrie/internal/uintbits"
+)
+
+// MaxLevels bounds the number of levels (universe width <= 64 gives
+// ceil(log2 64)+1 = 7).
+const MaxLevels = 8
+
+// RepairMode selects how top-level prev pointers are maintained
+// (Section 1's option (1) vs option (2)).
+type RepairMode int8
+
+const (
+	// RepairRelaxed is the paper's choice: an insert fixes only its own
+	// node's prev pointer; transient backward gaps are allowed and are
+	// charged to the overlapping-interval contention.
+	RepairRelaxed RepairMode = iota
+	// RepairEager is the paper's option (1): before a top-level insert
+	// completes it helps its successor chain become ready and re-points
+	// each successor's prev, trading extra write contention for point
+	// contention bounds.
+	RepairEager
+)
+
+type kind int8
+
+const (
+	kindHead kind = iota - 1 // sorts before every key
+	kindData                 // an actual key
+	kindTail                 // sorts after every key
+)
+
+// Succ packs a node's next pointer and its marked bit into one atomic
+// value, exactly the paper's (next, marked) word.
+type Succ struct {
+	Next   *Node
+	Marked bool
+}
+
+// Node is one level of one tower. Fields key, kind, level, origHeight,
+// root and down are immutable after construction.
+type Node struct {
+	key        uint64
+	kind       kind
+	level      int8
+	origHeight int8  // tower height drawn at insert time (levels occupied)
+	root       *Node // level-0 node of this tower (self at level 0)
+	down       *Node // next lower tower node; nil at level 0
+
+	succ dcss.Atom[Succ]
+	back atomic.Pointer[Node] // recovery hint; points to a strictly smaller node
+
+	// root-only:
+	stop atomic.Bool               // freezes tower raising (Section 2)
+	val  atomic.Pointer[valueCell] // optional user value (Map API)
+
+	// top-level-only:
+	prev  dcss.Atom[*Node] // backward guide pointer (Section 3)
+	ready atomic.Bool      // doubly-linked insertion finished
+}
+
+type valueCell struct{ v any }
+
+// Key returns the node's key. Meaningful only for data nodes.
+func (n *Node) Key() uint64 { return n.key }
+
+// IsData reports whether the node carries a key (not a sentinel).
+func (n *Node) IsData() bool { return n.kind == kindData }
+
+// IsHead reports whether the node is a head sentinel.
+func (n *Node) IsHead() bool { return n.kind == kindHead }
+
+// IsTail reports whether the node is a tail sentinel.
+func (n *Node) IsTail() bool { return n.kind == kindTail }
+
+// Level returns the level this node lives on (0 = bottom).
+func (n *Node) Level() int { return int(n.level) }
+
+// Root returns the tower's level-0 node.
+func (n *Node) Root() *Node { return n.root }
+
+// Marked reports whether the node is logically deleted.
+func (n *Node) Marked() bool {
+	s, _ := n.succ.Load()
+	return s.Marked
+}
+
+// LoadSucc returns the node's (next, marked) word and a witness usable in
+// guards.
+func (n *Node) LoadSucc() (Succ, dcss.Witness[Succ]) {
+	return n.succ.Load()
+}
+
+// SuccHolds reports whether the node's succ word still holds exactly the
+// witnessed value — the building block of the paper's DCSS guards
+// ("conditioned on the target remaining unmarked").
+func (n *Node) SuccHolds(w dcss.Witness[Succ]) bool {
+	return n.succ.Holds(w)
+}
+
+// Prev returns the node's backward guide pointer (top level only).
+func (n *Node) Prev() *Node { return n.prev.Value() }
+
+// Back returns the node's recovery pointer.
+func (n *Node) Back() *Node { return n.back.Load() }
+
+// Ready reports whether the node's doubly-linked insertion completed.
+func (n *Node) Ready() bool { return n.ready.Load() }
+
+// Value returns the user value stored at the tower root.
+func (n *Node) Value() any {
+	c := n.root.val.Load()
+	if c == nil {
+		return nil
+	}
+	return c.v
+}
+
+// SetValue stores a user value at the tower root.
+func (n *Node) SetValue(v any) {
+	n.root.val.Store(&valueCell{v: v})
+}
+
+// target identifies a search position: either a key or the tail sentinel.
+type target struct {
+	key  uint64
+	tail bool
+}
+
+// before reports whether n sorts strictly before t.
+func (n *Node) before(t target) bool {
+	switch n.kind {
+	case kindHead:
+		return true
+	case kindTail:
+		return false
+	default:
+		return t.tail || n.key < t.key
+	}
+}
+
+// at reports whether n sorts exactly at t.
+func (n *Node) at(t target) bool {
+	if t.tail {
+		return n.kind == kindTail
+	}
+	return n.kind == kindData && n.key == t.key
+}
+
+// List is a truncated lock-free skiplist.
+type List struct {
+	levels  int
+	useDCSS bool
+	repair  RepairMode
+	heads   [MaxLevels]*Node
+	tails   [MaxLevels]*Node
+	rng     atomic.Uint64
+	length  atomic.Int64
+	nodes   atomic.Int64 // total live tower nodes, for space accounting
+}
+
+// Config configures a List.
+type Config struct {
+	// Levels is the number of skiplist levels (use uintbits.Levels).
+	Levels int
+	// DisableDCSS replaces every DCSS by a plain CAS (dropping the second
+	// guard), the fallback the paper proves linearizable and lock-free.
+	DisableDCSS bool
+	// Repair selects the prev-pointer maintenance discipline.
+	Repair RepairMode
+	// Seed seeds tower-height randomness; 0 selects a fixed default.
+	Seed uint64
+}
+
+// New returns an empty list. Levels outside [2, MaxLevels] are clamped.
+func New(cfg Config) *List {
+	lv := cfg.Levels
+	if lv < 2 {
+		lv = 2
+	}
+	if lv > MaxLevels {
+		lv = MaxLevels
+	}
+	l := &List{levels: lv, useDCSS: !cfg.DisableDCSS, repair: cfg.Repair}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x5ee0_70_1e_5eed
+	}
+	l.rng.Store(seed)
+	for i := 0; i < lv; i++ {
+		h := &Node{kind: kindHead, level: int8(i), origHeight: int8(lv)}
+		t := &Node{kind: kindTail, level: int8(i), origHeight: int8(lv)}
+		h.root, t.root = h, t
+		if i > 0 {
+			h.down = l.heads[i-1]
+			t.down = l.tails[i-1]
+		}
+		h.succ.Store(Succ{Next: t})
+		h.back.Store(h)
+		t.back.Store(h)
+		h.ready.Store(true)
+		t.ready.Store(true)
+		t.prev.Store(h)
+		l.heads[i] = h
+		l.tails[i] = t
+	}
+	return l
+}
+
+// Levels returns the number of levels.
+func (l *List) Levels() int { return l.levels }
+
+// Top returns the index of the top level.
+func (l *List) Top() int { return l.levels - 1 }
+
+// Head returns the top-level head sentinel (the fallback starting point
+// for searches when the x-fast trie yields no better anchor).
+func (l *List) Head() *Node { return l.heads[l.levels-1] }
+
+// HeadAt returns the head sentinel of the given level.
+func (l *List) HeadAt(level int) *Node { return l.heads[level] }
+
+// TailAt returns the tail sentinel of the given level.
+func (l *List) TailAt(level int) *Node { return l.tails[level] }
+
+// Len returns the number of keys (approximate under concurrency).
+func (l *List) Len() int { return int(l.length.Load()) }
+
+// NodeCount returns the number of live tower nodes across all levels
+// (approximate under concurrency), for the T6 space experiment.
+func (l *List) NodeCount() int { return int(l.nodes.Load()) }
+
+// randomHeight draws Geom(1/2) truncated to [1, levels]: P(h) = 2^-h,
+// with the remainder mass on h = levels, so P(reaching the top level) is
+// 2^-(levels-1) = 1/log u for levels = ceil(log2 log u)+1.
+func (l *List) randomHeight() int {
+	x := uintbits.Mix64(l.rng.Add(0x9E3779B97F4A7C15))
+	return bits.TrailingZeros64(x|1<<(l.levels-1)) + 1
+}
+
+// Bracket is the result of a list search at one level: at witness time,
+// Left was unmarked, Left.next was Right, and Left < target <= Right.
+type Bracket struct {
+	Left   *Node
+	LeftW  dcss.Witness[Succ]
+	Right  *Node
+	RightW dcss.Witness[Succ]
+}
+
+// search is the paper's listSearch(x, start): walk level nodes from start,
+// unlinking marked nodes it passes, and return a bracket around t. start
+// may be marked or even past t; recovery uses back pointers (which always
+// decrease strictly, so recovery terminates at the level head).
+func (l *List) search(t target, start *Node, c *stats.Op) Bracket {
+	left := start
+	for {
+		// Re-anchor: left must be unmarked and strictly before t.
+		for !left.before(t) {
+			left = left.back.Load()
+			c.Hop()
+		}
+		ls, lw := left.succ.Load()
+		if ls.Marked {
+			left = left.back.Load()
+			c.Hop()
+			continue
+		}
+		curr := ls.Next
+	walk:
+		for {
+			c.Hop()
+			cs, cw := curr.succ.Load()
+			if cs.Marked {
+				// Unlink the marked node; on contention re-anchor.
+				c.IncCAS()
+				nlw, ok := left.succ.CompareAndSwap(lw, Succ{Next: cs.Next})
+				if !ok {
+					break walk
+				}
+				lw = nlw
+				curr = cs.Next
+				continue
+			}
+			if curr.before(t) {
+				left, lw, curr = curr, cw, cs.Next
+				continue
+			}
+			return Bracket{Left: left, LeftW: lw, Right: curr, RightW: cw}
+		}
+	}
+}
+
+// SearchTop runs the paper's listSearch for key on the top level starting
+// from start (nil means the head sentinel).
+func (l *List) SearchTop(key uint64, start *Node, c *stats.Op) Bracket {
+	if start == nil {
+		start = l.Head()
+	}
+	return l.search(target{key: key}, start, c)
+}
+
+// searchTarget is SearchTop for an arbitrary target (including the tail).
+func (l *List) searchTarget(t target, start *Node, c *stats.Op) Bracket {
+	if start == nil {
+		start = l.Head()
+	}
+	return l.search(t, start, c)
+}
+
+// descend runs the descending listSearch chain of the paper's skiplist
+// traversal: starting from a top-level node (or head), locate the bracket
+// of key on every level. It fills lefts[level] and returns the level-0
+// bracket.
+func (l *List) descend(key uint64, start *Node, lefts *[MaxLevels]*Node, c *stats.Op) Bracket {
+	if start == nil {
+		start = l.Head()
+	}
+	t := target{key: key}
+	node := start
+	var br Bracket
+	for lv := l.levels - 1; lv >= 0; lv-- {
+		br = l.search(t, node, c)
+		lefts[lv] = br.Left
+		if lv > 0 {
+			node = br.Left.down
+		}
+	}
+	return br
+}
+
+// PredecessorBracket descends from start (a top-level node with key <=
+// target, typically produced by the x-fast trie, or nil for the head) and
+// returns the level-0 bracket of key: Left is the strict predecessor,
+// Right is the first node >= key.
+func (l *List) PredecessorBracket(key uint64, start *Node, c *stats.Op) Bracket {
+	var lefts [MaxLevels]*Node
+	return l.descend(key, start, &lefts, c)
+}
+
+// LastBracket descends to the level-0 bracket of the tail: Left is the
+// largest key in the list (or the head sentinel if empty).
+func (l *List) LastBracket(start *Node, c *stats.Op) Bracket {
+	if start == nil {
+		start = l.Head()
+	}
+	t := target{tail: true}
+	node := start
+	var br Bracket
+	for lv := l.levels - 1; lv >= 0; lv-- {
+		br = l.search(t, node, c)
+		if lv > 0 {
+			node = br.Left.down
+		}
+	}
+	return br
+}
+
+// InsertResult reports what Insert did.
+type InsertResult struct {
+	Inserted bool
+	Root     *Node // level-0 node, nil if the key was already present
+	Top      *Node // top-level node if the tower reached the top, else nil
+}
+
+// Insert adds key to the list, starting the descent from start (nil for
+// head). If the drawn tower height reaches the top level, the node is also
+// linked into the doubly-linked list (prev set via FixPrev) before Insert
+// returns, per the paper's toplevelInsert.
+func (l *List) Insert(key uint64, val any, start *Node, c *stats.Op) InsertResult {
+	return l.insertWithHeight(key, val, start, l.randomHeight(), c)
+}
+
+// insertWithHeight is Insert with the tower height fixed by the caller;
+// tests use it (via export_test.go) to construct deterministic shapes.
+func (l *List) insertWithHeight(key uint64, val any, start *Node, h int, c *stats.Op) InsertResult {
+	var lefts [MaxLevels]*Node
+	br := l.descend(key, start, &lefts, c)
+	t := target{key: key}
+	root := &Node{key: key, kind: kindData, level: 0, origHeight: int8(h)}
+	root.root = root
+	if val != nil {
+		root.val.Store(&valueCell{v: val})
+	}
+	for {
+		if br.Right.at(t) {
+			return InsertResult{} // already present
+		}
+		root.succ.Store(Succ{Next: br.Right})
+		root.back.Store(br.Left)
+		c.IncCAS()
+		if _, ok := br.Left.succ.CompareAndSwap(br.LeftW, Succ{Next: root}); ok {
+			break
+		}
+		br = l.search(t, br.Left, c)
+	}
+	l.length.Add(1)
+	l.nodes.Add(1)
+
+	// Raise the tower, each link conditioned on the root's stop flag
+	// remaining unset (the paper's DCSS guard).
+	curr := root
+	for lv := 1; lv < h; lv++ {
+		if root.stop.Load() {
+			return InsertResult{Inserted: true, Root: root}
+		}
+		tn := &Node{key: key, kind: kindData, level: int8(lv), origHeight: int8(h), root: root, down: curr}
+		for {
+			br := l.search(t, lefts[lv], c)
+			if br.Right.at(t) {
+				// A same-key node exists at this level (a racing
+				// incarnation); cap our tower here.
+				return InsertResult{Inserted: true, Root: root}
+			}
+			tn.succ.Store(Succ{Next: br.Right})
+			tn.back.Store(br.Left)
+			if lv == l.levels-1 {
+				tn.prev.Store(br.Left) // initial guide; FixPrev corrects it
+			}
+			ok := false
+			if l.useDCSS {
+				c.IncDCSS()
+				_, ok = br.Left.succ.DCSS(br.LeftW, Succ{Next: tn}, func() bool { return !root.stop.Load() })
+			} else {
+				c.IncCAS()
+				_, ok = br.Left.succ.CompareAndSwap(br.LeftW, Succ{Next: tn})
+			}
+			if ok {
+				l.nodes.Add(1)
+				curr = tn
+				break
+			}
+			if root.stop.Load() {
+				return InsertResult{Inserted: true, Root: root}
+			}
+			lefts[lv] = br.Left
+		}
+	}
+	if h == l.levels {
+		// Reached the top: complete the doubly-linked insertion. Per
+		// Section 3 the insert first sets its own prev (Algorithm 1), then
+		// updates the prev pointer of its successor; the operation is not
+		// complete until both are done (Lemma 3.1 depends on this).
+		l.FixPrev(lefts[l.levels-1], curr, c)
+		hook("insert.before-succ-repair", curr)
+		if l.repair == RepairEager {
+			l.makeReadyChain(curr, c)
+		} else {
+			l.repairSuccessorPrev(curr, c)
+		}
+		return InsertResult{Inserted: true, Root: root, Top: curr}
+	}
+	return InsertResult{Inserted: true, Root: root}
+}
+
+// FixPrev is the paper's Algorithm 1: repeatedly locate node's predecessor
+// left on the top level and DCSS node.prev to it, conditioned on left
+// remaining unmarked with left.next = node, until success or node is
+// marked. In the default relaxed mode the node becomes ready on exit (its
+// prev has been set, or the node is logically deleted and its prev no
+// longer matters); in eager mode readiness is owned by makeReadyChain,
+// whose option-1 semantics are "my successor's prev points back at me".
+func (l *List) FixPrev(pred, node *Node, c *stats.Op) {
+	var t target
+	if node.kind == kindTail {
+		t = target{tail: true}
+	} else {
+		t = target{key: node.key}
+	}
+	if pred == nil {
+		pred = l.Head()
+	}
+	br := l.searchTarget(t, pred, c)
+	for !node.Marked() {
+		_, pw := node.prev.Load()
+		if br.Right == node {
+			ok := false
+			if l.useDCSS {
+				c.IncDCSS()
+				left := br.Left
+				lw := br.LeftW
+				_, ok = node.prev.DCSS(pw, left, func() bool { return left.succ.Holds(lw) })
+			} else {
+				c.IncCAS()
+				_, ok = node.prev.CompareAndSwap(pw, br.Left)
+			}
+			if ok {
+				if l.repair == RepairRelaxed {
+					node.ready.Store(true)
+				}
+				return
+			}
+		}
+		br = l.searchTarget(t, pred, c)
+	}
+	if l.repair == RepairRelaxed {
+		node.ready.Store(true)
+	}
+}
+
+// makeReadyChain implements the eager-helping discipline (Section 1,
+// option (1)): to declare node ready, first help its successor become
+// ready, then point the successor's prev back at node. Helping only moves
+// rightward, so there is no deadlock; the chain length is bounded by the
+// number of concurrent unfinished inserts.
+func (l *List) makeReadyChain(node *Node, c *stats.Op) {
+	// Collect the chain of not-ready successors, then repair backwards.
+	var chain [64]*Node
+	n := 0
+	cur := node
+	for cur.kind == kindData && n < len(chain) {
+		chain[n] = cur
+		n++
+		s, _ := cur.succ.Load()
+		next := s.Next
+		if next == nil || next.ready.Load() {
+			break
+		}
+		cur = next
+	}
+	for i := n - 1; i >= 0; i-- {
+		u := chain[i]
+		// Set u.next.prev = u, then u.ready.
+		for {
+			s, sw := u.succ.Load()
+			if s.Marked || s.Next == nil {
+				break
+			}
+			v := s.Next
+			_, pw := v.prev.Load()
+			if v.prev.Value() == u {
+				break
+			}
+			ok := false
+			if l.useDCSS {
+				c.IncDCSS()
+				_, ok = v.prev.DCSS(pw, u, func() bool { return u.succ.Holds(sw) })
+			} else {
+				c.IncCAS()
+				_, ok = v.prev.CompareAndSwap(pw, u)
+			}
+			if ok {
+				break
+			}
+			if u.Marked() {
+				break
+			}
+		}
+		u.ready.Store(true)
+	}
+}
+
+// DeleteResult reports what Delete did.
+type DeleteResult struct {
+	Deleted bool
+	Root    *Node // the level-0 node this call logically deleted
+	Top     *Node // the top-level tower node, if the tower reached the top
+}
+
+// Delete removes key from the list, starting the descent from start (nil
+// for head). It implements the paper's delete: set the root's stop flag,
+// mark and unlink tower nodes top-down, and finally mark the root — the
+// linearization point; the call whose CAS marks the root reports
+// Deleted=true. For towers that reached the top level it also performs the
+// paper's toplevelDelete duties: ensure the node was completely inserted
+// first, and repair the successor's prev pointer afterwards.
+func (l *List) Delete(key uint64, start *Node, c *stats.Op) DeleteResult {
+	t := target{key: key}
+	var lefts [MaxLevels]*Node
+	br := l.descend(key, start, &lefts, c)
+	if !br.Right.at(t) {
+		return DeleteResult{}
+	}
+	root := br.Right // level-0 node
+	left0 := br.Left
+
+	// Freeze the tower so inserts stop raising it (Section 2).
+	root.stop.Store(true)
+	hook("delete.after-stop", root)
+
+	// Mark tower nodes top-down. Re-scan every level: a raise that
+	// squeaked in before the stop flag is caught here because we only act
+	// on nodes whose root is ours.
+	var topNode *Node
+	for lv := l.levels - 1; lv >= 1; lv-- {
+		for {
+			b := l.search(t, lefts[lv], c)
+			lefts[lv] = b.Left
+			if !b.Right.at(t) || b.Right.root != root {
+				break
+			}
+			n := b.Right
+			if lv == l.levels-1 {
+				topNode = n
+				// Paper, toplevelDelete: finish the node's doubly-linked
+				// insertion before deleting it.
+				if !n.ready.Load() {
+					l.FixPrev(b.Left, n, c)
+				}
+			}
+			if l.markNode(n, b.Left, c) {
+				// Physically unlink via a cleanup search.
+				l.search(t, b.Left, c)
+				l.nodes.Add(-1)
+			}
+			break
+		}
+	}
+
+	// Mark the root: the linearization point of the delete.
+	won := false
+	for {
+		rs, rw := root.succ.Load()
+		if rs.Marked {
+			break // another delete won
+		}
+		root.back.Store(left0)
+		c.IncCAS()
+		if _, ok := root.succ.CompareAndSwap(rw, Succ{Next: rs.Next, Marked: true}); ok {
+			won = true
+			break
+		}
+	}
+	if !won {
+		return DeleteResult{}
+	}
+	l.length.Add(-1)
+	l.nodes.Add(-1)
+	// Physically unlink the root.
+	l.search(t, left0, c)
+
+	if topNode != nil {
+		l.repairPrevAfterDelete(t, lefts[l.levels-1], c)
+	}
+	return DeleteResult{Deleted: true, Root: root, Top: topNode}
+}
+
+// markNode sets n.back to the given hint and marks n, returning true if
+// this call's CAS performed the marking.
+func (l *List) markNode(n, backHint *Node, c *stats.Op) bool {
+	for {
+		s, w := n.succ.Load()
+		if s.Marked {
+			return false
+		}
+		hook("delete.before-mark", n)
+		n.back.Store(backHint)
+		c.IncCAS()
+		if _, ok := n.succ.CompareAndSwap(w, Succ{Next: s.Next, Marked: true}); ok {
+			return true
+		}
+	}
+}
+
+// repairSuccessorPrev points the prev of node's current successor back at
+// node (the second half of a top-level insert). If node is deleted
+// meanwhile, the deleting operation takes over the repair (Algorithm 2),
+// so we simply stop.
+func (l *List) repairSuccessorPrev(node *Node, c *stats.Op) {
+	for {
+		s, _ := node.succ.Load()
+		if s.Marked {
+			return
+		}
+		z := s.Next
+		var zt target
+		if z.kind == kindTail {
+			zt = target{tail: true}
+		} else {
+			zt = target{key: z.key}
+		}
+		br := l.searchTarget(zt, node, c)
+		l.fixPrevOf(zt, z, br, c)
+		if !z.Marked() {
+			return
+		}
+	}
+}
+
+// repairPrevAfterDelete is the tail of the paper's Algorithm 2: after a
+// top-level node is deleted, find its successor and fix that successor's
+// prev so it no longer points behind the deleted node; retry if the
+// successor itself got marked meanwhile.
+func (l *List) repairPrevAfterDelete(t target, hint *Node, c *stats.Op) {
+	for {
+		br := l.searchTarget(t, hint, c)
+		succ := br.Right
+		var st target
+		if succ.kind == kindTail {
+			st = target{tail: true}
+		} else {
+			st = target{key: succ.key}
+		}
+		l.fixPrevOf(st, succ, br, c)
+		if !succ.Marked() {
+			return
+		}
+	}
+}
+
+// fixPrevOf is FixPrev when the caller already holds a bracket whose Right
+// is the node.
+func (l *List) fixPrevOf(t target, node *Node, br Bracket, c *stats.Op) {
+	for !node.Marked() {
+		_, pw := node.prev.Load()
+		if br.Right == node {
+			ok := false
+			if l.useDCSS {
+				c.IncDCSS()
+				left := br.Left
+				lw := br.LeftW
+				_, ok = node.prev.DCSS(pw, left, func() bool { return left.succ.Holds(lw) })
+			} else {
+				c.IncCAS()
+				_, ok = node.prev.CompareAndSwap(pw, br.Left)
+			}
+			if ok {
+				return
+			}
+		} else {
+			return
+		}
+		br = l.searchTarget(t, br.Left, c)
+	}
+}
+
+// Contains reports whether key is present, descending from start.
+func (l *List) Contains(key uint64, start *Node, c *stats.Op) bool {
+	br := l.PredecessorBracket(key, start, c)
+	return br.Right.at(target{key: key})
+}
+
+// Find returns the level-0 node holding key, if present (unmarked at
+// witness time).
+func (l *List) Find(key uint64, start *Node, c *stats.Op) (*Node, bool) {
+	br := l.PredecessorBracket(key, start, c)
+	if br.Right.at(target{key: key}) {
+		return br.Right, true
+	}
+	return nil, false
+}

@@ -1,0 +1,172 @@
+package skiplist
+
+import "fmt"
+
+// Validate sweeps the quiescent list and verifies its structural
+// invariants. It must only be called while no operations are in flight;
+// a non-nil error indicates a broken invariant (a bug).
+//
+// Checked invariants:
+//  1. every level is strictly sorted over its unmarked nodes and ends at
+//     the tail sentinel;
+//  2. the unmarked key set of level L+1 is a subset of level L's
+//     (towers are contiguous from level 0);
+//  3. every unmarked node above level 0 has a down pointer to a same-key
+//     node of the same tower, and its root is unmarked;
+//  4. every unmarked top-level node is ready and its prev pointer is
+//     exactly its unmarked top-level predecessor (prev pointers are mere
+//     guides during execution, but quiescence implies all repairs
+//     finished);
+//  5. the recorded length matches the number of unmarked level-0 nodes.
+func (l *List) Validate() error {
+	levelKeys := make([]map[uint64]*Node, l.levels)
+	for lv := 0; lv < l.levels; lv++ {
+		keys := make(map[uint64]*Node)
+		prevKey := uint64(0)
+		first := true
+		n := l.heads[lv]
+		for {
+			s, _ := n.succ.Load()
+			if n.kind == kindTail {
+				break
+			}
+			next := s.Next
+			if next == nil {
+				return fmt.Errorf("level %d: nil next before tail (node %v)", lv, n.key)
+			}
+			if n.kind == kindData && !s.Marked {
+				if !first && n.key <= prevKey {
+					return fmt.Errorf("level %d: keys out of order: %d after %d", lv, n.key, prevKey)
+				}
+				prevKey, first = n.key, false
+				keys[n.key] = n
+				if int(n.level) != lv {
+					return fmt.Errorf("level %d: node %d carries level %d", lv, n.key, n.level)
+				}
+			}
+			n = next
+		}
+		levelKeys[lv] = keys
+	}
+
+	for lv := 1; lv < l.levels; lv++ {
+		for k, n := range levelKeys[lv] {
+			if _, ok := levelKeys[lv-1][k]; !ok {
+				return fmt.Errorf("level %d: key %d present but missing on level %d", lv, k, lv-1)
+			}
+			if n.down == nil || n.down.key != k {
+				return fmt.Errorf("level %d: key %d has bad down pointer", lv, k)
+			}
+			if n.root == nil || n.root.level != 0 || n.root.key != k {
+				return fmt.Errorf("level %d: key %d has bad root pointer", lv, k)
+			}
+			if n.root.Marked() {
+				return fmt.Errorf("level %d: key %d unmarked but root marked", lv, k)
+			}
+		}
+	}
+
+	// Top-level doubly-linked invariants.
+	top := l.levels - 1
+	prev := l.heads[top]
+	n := l.heads[top]
+	for {
+		s, _ := n.succ.Load()
+		if n.kind == kindTail {
+			if got := n.prev.Value(); got != prev {
+				return fmt.Errorf("tail.prev = %v, want key %v", nodeDesc(got), nodeDesc(prev))
+			}
+			break
+		}
+		if n.kind == kindData && !s.Marked {
+			if !n.ready.Load() {
+				return fmt.Errorf("top node %d not ready at quiescence", n.key)
+			}
+			if got := n.prev.Value(); got != prev {
+				return fmt.Errorf("top node %d: prev = %v, want %v", n.key, nodeDesc(got), nodeDesc(prev))
+			}
+			prev = n
+		}
+		n = s.Next
+	}
+
+	if got, want := l.Len(), len(levelKeys[0]); got != want {
+		return fmt.Errorf("Len() = %d but %d unmarked level-0 nodes", got, want)
+	}
+	return nil
+}
+
+func nodeDesc(n *Node) string {
+	switch {
+	case n == nil:
+		return "<nil>"
+	case n.kind == kindHead:
+		return "head"
+	case n.kind == kindTail:
+		return "tail"
+	default:
+		return fmt.Sprintf("key %d", n.key)
+	}
+}
+
+// LevelCounts walks every level and returns the number of unmarked data
+// nodes on each (index 0 = bottom). Call at quiescence; used by
+// visualization and the F1/T6 experiments.
+func (l *List) LevelCounts() []int {
+	counts := make([]int, l.levels)
+	for lv := 0; lv < l.levels; lv++ {
+		n := l.heads[lv]
+		for {
+			s, _ := n.succ.Load()
+			if n.kind == kindData && !s.Marked {
+				counts[lv]++
+			}
+			if n.kind == kindTail {
+				break
+			}
+			n = s.Next
+		}
+	}
+	return counts
+}
+
+// TopGaps returns, for each pair of consecutive top-level nodes (including
+// the head and tail sentinels as boundaries), the number of level-0 keys
+// strictly between them. This measures the paper's Figure 1 claim: gaps
+// are geometrically distributed with mean about log u. Call at quiescence.
+func (l *List) TopGaps() []int {
+	top := l.levels - 1
+	var gaps []int
+	gap := 0
+	topNode := l.heads[top]
+	ts, _ := topNode.succ.Load()
+	nextTop := ts.Next
+	n := l.heads[0]
+	for {
+		s, _ := n.succ.Load()
+		if n.kind == kindTail {
+			gaps = append(gaps, gap)
+			break
+		}
+		if n.kind == kindData && !s.Marked {
+			// Is this key the next top-level key?
+			for nextTop.kind == kindData {
+				ns, _ := nextTop.succ.Load()
+				if !ns.Marked {
+					break
+				}
+				nextTop = ns.Next
+			}
+			if nextTop.kind == kindData && nextTop.key == n.key {
+				gaps = append(gaps, gap)
+				gap = 0
+				ns, _ := nextTop.succ.Load()
+				nextTop = ns.Next
+			} else {
+				gap++
+			}
+		}
+		n = s.Next
+	}
+	return gaps
+}

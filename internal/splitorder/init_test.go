@@ -1,0 +1,84 @@
+package splitorder
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentBucketInitialization hits a fresh (fully grown) table from
+// many goroutines at once so sentinel splicing races on every lookup path:
+// each parent chain must be initialized exactly once and reads must never
+// miss.
+func TestConcurrentBucketInitialization(t *testing.T) {
+	m := New[uint64]()
+	// Grow the table first so lookups spread across many uninitialized
+	// buckets.
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		m.Insert(i, i)
+	}
+	// Fresh map with the same content but grown lazily under concurrency:
+	m2 := New[uint64]()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g uint64) {
+			defer wg.Done()
+			for i := g; i < n; i += 8 {
+				if !m2.Insert(i, i) {
+					t.Errorf("insert %d failed", i)
+					return
+				}
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	// Concurrent cold reads against yet-unsplit buckets.
+	var rg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		rg.Add(1)
+		go func(g uint64) {
+			defer rg.Done()
+			for i := g; i < n; i += 8 {
+				if v, ok := m2.Lookup(i); !ok || v != i {
+					t.Errorf("lookup %d = %d, %v", i, v, ok)
+					return
+				}
+			}
+		}(uint64(g))
+	}
+	rg.Wait()
+	if m2.Len() != n {
+		t.Fatalf("Len = %d, want %d", m2.Len(), n)
+	}
+}
+
+// TestListStaysSortedBySplitOrder verifies the global list invariant after
+// heavy growth: codes are nondecreasing and sentinels partition regular
+// nodes correctly.
+func TestListStaysSortedBySplitOrder(t *testing.T) {
+	m := New[int]()
+	for i := uint64(0); i < 5000; i++ {
+		m.Insert(i*2654435761, 1)
+	}
+	n := m.sentinel(0)
+	var prev uint64
+	first := true
+	count := 0
+	for n != nil {
+		s, _ := n.next.Load()
+		if !s.marked {
+			if !first && n.code < prev {
+				t.Fatalf("split-order violated: %x after %x", n.code, prev)
+			}
+			prev, first = n.code, false
+			if !n.sentinel {
+				count++
+			}
+		}
+		n = s.n
+	}
+	if count != 5000 {
+		t.Fatalf("walked %d regular nodes, want 5000", count)
+	}
+}

@@ -1,0 +1,132 @@
+// Package uintbits provides the bit-level arithmetic underlying the
+// SkipTrie's x-fast trie: prefix extraction over a binary key universe,
+// the injective single-word encoding of proper prefixes, longest common
+// prefixes, and absolute distances between keys.
+//
+// Keys live in a universe [0, 2^W) for a width W in [1, 64]. A prefix of a
+// key is identified by (bits, length): the top `length` bits of the key,
+// stored right-aligned in `bits`. The trie only ever stores proper
+// prefixes (length in [0, W-1]), which is what makes the single-word
+// encoding in Encode possible.
+package uintbits
+
+import "math/bits"
+
+// MaxWidth is the largest supported universe width (keys are uint64).
+const MaxWidth = 64
+
+// Prefix identifies the top Len bits of some key, right-aligned in Bits.
+// The zero value is the empty prefix ε.
+type Prefix struct {
+	Bits uint64
+	Len  uint8
+}
+
+// PrefixOf returns the length-n prefix of key in a width-w universe.
+// It panics if n > w or w > MaxWidth; both indicate programmer error.
+func PrefixOf(key uint64, n, w uint8) Prefix {
+	if w > MaxWidth || n > w {
+		panic("uintbits: prefix length out of range")
+	}
+	if n == 0 {
+		return Prefix{}
+	}
+	return Prefix{Bits: key >> (w - n), Len: n}
+}
+
+// Bit returns bit i of key (0-indexed from the most significant of the
+// width-w universe), i.e. the direction taken under the length-i prefix.
+func Bit(key uint64, i, w uint8) uint8 {
+	return uint8(key>>(w-1-i)) & 1
+}
+
+// Child returns the prefix extended by one direction bit d (0 or 1).
+func (p Prefix) Child(d uint8) Prefix {
+	return Prefix{Bits: p.Bits<<1 | uint64(d&1), Len: p.Len + 1}
+}
+
+// IsPrefixOfKey reports whether p is a prefix of key in a width-w universe
+// (p ≼ key in the paper's notation, treating the key as a length-w string).
+func (p Prefix) IsPrefixOfKey(key uint64, w uint8) bool {
+	if p.Len > w {
+		return false
+	}
+	if p.Len == 0 {
+		return true
+	}
+	return key>>(w-p.Len) == p.Bits
+}
+
+// Encode maps a proper prefix (Len <= 63) to a unique uint64 using the
+// standard "append a 1 and pad with zeros" code:
+//
+//	enc(p) = p.Bits << (64-Len) | 1 << (63-Len)
+//
+// Distinct proper prefixes map to distinct words, so the split-ordered
+// hash table can key on a single uint64. Encode panics for Len > 63,
+// which cannot occur for proper prefixes of a width<=64 universe.
+func (p Prefix) Encode() uint64 {
+	if p.Len > 63 {
+		panic("uintbits: Encode requires a proper prefix (len <= 63)")
+	}
+	return p.Bits<<(64-p.Len) | 1<<(63-p.Len)
+}
+
+// MinKey returns the smallest key of the width-w universe having prefix p.
+func (p Prefix) MinKey(w uint8) uint64 {
+	return p.Bits << (w - p.Len)
+}
+
+// MaxKey returns the largest key of the width-w universe having prefix p.
+func (p Prefix) MaxKey(w uint8) uint64 {
+	n := w - p.Len
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return p.Bits<<n | (1<<n - 1)
+}
+
+// LCPLen returns the length of the longest common prefix of x and y in a
+// width-w universe (lcp in the paper's notation).
+func LCPLen(x, y uint64, w uint8) uint8 {
+	if x == y {
+		return w
+	}
+	lz := uint8(bits.LeadingZeros64(x ^ y)) // counts from bit 63 downward
+	lead := lz - (64 - w)                   // matching bits inside the window
+	return lead
+}
+
+// Dist returns |x - y| as a uint64 without overflow.
+func Dist(x, y uint64) uint64 {
+	if x >= y {
+		return x - y
+	}
+	return y - x
+}
+
+// Levels returns the number of skiplist levels for a width-w universe:
+// ceil(log2(w)) + 1, i.e. O(log log u) as mandated by the paper. The +1
+// makes the probability of a tower reaching the truncated top level exactly
+// 2^-ceil(log2 w) ≈ 1/w = 1/log u, so the expected gap between x-fast-trie
+// keys is log u with constant 1 (the paper's Figure 1 claim). The result is
+// never less than 2 so that a distinct "top level" exists even for tiny
+// universes.
+func Levels(w uint8) int {
+	l := bits.Len8(w-1) + 1 // ceil(log2(w)) + 1 for w >= 1
+	if l < 2 {
+		return 2
+	}
+	return l
+}
+
+// Mix64 is the Stafford variant 13 finalizer of SplitMix64, used as the
+// hash function for prefix keys in the split-ordered hash table.
+func Mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

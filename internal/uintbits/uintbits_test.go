@@ -1,0 +1,260 @@
+package uintbits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrefixOf(t *testing.T) {
+	tests := []struct {
+		key  uint64
+		n, w uint8
+		want Prefix
+	}{
+		{0b1011, 0, 4, Prefix{}},
+		{0b1011, 1, 4, Prefix{0b1, 1}},
+		{0b1011, 2, 4, Prefix{0b10, 2}},
+		{0b1011, 3, 4, Prefix{0b101, 3}},
+		{0b1011, 4, 4, Prefix{0b1011, 4}},
+		{0xFFFFFFFFFFFFFFFF, 64, 64, Prefix{0xFFFFFFFFFFFFFFFF, 64}},
+		{0xFFFFFFFFFFFFFFFF, 1, 64, Prefix{1, 1}},
+		{0x8000000000000000, 1, 64, Prefix{1, 1}},
+		{0x7FFFFFFFFFFFFFFF, 1, 64, Prefix{0, 1}},
+	}
+	for _, tc := range tests {
+		if got := PrefixOf(tc.key, tc.n, tc.w); got != tc.want {
+			t.Errorf("PrefixOf(%b, %d, %d) = %+v, want %+v", tc.key, tc.n, tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestPrefixOfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PrefixOf with n > w should panic")
+		}
+	}()
+	PrefixOf(1, 5, 4)
+}
+
+func TestBit(t *testing.T) {
+	// key 1011 in a width-4 universe: bits from MSB are 1,0,1,1.
+	key := uint64(0b1011)
+	want := []uint8{1, 0, 1, 1}
+	for i, w := range want {
+		if got := Bit(key, uint8(i), 4); got != w {
+			t.Errorf("Bit(%b, %d, 4) = %d, want %d", key, i, got, w)
+		}
+	}
+	if got := Bit(1<<63, 0, 64); got != 1 {
+		t.Errorf("Bit(1<<63, 0, 64) = %d, want 1", got)
+	}
+	if got := Bit(1, 63, 64); got != 1 {
+		t.Errorf("Bit(1, 63, 64) = %d, want 1", got)
+	}
+}
+
+func TestChild(t *testing.T) {
+	p := Prefix{0b10, 2}
+	if got := p.Child(0); got != (Prefix{0b100, 3}) {
+		t.Errorf("Child(0) = %+v", got)
+	}
+	if got := p.Child(1); got != (Prefix{0b101, 3}) {
+		t.Errorf("Child(1) = %+v", got)
+	}
+}
+
+func TestIsPrefixOfKey(t *testing.T) {
+	tests := []struct {
+		p    Prefix
+		key  uint64
+		w    uint8
+		want bool
+	}{
+		{Prefix{}, 0b1011, 4, true},
+		{Prefix{0b1, 1}, 0b1011, 4, true},
+		{Prefix{0b0, 1}, 0b1011, 4, false},
+		{Prefix{0b10, 2}, 0b1011, 4, true},
+		{Prefix{0b11, 2}, 0b1011, 4, false},
+		{Prefix{0b1011, 4}, 0b1011, 4, true},
+		{Prefix{0b1011, 5}, 0b1011, 4, false}, // longer than universe
+	}
+	for _, tc := range tests {
+		if got := tc.p.IsPrefixOfKey(tc.key, tc.w); got != tc.want {
+			t.Errorf("%+v.IsPrefixOfKey(%b, %d) = %v, want %v", tc.p, tc.key, tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestEncodeInjective(t *testing.T) {
+	// Exhaustive over a small sub-universe: all prefixes of length 0..10.
+	seen := make(map[uint64]Prefix)
+	for l := uint8(0); l <= 10; l++ {
+		for b := uint64(0); b < 1<<l; b++ {
+			p := Prefix{b, l}
+			e := p.Encode()
+			if prev, dup := seen[e]; dup {
+				t.Fatalf("Encode collision: %+v and %+v both map to %x", prev, p, e)
+			}
+			seen[e] = p
+		}
+	}
+}
+
+func TestEncodeInjectiveQuick(t *testing.T) {
+	f := func(a, b uint64, la, lb uint8) bool {
+		la %= 64
+		lb %= 64
+		pa := Prefix{a & (1<<la - 1), la}
+		pb := Prefix{b & (1<<lb - 1), lb}
+		if pa == pb {
+			return pa.Encode() == pb.Encode()
+		}
+		return pa.Encode() != pb.Encode()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodePanicsOnFullWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode of a non-proper prefix should panic")
+		}
+	}()
+	Prefix{0, 64}.Encode()
+}
+
+func TestMinMaxKey(t *testing.T) {
+	p := Prefix{0b10, 2}
+	if got := p.MinKey(4); got != 0b1000 {
+		t.Errorf("MinKey = %b", got)
+	}
+	if got := p.MaxKey(4); got != 0b1011 {
+		t.Errorf("MaxKey = %b", got)
+	}
+	// Empty prefix spans the whole universe.
+	e := Prefix{}
+	if got := e.MinKey(64); got != 0 {
+		t.Errorf("empty MinKey = %d", got)
+	}
+	if got := e.MaxKey(64); got != ^uint64(0) {
+		t.Errorf("empty MaxKey = %x", got)
+	}
+}
+
+func TestMinMaxKeyBracketQuick(t *testing.T) {
+	f := func(key uint64, n uint8) bool {
+		const w = 64
+		n %= w // proper prefix
+		p := PrefixOf(key, n, w)
+		return p.MinKey(w) <= key && key <= p.MaxKey(w) &&
+			p.IsPrefixOfKey(p.MinKey(w), w) && p.IsPrefixOfKey(p.MaxKey(w), w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLCPLen(t *testing.T) {
+	tests := []struct {
+		x, y uint64
+		w    uint8
+		want uint8
+	}{
+		{0b1011, 0b1011, 4, 4},
+		{0b1011, 0b1010, 4, 3},
+		{0b1011, 0b1111, 4, 1},
+		{0b1011, 0b0011, 4, 0},
+		{0, ^uint64(0), 64, 0},
+		{0xFFFFFFFF00000000, 0xFFFFFFFF00000001, 64, 63},
+	}
+	for _, tc := range tests {
+		if got := LCPLen(tc.x, tc.y, tc.w); got != tc.want {
+			t.Errorf("LCPLen(%b, %b, %d) = %d, want %d", tc.x, tc.y, tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestLCPLenQuick(t *testing.T) {
+	// The LCP of x and y is a prefix of both; extending it by one bit is a
+	// prefix of at most one of them.
+	f := func(x, y uint64) bool {
+		const w = 64
+		n := LCPLen(x, y, w)
+		p := PrefixOf(x, n, w)
+		if !p.IsPrefixOfKey(x, w) || !p.IsPrefixOfKey(y, w) {
+			return false
+		}
+		if n == w {
+			return x == y
+		}
+		cx := p.Child(Bit(x, n, w))
+		return !cx.IsPrefixOfKey(y, w) || x == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDist(t *testing.T) {
+	if got := Dist(5, 9); got != 4 {
+		t.Errorf("Dist(5,9) = %d", got)
+	}
+	if got := Dist(9, 5); got != 4 {
+		t.Errorf("Dist(9,5) = %d", got)
+	}
+	if got := Dist(0, ^uint64(0)); got != ^uint64(0) {
+		t.Errorf("Dist(0,max) = %d", got)
+	}
+	if got := Dist(7, 7); got != 0 {
+		t.Errorf("Dist(7,7) = %d", got)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	tests := []struct {
+		w    uint8
+		want int
+	}{
+		{1, 2}, {2, 2}, {3, 3}, {4, 3}, {5, 4}, {8, 4}, {9, 5},
+		{16, 5}, {17, 6}, {32, 6}, {33, 7}, {64, 7},
+	}
+	for _, tc := range tests {
+		if got := Levels(tc.w); got != tc.want {
+			t.Errorf("Levels(%d) = %d, want %d", tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestMix64(t *testing.T) {
+	// Sanity: bijective-ish behaviour — no collisions over a random sample
+	// and not the identity.
+	rng := rand.New(rand.NewSource(1))
+	seen := make(map[uint64]bool, 1<<16)
+	identical := 0
+	for i := 0; i < 1<<16; i++ {
+		x := rng.Uint64()
+		h := Mix64(x)
+		if h == x {
+			identical++
+		}
+		if seen[h] {
+			t.Fatalf("Mix64 collision at %x", x)
+		}
+		seen[h] = true
+	}
+	if identical > 2 {
+		t.Errorf("Mix64 looks like identity on %d inputs", identical)
+	}
+}
+
+func TestMix64Zero(t *testing.T) {
+	if Mix64(0) != 0 {
+		// SplitMix64's finalizer maps 0 to 0; document the fact so the
+		// hash table doesn't rely on Mix64(0) being scrambled.
+		t.Log("Mix64(0) is nonzero")
+	}
+}

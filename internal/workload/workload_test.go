@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUniformInUniverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, w := range []uint8{1, 8, 32, 64} {
+		g := Uniform{W: w}
+		if g.Width() != w {
+			t.Fatalf("Width = %d", g.Width())
+		}
+		for i := 0; i < 10000; i++ {
+			k := g.Next(rng)
+			if w < 64 && k >= 1<<w {
+				t.Fatalf("w=%d: key %d out of universe", w, k)
+			}
+		}
+	}
+}
+
+func TestClusteredWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := Clustered{W: 32, Base: 1000, Span: 64}
+	for i := 0; i < 10000; i++ {
+		k := g.Next(rng)
+		if k < 1000 || k >= 1064 {
+			t.Fatalf("key %d outside hot window", k)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	g := NewZipfian(32, 0, 1, 1000, 1.5, 3)
+	counts := map[uint64]int{}
+	for i := 0; i < 20000; i++ {
+		counts[g.Next(nil)]++
+	}
+	// Rank 0 must dominate.
+	if counts[0] < 20000/10 {
+		t.Fatalf("rank-0 count = %d; distribution not skewed", counts[0])
+	}
+}
+
+func TestSpreadKeysClampsTinyUniverse(t *testing.T) {
+	// Requesting more keys than the universe can hold must clamp (and
+	// terminate) rather than spin forever.
+	keys := SpreadKeys(10000, 8)
+	if len(keys) != 128 {
+		t.Fatalf("SpreadKeys(10000, 8) returned %d keys, want 128", len(keys))
+	}
+	seen := map[uint64]bool{}
+	for _, k := range keys {
+		if k >= 256 || seen[k] {
+			t.Fatalf("bad key %d", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestSpreadKeysDistinctAndInUniverse(t *testing.T) {
+	for _, w := range []uint8{8, 16, 64} {
+		n := 200
+		if w == 8 {
+			n = 100
+		}
+		keys := SpreadKeys(n, w)
+		if len(keys) != n {
+			t.Fatalf("got %d keys", len(keys))
+		}
+		seen := map[uint64]bool{}
+		for _, k := range keys {
+			if seen[k] {
+				t.Fatalf("duplicate key %d", k)
+			}
+			seen[k] = true
+			if w < 64 && k >= 1<<w {
+				t.Fatalf("key %d outside width-%d universe", k, w)
+			}
+		}
+	}
+}
+
+func TestMixDistribution(t *testing.T) {
+	m := Mix{InsertPct: 30, DeletePct: 20, ContainsPct: 10}
+	rng := rand.New(rand.NewSource(4))
+	counts := map[OpKind]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[m.Pick(rng)]++
+	}
+	check := func(kind OpKind, pct int) {
+		t.Helper()
+		want := n * pct / 100
+		got := counts[kind]
+		if got < want*85/100 || got > want*115/100 {
+			t.Errorf("kind %d: %d draws, want about %d", kind, got, want)
+		}
+	}
+	check(OpInsert, 30)
+	check(OpDelete, 20)
+	check(OpContains, 10)
+	check(OpPredecessor, 40)
+}
+
+func TestMixString(t *testing.T) {
+	m := Mix{InsertPct: 5, DeletePct: 5}
+	if got := m.String(); got != "90/5/5 read/ins/del" {
+		t.Fatalf("String = %q", got)
+	}
+	// reads = 100-25-25-10 = 40 predecessor + 10 contains = 50 total reads.
+	m = Mix{InsertPct: 25, DeletePct: 25, ContainsPct: 10}
+	if got := m.String(); got != "50/25/25 read/ins/del" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,151 @@
+package skiptrie
+
+import (
+	"skiptrie/internal/core"
+	"skiptrie/internal/stats"
+)
+
+// Map is a concurrent lock-free ordered map from uint64 keys to values of
+// type V, built on the same SkipTrie structure as the set API and adding
+// predecessor/successor queries over keys. Create one with NewMap; the
+// zero value is not usable.
+type Map[V any] struct {
+	c *core.SkipTrie
+	m *Metrics
+}
+
+// NewMap returns an empty ordered map. It accepts the same options as New.
+func NewMap[V any](opts ...Option) *Map[V] {
+	o := buildOptions(opts)
+	return &Map[V]{
+		c: core.New(core.Config{
+			Width:       o.width,
+			DisableDCSS: o.disableDCSS,
+			Repair:      o.repair,
+			Seed:        o.seed,
+		}),
+		m: o.metrics,
+	}
+}
+
+func (m *Map[V]) op() *stats.Op {
+	if m.m == nil {
+		return nil
+	}
+	return new(stats.Op)
+}
+
+func (m *Map[V]) cast(v any) V {
+	if v == nil {
+		var zero V
+		return zero
+	}
+	return v.(V)
+}
+
+// Store sets the value for key, inserting it if absent.
+func (m *Map[V]) Store(key uint64, val V) {
+	c := m.op()
+	defer m.m.record(OpInsert, key, c)
+	for {
+		if m.c.Insert(key, val, c) {
+			return
+		}
+		if n, ok := m.c.FindNode(key, c); ok {
+			n.SetValue(val)
+			return
+		}
+		// The key vanished between the failed insert and the lookup
+		// (concurrent delete); retry the insert.
+	}
+}
+
+// Load returns the value stored under key.
+func (m *Map[V]) Load(key uint64) (V, bool) {
+	c := m.op()
+	v, ok := m.c.Find(key, c)
+	m.m.record(OpContains, key, c)
+	return m.cast(v), ok
+}
+
+// LoadOrStore returns the existing value for key if present; otherwise it
+// stores val. The loaded result reports whether the value was loaded.
+func (m *Map[V]) LoadOrStore(key uint64, val V) (actual V, loaded bool) {
+	c := m.op()
+	defer m.m.record(OpInsert, key, c)
+	for {
+		if m.c.Insert(key, val, c) {
+			return val, false
+		}
+		if v, ok := m.c.Find(key, c); ok {
+			return m.cast(v), true
+		}
+	}
+}
+
+// Delete removes key and reports whether this call removed it.
+func (m *Map[V]) Delete(key uint64) bool {
+	c := m.op()
+	ok := m.c.Delete(key, c)
+	m.m.record(OpDelete, key, c)
+	return ok
+}
+
+// Predecessor returns the largest key <= x and its value.
+func (m *Map[V]) Predecessor(x uint64) (uint64, V, bool) {
+	c := m.op()
+	k, v, ok := m.c.Predecessor(x, c)
+	m.m.record(OpPredecessor, x, c)
+	return k, m.cast(v), ok
+}
+
+// Successor returns the smallest key >= x and its value.
+func (m *Map[V]) Successor(x uint64) (uint64, V, bool) {
+	c := m.op()
+	k, v, ok := m.c.Successor(x, c)
+	m.m.record(OpPredecessor, x, c)
+	return k, m.cast(v), ok
+}
+
+// StrictPredecessor returns the largest key < x and its value.
+func (m *Map[V]) StrictPredecessor(x uint64) (uint64, V, bool) {
+	k, v, ok := m.c.StrictPredecessor(x, m.op())
+	return k, m.cast(v), ok
+}
+
+// StrictSuccessor returns the smallest key > x and its value.
+func (m *Map[V]) StrictSuccessor(x uint64) (uint64, V, bool) {
+	k, v, ok := m.c.StrictSuccessor(x, m.op())
+	return k, m.cast(v), ok
+}
+
+// Min returns the smallest key and its value.
+func (m *Map[V]) Min() (uint64, V, bool) {
+	k, v, ok := m.c.Min(nil)
+	return k, m.cast(v), ok
+}
+
+// Max returns the largest key and its value.
+func (m *Map[V]) Max() (uint64, V, bool) {
+	k, v, ok := m.c.Max(nil)
+	return k, m.cast(v), ok
+}
+
+// Len returns the number of keys (approximate under concurrent mutation).
+func (m *Map[V]) Len() int { return m.c.Len() }
+
+// Range calls fn on each key/value with key >= from in ascending order
+// until fn returns false. Iteration is weakly consistent.
+func (m *Map[V]) Range(from uint64, fn func(key uint64, val V) bool) {
+	m.c.Range(from, func(k uint64, v any) bool { return fn(k, m.cast(v)) }, nil)
+}
+
+// Descend calls fn on each key/value with key <= from in descending order
+// until fn returns false. Each step costs one strict-predecessor query.
+func (m *Map[V]) Descend(from uint64, fn func(key uint64, val V) bool) {
+	m.c.Descend(from, func(k uint64, v any) bool { return fn(k, m.cast(v)) }, nil)
+}
+
+// Validate checks the quiescent structure's invariants (see
+// SkipTrie.Validate).
+func (m *Map[V]) Validate() error { return m.c.Validate() }

@@ -1,0 +1,137 @@
+package skiptrie
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"skiptrie/internal/stats"
+	"skiptrie/internal/uintbits"
+)
+
+// OpKind labels the operation class a metric sample belongs to.
+type OpKind uint8
+
+// Operation kinds reported by Metrics.
+const (
+	OpPredecessor OpKind = iota
+	OpInsert
+	OpDelete
+	OpContains
+	numOpKinds
+)
+
+// String returns the kind's name.
+func (k OpKind) String() string {
+	switch k {
+	case OpPredecessor:
+		return "predecessor"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpContains:
+		return "contains"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+const metricStripes = 16 // power of two
+
+// Metrics aggregates per-operation step counts across goroutines. Counters
+// are striped by key hash so concurrent recording does not serialize on a
+// single cache line; a single Metrics may be shared by several structures.
+// The zero value is ready to use.
+type Metrics struct {
+	stripes [metricStripes]metricStripe
+}
+
+type metricStripe struct {
+	ops     [numOpKinds]atomic.Uint64
+	steps   [numOpKinds]atomic.Uint64
+	hops    atomic.Uint64
+	cas     atomic.Uint64
+	dcss    atomic.Uint64
+	probes  atomic.Uint64
+	touches atomic.Uint64
+	_       [40]byte // keep stripes on separate cache lines
+}
+
+// record folds one finished operation into the collector. Nil receivers
+// and nil ops are ignored, so callers can record unconditionally.
+func (m *Metrics) record(kind OpKind, key uint64, op *stats.Op) {
+	if m == nil || op == nil {
+		return
+	}
+	s := &m.stripes[uintbits.Mix64(key)&(metricStripes-1)]
+	s.ops[kind].Add(1)
+	s.steps[kind].Add(op.Steps())
+	s.hops.Add(op.Hops)
+	s.cas.Add(op.CAS)
+	s.dcss.Add(op.DCSS)
+	s.probes.Add(op.HashProbes)
+	if op.TrieTouch {
+		s.touches.Add(1)
+	}
+}
+
+// Snapshot is a point-in-time aggregation of a Metrics collector.
+type Snapshot struct {
+	Ops     [numOpKinds]uint64 // operations by kind
+	Steps   [numOpKinds]uint64 // total steps by kind
+	Hops    uint64             // pointer traversals
+	CAS     uint64             // CAS attempts
+	DCSS    uint64             // DCSS attempts
+	Probes  uint64             // hash-table operations
+	Touches uint64             // operations that modified the x-fast trie
+}
+
+// Snapshot sums the stripes. It is safe to call concurrently with
+// recording; the result is a consistent-enough point-in-time view.
+func (m *Metrics) Snapshot() Snapshot {
+	var out Snapshot
+	if m == nil {
+		return out
+	}
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		for k := 0; k < int(numOpKinds); k++ {
+			out.Ops[k] += s.ops[k].Load()
+			out.Steps[k] += s.steps[k].Load()
+		}
+		out.Hops += s.hops.Load()
+		out.CAS += s.cas.Load()
+		out.DCSS += s.dcss.Load()
+		out.Probes += s.probes.Load()
+		out.Touches += s.touches.Load()
+	}
+	return out
+}
+
+// TotalOps returns the number of recorded operations across all kinds.
+func (sn Snapshot) TotalOps() uint64 {
+	var n uint64
+	for _, v := range sn.Ops {
+		n += v
+	}
+	return n
+}
+
+// AvgSteps returns the mean steps per operation of the given kind, or 0
+// if none were recorded. This is the unit of the paper's amortized
+// complexity claims.
+func (sn Snapshot) AvgSteps(kind OpKind) float64 {
+	if sn.Ops[kind] == 0 {
+		return 0
+	}
+	return float64(sn.Steps[kind]) / float64(sn.Ops[kind])
+}
+
+// TouchRate returns the fraction of recorded operations that modified the
+// x-fast trie; the paper predicts about 1/log u for updates.
+func (sn Snapshot) TouchRate() float64 {
+	if n := sn.TotalOps(); n > 0 {
+		return float64(sn.Touches) / float64(n)
+	}
+	return 0
+}

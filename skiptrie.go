@@ -1,0 +1,250 @@
+// Package skiptrie implements the SkipTrie of Oshman and Shavit ("The
+// SkipTrie: Low-Depth Concurrent Search without Rebalancing", PODC 2013):
+// a lock-free, linearizable concurrent predecessor structure over an
+// integer universe [0, 2^W) supporting predecessor queries in expected
+// amortized O(log log u + c) steps and updates in O(c log log u), where u
+// is the universe size and c the contention, using O(m) space for m keys.
+//
+// The structure is a probabilistically balanced y-fast trie: all keys live
+// in a truncated lock-free skiplist of log log u levels; keys whose towers
+// reach the top level (probability 1/log u) are additionally indexed by a
+// lock-free x-fast trie — a hash table over key prefixes searched by
+// binary search on prefix length. Expected gaps of log u between indexed
+// keys replace the y-fast trie's explicit bucket rebalancing, which is
+// what makes a lock-free implementation tractable.
+//
+// # Quick start
+//
+//	st := skiptrie.New(skiptrie.WithWidth(32))
+//	st.Insert(42)
+//	st.Insert(100)
+//	if k, ok := st.Predecessor(99); ok {
+//		fmt.Println(k) // 42
+//	}
+//
+// All operations are safe for concurrent use and lock-free: a stalled
+// goroutine cannot block others. For a key-value variant see Map.
+package skiptrie
+
+import (
+	"skiptrie/internal/core"
+	"skiptrie/internal/skiplist"
+	"skiptrie/internal/stats"
+)
+
+// SkipTrie is a concurrent lock-free sorted set of uint64 keys drawn from
+// a universe [0, 2^W). Create one with New; the zero value is not usable.
+type SkipTrie struct {
+	c *core.SkipTrie
+	m *Metrics
+}
+
+type options struct {
+	width       uint8
+	disableDCSS bool
+	repair      skiplist.RepairMode
+	seed        uint64
+	metrics     *Metrics
+}
+
+// Option configures a SkipTrie or Map.
+type Option func(*options)
+
+// WithWidth sets the universe width W = log2(u): keys must be < 2^w.
+// Valid widths are 1..64; the default is 64. Smaller universes use fewer
+// skiplist levels (log log u) and shallower trie searches.
+func WithWidth(w int) Option {
+	return func(o *options) {
+		if w < 1 {
+			w = 1
+		}
+		if w > 64 {
+			w = 64
+		}
+		o.width = uint8(w)
+	}
+}
+
+// WithoutDCSS replaces every DCSS with a plain CAS (dropping the second
+// guard). The paper proves the structure remains linearizable and
+// lock-free in this mode; only the amortized step bound degrades. Exposed
+// for the T7 ablation experiment.
+func WithoutDCSS() Option {
+	return func(o *options) { o.disableDCSS = true }
+}
+
+// WithEagerPrevRepair selects the paper's option (1) for maintaining
+// top-level prev pointers: inserts help their successors complete before
+// finishing, trading extra write contention for point-contention bounds.
+// The default is the paper's choice, option (2): transient backward gaps
+// are tolerated and repaired by the in-flight insert. Exposed for the T8
+// ablation experiment.
+func WithEagerPrevRepair() Option {
+	return func(o *options) { o.repair = skiplist.RepairEager }
+}
+
+// WithSeed seeds tower-height randomness, making structure shapes
+// reproducible. The default seed is fixed; use distinct seeds for
+// statistically independent runs.
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithMetrics attaches a Metrics collector that aggregates per-operation
+// step counts (pointer hops, CAS/DCSS attempts, hash probes). The overhead
+// is one short striped-counter update per operation.
+func WithMetrics(m *Metrics) Option {
+	return func(o *options) { o.metrics = m }
+}
+
+func buildOptions(opts []Option) options {
+	o := options{width: 64}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// New returns an empty SkipTrie.
+func New(opts ...Option) *SkipTrie {
+	o := buildOptions(opts)
+	return &SkipTrie{
+		c: core.New(core.Config{
+			Width:       o.width,
+			DisableDCSS: o.disableDCSS,
+			Repair:      o.repair,
+			Seed:        o.seed,
+		}),
+		m: o.metrics,
+	}
+}
+
+// op returns a fresh step counter when metrics are attached, else nil.
+func (s *SkipTrie) op() *stats.Op {
+	if s.m == nil {
+		return nil
+	}
+	return new(stats.Op)
+}
+
+// Insert adds key to the set and reports whether it was absent. Keys
+// outside the universe are rejected (returns false).
+func (s *SkipTrie) Insert(key uint64) bool {
+	c := s.op()
+	ok := s.c.Insert(key, nil, c)
+	s.m.record(OpInsert, key, c)
+	return ok
+}
+
+// Delete removes key from the set and reports whether this call removed
+// it.
+func (s *SkipTrie) Delete(key uint64) bool {
+	c := s.op()
+	ok := s.c.Delete(key, c)
+	s.m.record(OpDelete, key, c)
+	return ok
+}
+
+// Contains reports whether key is in the set.
+func (s *SkipTrie) Contains(key uint64) bool {
+	c := s.op()
+	ok := s.c.Contains(key, c)
+	s.m.record(OpContains, key, c)
+	return ok
+}
+
+// Predecessor returns the largest key <= x.
+func (s *SkipTrie) Predecessor(x uint64) (uint64, bool) {
+	c := s.op()
+	k, _, ok := s.c.Predecessor(x, c)
+	s.m.record(OpPredecessor, x, c)
+	return k, ok
+}
+
+// StrictPredecessor returns the largest key < x.
+func (s *SkipTrie) StrictPredecessor(x uint64) (uint64, bool) {
+	c := s.op()
+	k, _, ok := s.c.StrictPredecessor(x, c)
+	s.m.record(OpPredecessor, x, c)
+	return k, ok
+}
+
+// Successor returns the smallest key >= x.
+func (s *SkipTrie) Successor(x uint64) (uint64, bool) {
+	c := s.op()
+	k, _, ok := s.c.Successor(x, c)
+	s.m.record(OpPredecessor, x, c)
+	return k, ok
+}
+
+// StrictSuccessor returns the smallest key > x.
+func (s *SkipTrie) StrictSuccessor(x uint64) (uint64, bool) {
+	c := s.op()
+	k, _, ok := s.c.StrictSuccessor(x, c)
+	s.m.record(OpPredecessor, x, c)
+	return k, ok
+}
+
+// Min returns the smallest key in the set.
+func (s *SkipTrie) Min() (uint64, bool) {
+	k, _, ok := s.c.Min(nil)
+	return k, ok
+}
+
+// Max returns the largest key in the set.
+func (s *SkipTrie) Max() (uint64, bool) {
+	k, _, ok := s.c.Max(nil)
+	return k, ok
+}
+
+// Len returns the number of keys. Under concurrent mutation the value is
+// a point-in-time approximation.
+func (s *SkipTrie) Len() int { return s.c.Len() }
+
+// Width returns the universe width W = log2(u).
+func (s *SkipTrie) Width() int { return int(s.c.Width()) }
+
+// Levels returns the number of skiplist levels (about log log u).
+func (s *SkipTrie) Levels() int { return s.c.Levels() }
+
+// MaxKey returns the largest representable key, 2^W - 1.
+func (s *SkipTrie) MaxKey() uint64 { return s.c.MaxKey() }
+
+// Range calls fn on every key >= from in ascending order until fn returns
+// false. Iteration is weakly consistent under concurrent mutation.
+func (s *SkipTrie) Range(from uint64, fn func(key uint64) bool) {
+	s.c.Range(from, func(k uint64, _ any) bool { return fn(k) }, nil)
+}
+
+// Descend calls fn on every key <= from in descending order until fn
+// returns false. Each step costs one strict-predecessor query; iteration
+// is weakly consistent under concurrent mutation.
+func (s *SkipTrie) Descend(from uint64, fn func(key uint64) bool) {
+	s.c.Descend(from, func(k uint64, _ any) bool { return fn(k) }, nil)
+}
+
+// Keys returns all keys in ascending order (a weakly consistent snapshot).
+func (s *SkipTrie) Keys() []uint64 {
+	keys := make([]uint64, 0, s.Len())
+	s.Range(0, func(k uint64) bool {
+		keys = append(keys, k)
+		return true
+	})
+	return keys
+}
+
+// SpaceStats describes the structure's footprint in node counts.
+type SpaceStats = core.SpaceStats
+
+// Space returns current space statistics (approximate under concurrency).
+func (s *SkipTrie) Space() SpaceStats { return s.c.Space() }
+
+// TopGaps returns the distribution of key counts between consecutive
+// trie-indexed (top-level) keys; the paper predicts a geometric
+// distribution with mean about log u. Call at quiescence.
+func (s *SkipTrie) TopGaps() []int { return s.c.TopGaps() }
+
+// Validate checks every structural invariant of the quiescent structure.
+// It must not run concurrently with other operations. A non-nil error
+// indicates a bug in this package.
+func (s *SkipTrie) Validate() error { return s.c.Validate() }
