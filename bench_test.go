@@ -27,7 +27,7 @@ const benchM = 1 << 14
 func BenchmarkT1PredecessorVsUniverse(b *testing.B) {
 	for _, w := range []uint8{8, 16, 32, 64} {
 		b.Run(fmt.Sprintf("skiptrie/W=%d", w), func(b *testing.B) {
-			s := harness.SkipTrieSet{T: core.New(core.Config{Width: w, Seed: 11})}
+			s := harness.SkipTrieSet{T: core.NewSet(core.Config{Width: w, Seed: 11})}
 			harness.Prefill(s, benchM, w)
 			gen := workload.Uniform{W: w}
 			rng := rand.New(rand.NewSource(1))
@@ -65,7 +65,7 @@ func BenchmarkT2PredecessorVsM(b *testing.B) {
 	for _, logM := range []int{10, 14, 18} {
 		m := 1 << logM
 		b.Run(fmt.Sprintf("skiptrie/m=2^%d", logM), func(b *testing.B) {
-			s := harness.SkipTrieSet{T: core.New(core.Config{Width: w, Seed: 7})}
+			s := harness.SkipTrieSet{T: core.NewSet(core.Config{Width: w, Seed: 7})}
 			harness.Prefill(s, m, w)
 			gen := workload.Uniform{W: w}
 			rng := rand.New(rand.NewSource(2))
@@ -92,7 +92,7 @@ func BenchmarkT2PredecessorVsM(b *testing.B) {
 func BenchmarkT3AmortizedUpdates(b *testing.B) {
 	for _, w := range []uint8{16, 32, 64} {
 		b.Run(fmt.Sprintf("insert+delete/W=%d", w), func(b *testing.B) {
-			s := harness.SkipTrieSet{T: core.New(core.Config{Width: w, Seed: 5})}
+			s := harness.SkipTrieSet{T: core.NewSet(core.Config{Width: w, Seed: 5})}
 			harness.Prefill(s, benchM, w)
 			gen := workload.Uniform{W: w}
 			rng := rand.New(rand.NewSource(3))
@@ -126,7 +126,7 @@ func BenchmarkT4Throughput(b *testing.B) {
 		name  string
 		build func() harness.Set
 	}{
-		{"skiptrie", func() harness.Set { return harness.SkipTrieSet{T: core.New(core.Config{Width: w, Seed: 3})} }},
+		{"skiptrie", func() harness.Set { return harness.SkipTrieSet{T: core.NewSet(core.Config{Width: w, Seed: 3})} }},
 		{"skiplist", func() harness.Set { return harness.CSkipListSet{L: cskiplist.New(3)} }},
 		{"yfast+lock", func() harness.Set { return harness.LockedYFastSet{Y: yfast.NewLocked(w)} }},
 		{"treap+lock", func() harness.Set { return harness.LockedTreapSet{S: lockedset.New(3)} }},
@@ -160,7 +160,7 @@ func BenchmarkT4Throughput(b *testing.B) {
 
 func BenchmarkT5Contention(b *testing.B) {
 	const w = 32
-	s := harness.SkipTrieSet{T: core.New(core.Config{Width: w, Seed: 21})}
+	s := harness.SkipTrieSet{T: core.NewSet(core.Config{Width: w, Seed: 21})}
 	harness.Prefill(s, benchM, w)
 	gen := workload.Clustered{W: w, Base: 1 << 20, Span: 1024}
 	mix := workload.Mix{InsertPct: 25, DeletePct: 25}
@@ -187,7 +187,7 @@ func BenchmarkT6Space(b *testing.B) {
 		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
 			// Build once; the timed loop measures the space query itself,
 			// the metrics report the structural ratios the claim is about.
-			st := core.New(core.Config{Width: w, Seed: 17})
+			st := core.NewSet(core.Config{Width: w, Seed: 17})
 			harness.Prefill(harness.SkipTrieSet{T: st}, benchM, w)
 			b.ResetTimer()
 			var sp core.SpaceStats
@@ -207,7 +207,7 @@ func BenchmarkF1TopLevelGaps(b *testing.B) {
 		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
 			// Build once; the timed loop measures the gap sweep, the
 			// metrics report the distribution the claim is about.
-			st := core.New(core.Config{Width: w, Seed: 29})
+			st := core.NewSet(core.Config{Width: w, Seed: 29})
 			harness.Prefill(harness.SkipTrieSet{T: st}, benchM, w)
 			b.ResetTimer()
 			var gaps []int
@@ -236,7 +236,7 @@ func BenchmarkT7DCSSvsCAS(b *testing.B) {
 			name = "cas-fallback"
 		}
 		b.Run(name, func(b *testing.B) {
-			s := harness.SkipTrieSet{T: core.New(core.Config{Width: w, DisableDCSS: disable, Seed: 43})}
+			s := harness.SkipTrieSet{T: core.NewSet(core.Config{Width: w, DisableDCSS: disable, Seed: 43})}
 			harness.Prefill(s, benchM, w)
 			mix := workload.Mix{InsertPct: 25, DeletePct: 25}
 			b.RunParallel(func(pb *testing.PB) {
@@ -270,7 +270,7 @@ func BenchmarkT8PrevRepair(b *testing.B) {
 			cfg.Repair = skiplist.RepairEager
 		}
 		b.Run(name, func(b *testing.B) {
-			s := harness.SkipTrieSet{T: core.New(cfg)}
+			s := harness.SkipTrieSet{T: core.NewSet(cfg)}
 			harness.Prefill(s, benchM/4, w)
 			gen := workload.Clustered{W: w, Base: 1 << 12, Span: 4096}
 			mix := workload.Mix{InsertPct: 45, DeletePct: 45}
@@ -350,5 +350,39 @@ func BenchmarkMapStoreLoad(b *testing.B) {
 		k := uint64(rng.Uint32())
 		m.Store(k, i)
 		m.Load(k)
+	}
+}
+
+// BenchmarkMapStore measures the Store-existing-key (update) path. With
+// values stored unboxed in the node, overwriting allocates nothing — the
+// allocs/op this reports is the boxing cost the generic value path
+// removed (the old any-based path paid an interface conversion plus a
+// value cell per Store).
+func BenchmarkMapStore(b *testing.B) {
+	m := NewMap[uint64](WithWidth(32))
+	keys := workload.SpreadKeys(benchM, 32)
+	for _, k := range keys {
+		m.Store(k, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Store(keys[i%len(keys)], uint64(i))
+	}
+}
+
+// BenchmarkMapLoad measures the read path; like Store-existing it runs
+// allocation-free.
+func BenchmarkMapLoad(b *testing.B) {
+	m := NewMap[uint64](WithWidth(32))
+	keys := workload.SpreadKeys(benchM, 32)
+	for i, k := range keys {
+		m.Store(k, uint64(i))
+	}
+	rng := rand.New(rand.NewSource(5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Load(keys[rng.Intn(len(keys))])
 	}
 }

@@ -47,7 +47,7 @@ func run() int {
 	if *eager {
 		repair = skiplist.RepairEager
 	}
-	st := core.New(core.Config{
+	st := core.NewSet(core.Config{
 		Width:       uint8(*width),
 		DisableDCSS: *noDCSS,
 		Repair:      repair,
@@ -82,7 +82,7 @@ func run() int {
 					k := uint64(rng.Int63n(int64(span)))
 					switch rng.Intn(5) {
 					case 0, 1:
-						if st.Insert(k, nil, nil) {
+						if st.Add(k, nil) {
 							d[k]++
 						}
 					case 2, 3:
@@ -117,7 +117,7 @@ func run() int {
 // through st, so presence must equal net > 0).
 var ledger = map[uint64]int{}
 
-func audit(st *core.SkipTrie, deltas []map[uint64]int, round int) bool {
+func audit(st *core.SkipTrie[struct{}], deltas []map[uint64]int, round int) bool {
 	for _, d := range deltas {
 		for k, n := range d {
 			ledger[k] += n

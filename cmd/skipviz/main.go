@@ -37,7 +37,7 @@ func run() int {
 		return 2
 	}
 
-	st := core.New(core.Config{Width: uint8(*width), Seed: *seed})
+	st := core.NewSet(core.Config{Width: uint8(*width), Seed: *seed})
 	keys := harness.Prefill(harness.SkipTrieSet{T: st}, *m, uint8(*width))
 
 	fmt.Printf("SkipTrie: W=%d (u=2^%d), levels=%d, keys=%d\n\n",

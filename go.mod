@@ -1,0 +1,3 @@
+module skiptrie
+
+go 1.24

@@ -9,6 +9,13 @@
 //	insert(x):  trie-pred, skiplist insert, trie walk if top  (Alg 6)
 //	delete(x):  trie-pred, skiplist delete, trie walk if top  (Alg 7)
 //
+// The value type is a compile-time parameter threaded through from the
+// skiplist: SkipTrie[V] stores unboxed values of type V inline in level-0
+// nodes, with no interface boxing anywhere on the read or write path. The
+// set form is SkipTrie[struct{}] (see NewSet), whose value slots are
+// zero-width. The x-fast trie only ever sees the skiplist's value-free
+// Topology, so it compiles once regardless of V.
+//
 // Every operation takes an optional *stats.Op for step accounting; pass
 // nil to disable.
 package core
@@ -21,10 +28,10 @@ import (
 )
 
 // SkipTrie is a lock-free, linearizable predecessor structure over the
-// integer universe [0, 2^Width).
-type SkipTrie struct {
+// integer universe [0, 2^Width), mapping keys to unboxed values of type V.
+type SkipTrie[V any] struct {
 	width uint8
-	list  *skiplist.List
+	list  *skiplist.List[V]
 	trie  *xfast.Trie
 }
 
@@ -42,43 +49,59 @@ type Config struct {
 	Seed uint64
 }
 
-// New returns an empty SkipTrie.
-func New(cfg Config) *SkipTrie {
+// New returns an empty SkipTrie with value type V.
+func New[V any](cfg Config) *SkipTrie[V] {
 	w := cfg.Width
 	if w == 0 || w > uintbits.MaxWidth {
 		w = uintbits.MaxWidth
 	}
-	l := skiplist.New(skiplist.Config{
+	l := skiplist.New[V](skiplist.Config{
 		Levels:      uintbits.Levels(w),
 		DisableDCSS: cfg.DisableDCSS,
 		Repair:      cfg.Repair,
 		Seed:        cfg.Seed,
 	})
-	return &SkipTrie{
+	return &SkipTrie[V]{
 		width: w,
 		list:  l,
-		trie:  xfast.New(xfast.Config{Width: w, List: l, DisableDCSS: cfg.DisableDCSS}),
+		trie:  xfast.New(xfast.Config{Width: w, List: l.Topo(), DisableDCSS: cfg.DisableDCSS}),
 	}
 }
 
+// NewSet returns an empty SkipTrie in set form: zero-width values, so
+// level-0 nodes carry no value storage at all.
+func NewSet(cfg Config) *SkipTrie[struct{}] {
+	return New[struct{}](cfg)
+}
+
 // Width returns the universe width W = log u.
-func (s *SkipTrie) Width() uint8 { return s.width }
+func (s *SkipTrie[V]) Width() uint8 { return s.width }
 
 // Levels returns the number of skiplist levels (log log u).
-func (s *SkipTrie) Levels() int { return s.list.Levels() }
+func (s *SkipTrie[V]) Levels() int { return s.list.Levels() }
 
 // Len returns the number of keys (approximate under concurrent mutation).
-func (s *SkipTrie) Len() int { return s.list.Len() }
+func (s *SkipTrie[V]) Len() int { return s.list.Len() }
 
 // inUniverse reports whether key fits the configured universe.
-func (s *SkipTrie) inUniverse(key uint64) bool {
+func (s *SkipTrie[V]) inUniverse(key uint64) bool {
 	return s.width == 64 || key < 1<<s.width
 }
 
-// Insert adds key with an optional associated value, reporting whether the
-// key was absent. Inserting a key outside the universe returns false.
-// This is the paper's Algorithm 6.
-func (s *SkipTrie) Insert(key uint64, val any, c *stats.Op) bool {
+// insertWalkIfTop completes an insert whose tower reached the top level:
+// the key's prefixes enter the x-fast trie (Alg 6 lines 5-19).
+func (s *SkipTrie[V]) insertWalkIfTop(res skiplist.InsertResult, c *stats.Op) {
+	if res.Top != nil {
+		c.TouchTrie()
+		s.trie.InsertWalk(res.Top, c)
+	}
+}
+
+// Insert adds key with its associated value, reporting whether the key was
+// absent. An existing key's value is left untouched (use Store to
+// overwrite). Inserting a key outside the universe returns false. This is
+// the paper's Algorithm 6.
+func (s *SkipTrie[V]) Insert(key uint64, val V, c *stats.Op) bool {
 	if !s.inUniverse(key) {
 		return false
 	}
@@ -90,18 +113,63 @@ func (s *SkipTrie) Insert(key uint64, val any, c *stats.Op) bool {
 	if !res.Inserted {
 		return false
 	}
-	if res.Top != nil {
-		// The tower reached the top level: insert the key's prefixes into
-		// the x-fast trie (Alg 6 lines 5-19).
-		c.TouchTrie()
-		s.trie.InsertWalk(res.Top, c)
-	}
+	s.insertWalkIfTop(res, c)
 	return true
+}
+
+// Add is Insert with the zero value of V: the set-form operation.
+func (s *SkipTrie[V]) Add(key uint64, c *stats.Op) bool {
+	var zero V
+	return s.Insert(key, zero, c)
+}
+
+// Store sets the value for key, inserting the key if absent and
+// overwriting the existing value in place — without allocation — if
+// present. It reports whether the key was inserted. Keys outside the
+// universe are rejected (returns false, nothing stored).
+func (s *SkipTrie[V]) Store(key uint64, val V, c *stats.Op) bool {
+	if !s.inUniverse(key) {
+		return false
+	}
+	start := s.trie.Pred(key, false, c)
+	if start.IsData() && start.Key() == key && !start.Marked() {
+		s.list.SetValue(start, val)
+		return false
+	}
+	res := s.list.Upsert(key, val, start, c)
+	if res.Existing != nil {
+		return false // Upsert overwrote the existing node's value
+	}
+	s.insertWalkIfTop(res, c)
+	return true
+}
+
+// LoadOrStore returns the existing value for key if present; otherwise it
+// stores val. loaded reports whether the value was loaded rather than
+// stored. Keys outside the universe are rejected (returns val, false).
+func (s *SkipTrie[V]) LoadOrStore(key uint64, val V, c *stats.Op) (actual V, loaded bool) {
+	if !s.inUniverse(key) {
+		return val, false
+	}
+	for {
+		start := s.trie.Pred(key, false, c)
+		if start.IsData() && start.Key() == key && !start.Marked() {
+			return s.list.ValueOf(start), true
+		}
+		res := s.list.Insert(key, val, start, c)
+		if res.Inserted {
+			s.insertWalkIfTop(res, c)
+			return val, false
+		}
+		if res.Existing != nil {
+			return s.list.ValueOf(res.Existing), true
+		}
+	}
 }
 
 // Delete removes key, reporting whether this call removed it. This is the
 // paper's Algorithm 7.
-func (s *SkipTrie) Delete(key uint64, c *stats.Op) bool {
+func (s *SkipTrie[V]) Delete(key uint64, c *stats.Op) bool {
 	if !s.inUniverse(key) {
 		return false
 	}
@@ -122,7 +190,7 @@ func (s *SkipTrie) Delete(key uint64, c *stats.Op) bool {
 }
 
 // Contains reports whether key is present.
-func (s *SkipTrie) Contains(key uint64, c *stats.Op) bool {
+func (s *SkipTrie[V]) Contains(key uint64, c *stats.Op) bool {
 	if !s.inUniverse(key) {
 		return false
 	}
@@ -135,16 +203,17 @@ func (s *SkipTrie) Contains(key uint64, c *stats.Op) bool {
 }
 
 // Find returns the value associated with key.
-func (s *SkipTrie) Find(key uint64, c *stats.Op) (any, bool) {
+func (s *SkipTrie[V]) Find(key uint64, c *stats.Op) (V, bool) {
 	n, ok := s.FindNode(key, c)
 	if !ok {
-		return nil, false
+		var zero V
+		return zero, false
 	}
-	return n.Value(), true
+	return s.list.ValueOf(n), true
 }
 
 // FindNode returns the level-0 node holding key, if present.
-func (s *SkipTrie) FindNode(key uint64, c *stats.Op) (*skiplist.Node, bool) {
+func (s *SkipTrie[V]) FindNode(key uint64, c *stats.Op) (*skiplist.Node, bool) {
 	if !s.inUniverse(key) {
 		return nil, false
 	}
@@ -152,79 +221,95 @@ func (s *SkipTrie) FindNode(key uint64, c *stats.Op) (*skiplist.Node, bool) {
 	return s.list.Find(key, start, c)
 }
 
+// SetValue overwrites the value stored at a node previously returned by
+// FindNode.
+func (s *SkipTrie[V]) SetValue(n *skiplist.Node, val V) {
+	s.list.SetValue(n, val)
+}
+
+// valueAt reads the value of a level-0 node.
+func (s *SkipTrie[V]) valueAt(n *skiplist.Node) V {
+	return s.list.ValueOf(n)
+}
+
 // Predecessor returns the largest key <= x and its value. This is the
 // paper's Algorithm 5.
-func (s *SkipTrie) Predecessor(x uint64, c *stats.Op) (uint64, any, bool) {
+func (s *SkipTrie[V]) Predecessor(x uint64, c *stats.Op) (uint64, V, bool) {
 	if !s.inUniverse(x) {
 		x = 1<<s.width - 1 // clamp: everything in-universe is <= x
 	}
 	start := s.trie.Pred(x, false, c)
 	br := s.list.PredecessorBracket(x, start, c)
 	if br.Right.IsData() && br.Right.Key() == x {
-		return x, br.Right.Value(), true
+		return x, s.valueAt(br.Right), true
 	}
 	if br.Left.IsData() {
-		return br.Left.Key(), br.Left.Value(), true
+		return br.Left.Key(), s.valueAt(br.Left), true
 	}
-	return 0, nil, false
+	var zero V
+	return 0, zero, false
 }
 
 // StrictPredecessor returns the largest key < x and its value.
-func (s *SkipTrie) StrictPredecessor(x uint64, c *stats.Op) (uint64, any, bool) {
+func (s *SkipTrie[V]) StrictPredecessor(x uint64, c *stats.Op) (uint64, V, bool) {
 	if !s.inUniverse(x) {
 		return s.Max(c)
 	}
 	start := s.trie.Pred(x, true, c)
 	br := s.list.PredecessorBracket(x, start, c)
 	if br.Left.IsData() {
-		return br.Left.Key(), br.Left.Value(), true
+		return br.Left.Key(), s.valueAt(br.Left), true
 	}
-	return 0, nil, false
+	var zero V
+	return 0, zero, false
 }
 
 // Successor returns the smallest key >= x and its value.
-func (s *SkipTrie) Successor(x uint64, c *stats.Op) (uint64, any, bool) {
+func (s *SkipTrie[V]) Successor(x uint64, c *stats.Op) (uint64, V, bool) {
+	var zero V
 	if !s.inUniverse(x) {
-		return 0, nil, false
+		return 0, zero, false
 	}
 	start := s.trie.Pred(x, true, c)
 	br := s.list.PredecessorBracket(x, start, c)
 	if br.Right.IsData() {
-		return br.Right.Key(), br.Right.Value(), true
+		return br.Right.Key(), s.valueAt(br.Right), true
 	}
-	return 0, nil, false
+	return 0, zero, false
 }
 
 // StrictSuccessor returns the smallest key > x and its value.
-func (s *SkipTrie) StrictSuccessor(x uint64, c *stats.Op) (uint64, any, bool) {
+func (s *SkipTrie[V]) StrictSuccessor(x uint64, c *stats.Op) (uint64, V, bool) {
 	if x == ^uint64(0) {
-		return 0, nil, false
+		var zero V
+		return 0, zero, false
 	}
 	return s.Successor(x+1, c)
 }
 
 // Min returns the smallest key and its value.
-func (s *SkipTrie) Min(c *stats.Op) (uint64, any, bool) {
+func (s *SkipTrie[V]) Min(c *stats.Op) (uint64, V, bool) {
 	return s.Successor(0, c)
 }
 
 // MaxKey returns the largest key of the universe, 2^Width - 1.
-func (s *SkipTrie) MaxKey() uint64 { return ^uint64(0) >> (64 - s.width) }
+func (s *SkipTrie[V]) MaxKey() uint64 { return ^uint64(0) >> (64 - s.width) }
 
 // Max returns the largest key and its value.
-func (s *SkipTrie) Max(c *stats.Op) (uint64, any, bool) {
+func (s *SkipTrie[V]) Max(c *stats.Op) (uint64, V, bool) {
 	start := s.trie.Pred(s.MaxKey(), false, c)
 	br := s.list.LastBracket(start, c)
 	if br.Left.IsData() {
-		return br.Left.Key(), br.Left.Value(), true
+		return br.Left.Key(), s.valueAt(br.Left), true
 	}
-	return 0, nil, false
+	var zero V
+	return 0, zero, false
 }
 
 // Range calls fn for keys >= from in ascending order until fn returns
 // false. The iteration is weakly consistent: it reflects some interleaving
 // of concurrent updates.
-func (s *SkipTrie) Range(from uint64, fn func(key uint64, val any) bool, c *stats.Op) {
+func (s *SkipTrie[V]) Range(from uint64, fn func(key uint64, val V) bool, c *stats.Op) {
 	if !s.inUniverse(from) {
 		return
 	}
@@ -234,7 +319,7 @@ func (s *SkipTrie) Range(from uint64, fn func(key uint64, val any) bool, c *stat
 	for n.IsData() {
 		sc, _ := n.LoadSucc()
 		if !sc.Marked {
-			if !fn(n.Key(), n.Value()) {
+			if !fn(n.Key(), s.valueAt(n)) {
 				return
 			}
 		}
@@ -245,7 +330,7 @@ func (s *SkipTrie) Range(from uint64, fn func(key uint64, val any) bool, c *stat
 // Descend calls fn for keys <= from in descending order until fn returns
 // false. Each step is a strict-predecessor query (O(log log u)), since the
 // level-0 list is singly linked; the iteration is weakly consistent.
-func (s *SkipTrie) Descend(from uint64, fn func(key uint64, val any) bool, c *stats.Op) {
+func (s *SkipTrie[V]) Descend(from uint64, fn func(key uint64, val V) bool, c *stats.Op) {
 	k, v, ok := s.Predecessor(from, c)
 	for ok {
 		if !fn(k, v) {
@@ -268,7 +353,7 @@ type SpaceStats struct {
 }
 
 // Space returns current space statistics (approximate under concurrency).
-func (s *SkipTrie) Space() SpaceStats {
+func (s *SkipTrie[V]) Space() SpaceStats {
 	return SpaceStats{
 		Keys:        s.list.Len(),
 		TowerNodes:  s.list.NodeCount(),
@@ -280,16 +365,16 @@ func (s *SkipTrie) Space() SpaceStats {
 // TopGaps returns the distribution of level-0 key counts between
 // consecutive top-level (trie-indexed) keys, for the F1 experiment. Call
 // at quiescence.
-func (s *SkipTrie) TopGaps() []int { return s.list.TopGaps() }
+func (s *SkipTrie[V]) TopGaps() []int { return s.list.TopGaps() }
 
 // LevelCounts returns the number of keys present on each skiplist level
 // (index 0 = all keys). Call at quiescence.
-func (s *SkipTrie) LevelCounts() []int { return s.list.LevelCounts() }
+func (s *SkipTrie[V]) LevelCounts() []int { return s.list.LevelCounts() }
 
 // Validate sweeps the quiescent structure and checks every invariant of
 // the skiplist, the doubly-linked top level, and the trie. Only call while
 // no operations are in flight.
-func (s *SkipTrie) Validate() error {
+func (s *SkipTrie[V]) Validate() error {
 	if err := s.list.Validate(); err != nil {
 		return err
 	}

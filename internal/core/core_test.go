@@ -10,8 +10,8 @@ import (
 	"skiptrie/internal/stats"
 )
 
-func newTrie(w uint8) *SkipTrie {
-	return New(Config{Width: w, Seed: 13})
+func newTrie(w uint8) *SkipTrie[uint64] {
+	return New[uint64](Config{Width: w, Seed: 13})
 }
 
 func TestEmpty(t *testing.T) {
@@ -76,7 +76,7 @@ func TestBasicOps(t *testing.T) {
 func TestPredecessorSuccessorSemantics(t *testing.T) {
 	s := newTrie(16)
 	for _, k := range []uint64{10, 20, 30} {
-		s.Insert(k, nil, nil)
+		s.Add(k, nil)
 	}
 	// Predecessor: largest <= x.
 	cases := []struct {
@@ -124,13 +124,13 @@ func TestPredecessorSuccessorSemantics(t *testing.T) {
 
 func TestUniverseBounds(t *testing.T) {
 	s := newTrie(8)
-	if s.Insert(256, nil, nil) {
+	if s.Add(256, nil) {
 		t.Fatal("inserted key outside universe")
 	}
-	if s.Insert(1<<40, nil, nil) {
+	if s.Add(1<<40, nil) {
 		t.Fatal("inserted key outside universe")
 	}
-	if !s.Insert(255, nil, nil) {
+	if !s.Add(255, nil) {
 		t.Fatal("max in-universe key rejected")
 	}
 	if s.Contains(256, nil) {
@@ -149,7 +149,7 @@ func TestFullWidthUniverse(t *testing.T) {
 	s := newTrie(64)
 	keys := []uint64{0, 1, ^uint64(0), 1 << 63, 0xFFFF_FFFF}
 	for _, k := range keys {
-		if !s.Insert(k, nil, nil) {
+		if !s.Add(k, nil) {
 			t.Fatalf("insert %x failed", k)
 		}
 	}
@@ -170,10 +170,10 @@ func TestFullWidthUniverse(t *testing.T) {
 func TestRange(t *testing.T) {
 	s := newTrie(16)
 	for k := uint64(0); k < 100; k += 10 {
-		s.Insert(k, int(k), nil)
+		s.Insert(k, k, nil)
 	}
 	var got []uint64
-	s.Range(25, func(k uint64, v any) bool {
+	s.Range(25, func(k uint64, v uint64) bool {
 		got = append(got, k)
 		return true
 	}, nil)
@@ -188,7 +188,7 @@ func TestRange(t *testing.T) {
 	}
 	// Early stop.
 	n := 0
-	s.Range(0, func(uint64, any) bool { n++; return n < 3 }, nil)
+	s.Range(0, func(uint64, uint64) bool { n++; return n < 3 }, nil)
 	if n != 3 {
 		t.Fatalf("early stop visited %d", n)
 	}
@@ -208,7 +208,7 @@ func TestDifferentialRandom(t *testing.T) {
 			k := rng.Uint64() % space
 			switch rng.Intn(4) {
 			case 0:
-				if got, want := s.Insert(k, nil, nil), !model[k]; got != want {
+				if got, want := s.Add(k, nil), !model[k]; got != want {
 					t.Fatalf("w=%d op %d: insert %d = %v want %v", w, i, k, got, want)
 				}
 				model[k] = true
@@ -249,7 +249,7 @@ func TestDifferentialRandom(t *testing.T) {
 func TestStatsAccounting(t *testing.T) {
 	s := newTrie(32)
 	for k := uint64(0); k < 5000; k++ {
-		s.Insert(k*977, nil, nil)
+		s.Add(k*977, nil)
 	}
 	var op stats.Op
 	s.Predecessor(2_000_000, &op)
@@ -267,7 +267,7 @@ func TestStatsAccounting(t *testing.T) {
 	touched, total := 0, 2000
 	for k := uint64(0); k < uint64(total); k++ {
 		var ins stats.Op
-		s.Insert(k*977+13, nil, &ins)
+		s.Add(k*977+13, &ins)
 		if ins.TrieTouch {
 			touched++
 		}
@@ -282,7 +282,7 @@ func TestSpaceStats(t *testing.T) {
 	s := newTrie(32)
 	const n = 1 << 14
 	for k := uint64(0); k < n; k++ {
-		s.Insert(k*261_419, nil, nil)
+		s.Add(k*261_419, nil)
 	}
 	sp := s.Space()
 	if sp.Keys != n {
@@ -302,7 +302,7 @@ func TestTopGapsGeometric(t *testing.T) {
 	s := newTrie(32)
 	const n = 1 << 15
 	for k := uint64(0); k < n; k++ {
-		s.Insert(k*104_729, nil, nil)
+		s.Add(k*104_729, nil)
 	}
 	gaps := s.TopGaps()
 	if len(gaps) < 100 {
@@ -320,9 +320,9 @@ func TestTopGapsGeometric(t *testing.T) {
 }
 
 func TestDisableDCSS(t *testing.T) {
-	s := New(Config{Width: 16, DisableDCSS: true, Seed: 3})
+	s := NewSet(Config{Width: 16, DisableDCSS: true, Seed: 3})
 	for k := uint64(0); k < 5000; k++ {
-		s.Insert(k, nil, nil)
+		s.Add(k, nil)
 	}
 	for k := uint64(0); k < 5000; k += 2 {
 		if !s.Delete(k, nil) {
@@ -340,9 +340,9 @@ func TestDisableDCSS(t *testing.T) {
 }
 
 func TestEagerRepair(t *testing.T) {
-	s := New(Config{Width: 16, Repair: skiplist.RepairEager, Seed: 3})
+	s := NewSet(Config{Width: 16, Repair: skiplist.RepairEager, Seed: 3})
 	for k := uint64(0); k < 3000; k++ {
-		s.Insert(k, nil, nil)
+		s.Add(k, nil)
 	}
 	for k := uint64(0); k < 3000; k += 3 {
 		s.Delete(k, nil)
@@ -365,7 +365,7 @@ func TestConcurrentDisjoint(t *testing.T) {
 			defer wg.Done()
 			base := g << 24
 			for i := uint64(0); i < perG; i++ {
-				if !s.Insert(base+i*37, int(i), nil) {
+				if !s.Insert(base+i*37, i, nil) {
 					t.Errorf("insert %d failed", base+i*37)
 					return
 				}
@@ -411,7 +411,7 @@ func TestConcurrentHotKeys(t *testing.T) {
 				k := uint64(rng.Intn(keys)) * 4099
 				switch rng.Intn(3) {
 				case 0:
-					if s.Insert(k, nil, nil) {
+					if s.Add(k, nil) {
 						deltas[g][k/4099]++
 					}
 				case 1:
@@ -447,7 +447,7 @@ func TestConcurrentMixedWithQueries(t *testing.T) {
 	// Pre-populate stable anchor keys at multiples of 4096.
 	const anchors = 256
 	for k := uint64(0); k < anchors; k++ {
-		s.Insert(k*4096, nil, nil)
+		s.Add(k*4096, nil)
 	}
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -465,7 +465,7 @@ func TestConcurrentMixedWithQueries(t *testing.T) {
 				// Churn strictly between anchors.
 				k := uint64(rng.Intn(anchors-1))*4096 + 1 + uint64(rng.Intn(4094))
 				if rng.Intn(2) == 0 {
-					s.Insert(k, nil, nil)
+					s.Add(k, nil)
 				} else {
 					s.Delete(k, nil)
 				}
@@ -490,7 +490,7 @@ func TestConcurrentMixedWithQueries(t *testing.T) {
 }
 
 func TestConcurrentDCSSDisabled(t *testing.T) {
-	s := New(Config{Width: 20, DisableDCSS: true, Seed: 9})
+	s := NewSet(Config{Width: 20, DisableDCSS: true, Seed: 9})
 	const workers = 6
 	var wg sync.WaitGroup
 	for g := 0; g < workers; g++ {
@@ -502,7 +502,7 @@ func TestConcurrentDCSSDisabled(t *testing.T) {
 				k := uint64(rng.Intn(2048))
 				switch rng.Intn(3) {
 				case 0:
-					s.Insert(k, nil, nil)
+					s.Add(k, nil)
 				case 1:
 					s.Delete(k, nil)
 				default:

@@ -8,7 +8,7 @@ import (
 
 func TestWidthAndLevels(t *testing.T) {
 	for _, w := range []uint8{1, 8, 16, 32, 64} {
-		s := New(Config{Width: w})
+		s := NewSet(Config{Width: w})
 		if s.Width() != w {
 			t.Fatalf("Width = %d, want %d", s.Width(), w)
 		}
@@ -17,19 +17,19 @@ func TestWidthAndLevels(t *testing.T) {
 		}
 	}
 	// Width 0 defaults to 64.
-	if s := New(Config{}); s.Width() != 64 {
+	if s := NewSet(Config{}); s.Width() != 64 {
 		t.Fatalf("default Width = %d", s.Width())
 	}
 }
 
 func TestDescendCore(t *testing.T) {
-	s := New(Config{Width: 16, Seed: 2})
+	s := New[int](Config{Width: 16, Seed: 2})
 	for k := uint64(1); k <= 5; k++ {
 		s.Insert(k*100, int(k), nil)
 	}
 	var keys []uint64
-	var vals []any
-	s.Descend(450, func(k uint64, v any) bool {
+	var vals []int
+	s.Descend(450, func(k uint64, v int) bool {
 		keys = append(keys, k)
 		vals = append(vals, v)
 		return true
@@ -43,9 +43,9 @@ func TestDescendCore(t *testing.T) {
 }
 
 func TestValidateDetectsNothingOnHealthy(t *testing.T) {
-	s := New(Config{Width: 16, Seed: 3})
+	s := NewSet(Config{Width: 16, Seed: 3})
 	for k := uint64(0); k < 1000; k++ {
-		s.Insert(k, nil, nil)
+		s.Add(k, nil)
 	}
 	for k := uint64(0); k < 1000; k += 2 {
 		s.Delete(k, nil)
@@ -56,8 +56,8 @@ func TestValidateDetectsNothingOnHealthy(t *testing.T) {
 }
 
 func TestStrictPredecessorAboveUniverse(t *testing.T) {
-	s := New(Config{Width: 8, Seed: 4})
-	s.Insert(200, nil, nil)
+	s := NewSet(Config{Width: 8, Seed: 4})
+	s.Add(200, nil)
 	// StrictPredecessor of an out-of-universe x is just Max.
 	if k, _, ok := s.StrictPredecessor(1<<20, nil); !ok || k != 200 {
 		t.Fatalf("StrictPredecessor(big) = %d, %v", k, ok)
@@ -68,14 +68,14 @@ func TestStrictPredecessorAboveUniverse(t *testing.T) {
 	}
 	// Range from out-of-universe start visits nothing.
 	n := 0
-	s.Range(1<<20, func(uint64, any) bool { n++; return true }, nil)
+	s.Range(1<<20, func(uint64, struct{}) bool { n++; return true }, nil)
 	if n != 0 {
 		t.Fatalf("Range(big) visited %d", n)
 	}
 }
 
 func TestFindAndValues(t *testing.T) {
-	s := New(Config{Width: 16, Seed: 5})
+	s := New[string](Config{Width: 16, Seed: 5})
 	s.Insert(77, "hello", nil)
 	v, ok := s.Find(77, nil)
 	if !ok || v != "hello" {
@@ -88,7 +88,7 @@ func TestFindAndValues(t *testing.T) {
 	if !ok || n.Key() != 77 {
 		t.Fatalf("FindNode = %v, %v", n, ok)
 	}
-	n.SetValue("bye")
+	s.SetValue(n, "bye")
 	if v, _ := s.Find(77, nil); v != "bye" {
 		t.Fatalf("value after SetValue = %v", v)
 	}

@@ -44,7 +44,7 @@ func T1PredecessorVsUniverse(sc Scale) Result {
 		Header: []string{"W=log u", "levels", "st steps/op", "st probes/op", "sl steps/op", "sl/st"},
 	}
 	for _, w := range []uint8{8, 16, 24, 32, 48, 64} {
-		st := SkipTrieSet{T: core.New(core.Config{Width: w, Seed: 11})}
+		st := SkipTrieSet{T: core.NewSet(core.Config{Width: w, Seed: 11})}
 		sl := CSkipListSet{L: cskiplist.New(11)}
 		m := sc.M
 		if w < 16 {
@@ -83,7 +83,7 @@ func T2PredecessorVsM(sc Scale) Result {
 		if m > sc.M*64 {
 			break
 		}
-		st := SkipTrieSet{T: core.New(core.Config{Width: w, Seed: 7})}
+		st := SkipTrieSet{T: core.NewSet(core.Config{Width: w, Seed: 7})}
 		sl := CSkipListSet{L: cskiplist.New(7)}
 		Prefill(st, m, w)
 		Prefill(sl, m, w)
@@ -115,7 +115,7 @@ func T3AmortizedUpdates(sc Scale) Result {
 		Header: []string{"W", "ins steps/op", "del steps/op", "touch rate", "1/log u", "trie lvls/touch"},
 	}
 	for _, w := range []uint8{16, 32, 64} {
-		st := core.New(core.Config{Width: w, Seed: 5})
+		st := core.NewSet(core.Config{Width: w, Seed: 5})
 		set := SkipTrieSet{T: st}
 		Prefill(set, sc.M, w)
 		rng := rand.New(rand.NewSource(404))
@@ -180,7 +180,7 @@ func T4Throughput(sc Scale) Result {
 		for _, threads := range sc.Threads {
 			row := []string{mix.String(), I(threads)}
 			for _, build := range []func() Set{
-				func() Set { return SkipTrieSet{T: core.New(core.Config{Width: w, Seed: 3})} },
+				func() Set { return SkipTrieSet{T: core.NewSet(core.Config{Width: w, Seed: 3})} },
 				func() Set { return CSkipListSet{L: cskiplist.New(3)} },
 				func() Set { return LockedYFastSet{Y: yfast.NewLocked(w)} },
 				func() Set { return LockedTreapSet{S: lockedset.New(3)} },
@@ -207,7 +207,7 @@ func T5Contention(sc Scale) Result {
 	}
 	const w = 32
 	for _, threads := range sc.Threads {
-		st := SkipTrieSet{T: core.New(core.Config{Width: w, Seed: 21})}
+		st := SkipTrieSet{T: core.NewSet(core.Config{Width: w, Seed: 21})}
 		Prefill(st, sc.M, w)
 		gen := workload.Clustered{W: w, Base: 1 << 20, Span: 1024}
 		r := RunConcurrent(st, gen, workload.Mix{InsertPct: 25, DeletePct: 25}, threads, sc.Duration, 31+int64(threads))
@@ -234,7 +234,7 @@ func T6Space(sc Scale) Result {
 	}
 	for _, w := range []uint8{16, 32, 64} {
 		for _, m := range []int{sc.M / 4, sc.M} {
-			st := core.New(core.Config{Width: w, Seed: 17})
+			st := core.NewSet(core.Config{Width: w, Seed: 17})
 			Prefill(SkipTrieSet{T: st}, m, w)
 			sp := st.Space()
 			gaps := st.TopGaps()
@@ -263,7 +263,7 @@ func F1TopGaps(sc Scale) Result {
 		Header: []string{"W", "m", "gaps", "mean", "p50", "p90", "p99", "max", "predicted mean"},
 	}
 	for _, w := range []uint8{16, 32, 64} {
-		st := core.New(core.Config{Width: w, Seed: 29})
+		st := core.NewSet(core.Config{Width: w, Seed: 29})
 		Prefill(SkipTrieSet{T: st}, sc.M, w)
 		gaps := st.TopGaps()
 		sort.Ints(gaps)
@@ -302,7 +302,7 @@ func T7DCSSvsCAS(sc Scale) Result {
 			mode = "CAS-only"
 		}
 		for _, threads := range []int{1, sc.Threads[len(sc.Threads)-1]} {
-			st := core.New(core.Config{Width: w, DisableDCSS: disable, Seed: 43})
+			st := core.NewSet(core.Config{Width: w, DisableDCSS: disable, Seed: 43})
 			s := SkipTrieSet{T: st}
 			Prefill(s, sc.M, w)
 			r := RunConcurrent(s, workload.Uniform{W: w}, workload.Mix{InsertPct: 25, DeletePct: 25}, threads, sc.Duration, 77)
@@ -334,7 +334,7 @@ func T8PrevRepair(sc Scale) Result {
 			repair = skiplist.RepairEager
 		}
 		for _, threads := range []int{1, sc.Threads[len(sc.Threads)-1]} {
-			st := core.New(core.Config{Width: w, Repair: repair, Seed: 61})
+			st := core.NewSet(core.Config{Width: w, Repair: repair, Seed: 61})
 			s := SkipTrieSet{T: st}
 			Prefill(s, sc.M/4, w)
 			// Insert/delete-heavy mix on a hot window maximizes top-level

@@ -83,13 +83,13 @@ type Set interface {
 }
 
 // SkipTrieSet adapts core.SkipTrie.
-type SkipTrieSet struct{ T *core.SkipTrie }
+type SkipTrieSet struct{ T *core.SkipTrie[struct{}] }
 
 // Name implements Set.
 func (s SkipTrieSet) Name() string { return "skiptrie" }
 
 // Insert implements Set.
-func (s SkipTrieSet) Insert(key uint64, c *stats.Op) bool { return s.T.Insert(key, nil, c) }
+func (s SkipTrieSet) Insert(key uint64, c *stats.Op) bool { return s.T.Add(key, c) }
 
 // Delete implements Set.
 func (s SkipTrieSet) Delete(key uint64, c *stats.Op) bool { return s.T.Delete(key, c) }

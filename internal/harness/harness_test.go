@@ -44,7 +44,7 @@ func TestResultFprint(t *testing.T) {
 func TestAdaptersAgree(t *testing.T) {
 	// All four adapters expose the same semantics.
 	sets := []Set{
-		SkipTrieSet{T: core.New(core.Config{Width: 16, Seed: 2})},
+		SkipTrieSet{T: core.NewSet(core.Config{Width: 16, Seed: 2})},
 		CSkipListSet{L: cskiplist.New(2)},
 		LockedYFastSet{Y: yfast.NewLocked(16)},
 		LockedTreapSet{S: lockedset.New(2)},
@@ -69,7 +69,7 @@ func TestAdaptersAgree(t *testing.T) {
 }
 
 func TestPrefill(t *testing.T) {
-	s := SkipTrieSet{T: core.New(core.Config{Width: 32, Seed: 4})}
+	s := SkipTrieSet{T: core.NewSet(core.Config{Width: 32, Seed: 4})}
 	keys := Prefill(s, 100, 32)
 	if len(keys) != 100 {
 		t.Fatalf("prefilled %d keys", len(keys))
@@ -82,7 +82,7 @@ func TestPrefill(t *testing.T) {
 }
 
 func TestMeasureSteps(t *testing.T) {
-	s := SkipTrieSet{T: core.New(core.Config{Width: 32, Seed: 6})}
+	s := SkipTrieSet{T: core.NewSet(core.Config{Width: 32, Seed: 6})}
 	Prefill(s, 500, 32)
 	total := MeasureSteps(s, workload.Uniform{W: 32}, workload.Mix{}, 100, 1)
 	if total.Steps() == 0 {
@@ -91,7 +91,7 @@ func TestMeasureSteps(t *testing.T) {
 }
 
 func TestRunConcurrentCounts(t *testing.T) {
-	s := SkipTrieSet{T: core.New(core.Config{Width: 24, Seed: 8})}
+	s := SkipTrieSet{T: core.NewSet(core.Config{Width: 24, Seed: 8})}
 	Prefill(s, 256, 24)
 	r := RunConcurrent(s, workload.Uniform{W: 24}, workload.Mix{InsertPct: 20, DeletePct: 20}, 2, 30*time.Millisecond, 5)
 	if r.Ops == 0 {

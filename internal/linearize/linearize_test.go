@@ -153,7 +153,7 @@ func TestSkipTrieHistoriesLinearizable(t *testing.T) {
 		keys    = 4
 	)
 	for run := 0; run < runs; run++ {
-		st := core.New(core.Config{Width: 8, Seed: uint64(run + 1)})
+		st := core.NewSet(core.Config{Width: 8, Seed: uint64(run + 1)})
 		rec := &Recorder{}
 		var wg sync.WaitGroup
 		for g := 0; g < workers; g++ {
@@ -166,7 +166,7 @@ func TestSkipTrieHistoriesLinearizable(t *testing.T) {
 					inv := rec.Invoke()
 					switch rng.Intn(4) {
 					case 0:
-						ok := st.Insert(k, nil, nil)
+						ok := st.Add(k, nil)
 						rec.Record(Insert, k, ok, 0, inv)
 					case 1:
 						ok := st.Delete(k, nil)
@@ -201,7 +201,7 @@ func TestSkipTrieHistoriesLinearizable(t *testing.T) {
 func TestSkipTrieHistoriesCASFallback(t *testing.T) {
 	const runs = 30
 	for run := 0; run < runs; run++ {
-		st := core.New(core.Config{Width: 8, DisableDCSS: true, Seed: uint64(run + 77)})
+		st := core.NewSet(core.Config{Width: 8, DisableDCSS: true, Seed: uint64(run + 77)})
 		rec := &Recorder{}
 		var wg sync.WaitGroup
 		for g := 0; g < 3; g++ {
@@ -213,7 +213,7 @@ func TestSkipTrieHistoriesCASFallback(t *testing.T) {
 					k := uint64(rng.Intn(4)) * 8
 					inv := rec.Invoke()
 					if rng.Intn(2) == 0 {
-						ok := st.Insert(k, nil, nil)
+						ok := st.Add(k, nil)
 						rec.Record(Insert, k, ok, 0, inv)
 					} else {
 						ok := st.Delete(k, nil)

@@ -4,8 +4,13 @@ import "skiptrie/internal/stats"
 
 // InsertWithHeight exposes height-controlled insertion so tests can build
 // deterministic tower shapes.
-func (l *List) InsertWithHeight(key uint64, val any, start *Node, h int, c *stats.Op) InsertResult {
-	return l.insertWithHeight(key, val, start, h, c)
+func (l *List[V]) InsertWithHeight(key uint64, val V, start *Node, h int, c *stats.Op) InsertResult {
+	return l.insertWithHeight(key, val, start, h, false, c)
+}
+
+// UpsertWithHeight is InsertWithHeight with Upsert's overwrite semantics.
+func (l *List[V]) UpsertWithHeight(key uint64, val V, start *Node, h int, c *stats.Op) InsertResult {
+	return l.insertWithHeight(key, val, start, h, true, c)
 }
 
 // SetTestHook installs a synchronization-point hook and returns a restore

@@ -21,7 +21,7 @@ import (
 // contention of the still-active insert(5) (Lemma 3.1) — and the gap must
 // vanish as soon as insert(5) completes.
 func TestFigure2BackwardGap(t *testing.T) {
-	l := New(Config{Levels: 2, Seed: 1})
+	l := New[any](Config{Levels: 2, Seed: 1})
 	top := l.Levels()
 
 	// 1 and 7 are complete top-level nodes.
@@ -105,7 +105,7 @@ func TestFigure2BackwardGap(t *testing.T) {
 // even though insert(5) is still stalled, matching the paper's
 // description of eager helping.
 func TestFigure2EagerModeCloses(t *testing.T) {
-	l := New(Config{Levels: 2, Repair: RepairEager, Seed: 1})
+	l := New[any](Config{Levels: 2, Repair: RepairEager, Seed: 1})
 	top := l.Levels()
 	l.InsertWithHeight(1, nil, nil, top, nil)
 	l.InsertWithHeight(7, nil, nil, top, nil)
@@ -153,7 +153,7 @@ func TestGoschedInjection(t *testing.T) {
 	})
 	defer restore()
 
-	l := New(Config{Levels: 3, Seed: 9})
+	l := New[any](Config{Levels: 3, Seed: 9})
 	var wg sync.WaitGroup
 	for g := 0; g < 6; g++ {
 		wg.Add(1)

@@ -5,7 +5,7 @@ import "testing"
 // TestTopGapsExact builds a deterministic shape with InsertWithHeight and
 // checks the gap accounting precisely.
 func TestTopGapsExact(t *testing.T) {
-	l := New(Config{Levels: 3, Seed: 1})
+	l := New[any](Config{Levels: 3, Seed: 1})
 	top := l.Levels()
 	// Keys 0..9; keys 3 and 7 reach the top level.
 	for k := uint64(0); k < 10; k++ {
@@ -30,7 +30,7 @@ func TestTopGapsExact(t *testing.T) {
 }
 
 func TestTopGapsEmptyAndAllTop(t *testing.T) {
-	l := New(Config{Levels: 3, Seed: 1})
+	l := New[any](Config{Levels: 3, Seed: 1})
 	if gaps := l.TopGaps(); len(gaps) != 1 || gaps[0] != 0 {
 		t.Fatalf("empty list gaps = %v", gaps)
 	}
@@ -51,7 +51,7 @@ func TestTopGapsEmptyAndAllTop(t *testing.T) {
 }
 
 func TestTopGapsSkipsDeleted(t *testing.T) {
-	l := New(Config{Levels: 3, Seed: 1})
+	l := New[any](Config{Levels: 3, Seed: 1})
 	top := l.Levels()
 	for k := uint64(0); k < 8; k++ {
 		h := 1
@@ -70,7 +70,7 @@ func TestTopGapsSkipsDeleted(t *testing.T) {
 }
 
 func TestLevelCounts(t *testing.T) {
-	l := New(Config{Levels: 3, Seed: 5})
+	l := New[any](Config{Levels: 3, Seed: 5})
 	// Heights: two full towers, three height-2, four height-1.
 	for k := uint64(0); k < 2; k++ {
 		l.InsertWithHeight(k, nil, nil, 3, nil)
@@ -100,7 +100,7 @@ func TestLevelCounts(t *testing.T) {
 }
 
 func TestLastBracket(t *testing.T) {
-	l := New(Config{Levels: 4, Seed: 2})
+	l := New[any](Config{Levels: 4, Seed: 2})
 	if br := l.LastBracket(nil, nil); !br.Left.IsHead() || !br.Right.IsTail() {
 		t.Fatalf("empty LastBracket = %v/%v", fmtNode(br.Left), fmtNode(br.Right))
 	}
@@ -123,7 +123,7 @@ func TestLastBracket(t *testing.T) {
 }
 
 func TestNodeCountTracksTowers(t *testing.T) {
-	l := New(Config{Levels: 4, Seed: 3})
+	l := New[any](Config{Levels: 4, Seed: 3})
 	top := l.Levels()
 	l.InsertWithHeight(1, nil, nil, 1, nil)   // 1 node
 	l.InsertWithHeight(2, nil, nil, top, nil) // 4 nodes
@@ -140,8 +140,34 @@ func TestNodeCountTracksTowers(t *testing.T) {
 	}
 }
 
+// TestUpsertKeepsShape pins the upsert-on-existing path with deterministic
+// heights: the value is overwritten in place, and no second tower (or
+// taller incarnation) is created even when the upsert draws a top height.
+func TestUpsertKeepsShape(t *testing.T) {
+	l := New[string](Config{Levels: 3, Seed: 6})
+	top := l.Levels()
+	if r := l.InsertWithHeight(5, "a", nil, 1, nil); !r.Inserted {
+		t.Fatal("seed insert failed")
+	}
+	nodes := l.NodeCount()
+	r := l.UpsertWithHeight(5, "b", nil, top, nil)
+	if r.Inserted || r.Existing == nil {
+		t.Fatalf("upsert on existing key: %+v", r)
+	}
+	if got := l.ValueOf(r.Existing); got != "b" {
+		t.Fatalf("value after upsert = %q", got)
+	}
+	if got := l.NodeCount(); got != nodes {
+		t.Fatalf("upsert changed node count: %d -> %d", nodes, got)
+	}
+	if counts := l.LevelCounts(); counts[top-1] != 0 {
+		t.Fatalf("upsert raised a tower: level counts %v", counts)
+	}
+	CheckInvariants(t, l)
+}
+
 func TestNodeAccessors(t *testing.T) {
-	l := New(Config{Levels: 3, Seed: 4})
+	l := New[string](Config{Levels: 3, Seed: 4})
 	top := l.Levels()
 	r := l.InsertWithHeight(9, "v", nil, top, nil)
 	if r.Top == nil {
@@ -166,7 +192,7 @@ func TestNodeAccessors(t *testing.T) {
 	if n.SuccHolds(w) {
 		t.Fatal("witness survived deletion")
 	}
-	if n.Value() != "v" {
-		t.Fatalf("Value = %v", n.Value())
+	if got := l.ValueOf(n); got != "v" {
+		t.Fatalf("ValueOf = %v", got)
 	}
 }

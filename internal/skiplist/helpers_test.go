@@ -4,7 +4,7 @@ import "testing"
 
 // CheckInvariants fails the test if the quiescent list violates any
 // structural invariant.
-func CheckInvariants(tb testing.TB, l *List) {
+func CheckInvariants[V any](tb testing.TB, l *List[V]) {
 	tb.Helper()
 	if err := l.Validate(); err != nil {
 		tb.Fatalf("invariant violation: %v", err)

@@ -1,0 +1,227 @@
+package skiplist
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+
+	"skiptrie/internal/stats"
+)
+
+// List is a truncated lock-free skiplist mapping uint64 keys to unboxed
+// values of type V. It embeds the value-free Topology — which implements
+// every navigation, deletion and repair algorithm of the paper — and adds
+// the insert path plus value access. The set form is List[struct{}], whose
+// value slots are zero-width.
+type List[V any] struct {
+	Topology
+}
+
+// New returns an empty list. Levels outside [2, MaxLevels] are clamped.
+func New[V any](cfg Config) *List[V] {
+	l := &List[V]{}
+	l.Topology.init(cfg)
+	return l
+}
+
+// Topo returns the list's value-free topology, the surface the x-fast
+// trie indexes. All List[V] instantiations share the one Topology type.
+func (l *List[V]) Topo() *Topology { return &l.Topology }
+
+// dataNode is the allocation unit of a level-0 data node: the value-free
+// topology header followed by the list's unboxed value slot. The header
+// must stay the first field — value access converts the *Node interior
+// pointer back to the containing *dataNode[V], which is only valid while
+// the two share an address.
+//
+// The value is published by the succ-word CAS that links the node into
+// level 0 (a release store that every reader acquires through its own
+// succ-word loads), so the initial write needs no further synchronization.
+// In-place updates (Map.Store on an existing key) cannot ride that
+// publication; they are guarded by vmu, a word-sized spinlock. The
+// critical section is a single value copy, readers and writers take it
+// symmetrically, and the set form never touches it (zero-width values skip
+// value access entirely), so the paper's structural operations remain
+// lock-free; only key-value access on one key serializes with other value
+// access to that same key — including reader-reader, so hot-key value
+// reads do contend on this word. A seqlock would let readers scale, but
+// its optimistic value copy is a data race under the Go memory model for
+// arbitrary V (the race detector rejects it); the race-free lock-free
+// alternative, immutable cells behind an atomic pointer, reallocates on
+// every overwrite, which is the boxing cost this layout exists to remove.
+type dataNode[V any] struct {
+	n   Node
+	vmu atomic.Uint32 // value spinlock: 0 free, 1 held
+	val V
+}
+
+// dataOf recovers the allocation containing a level-0 data node's header.
+// n must be a data-kind root created by List[V].Insert/Upsert; sentinels
+// and tower nodes above level 0 are plain Nodes and must never be passed.
+func dataOf[V any](n *Node) *dataNode[V] {
+	return (*dataNode[V])(unsafe.Pointer(n))
+}
+
+func (d *dataNode[V]) lock() {
+	spins := 0
+	for !d.vmu.CompareAndSwap(0, 1) {
+		if spins++; spins%32 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (d *dataNode[V]) unlock() { d.vmu.Store(0) }
+
+// ValueOf returns the value stored at n's tower root. n may be any node of
+// a tower created by this list (any level); sentinel nodes yield the zero
+// value.
+func (l *List[V]) ValueOf(n *Node) V {
+	r := n.root
+	if r == nil || r.kind != kindData {
+		var zero V
+		return zero
+	}
+	d := dataOf[V](r)
+	if unsafe.Sizeof(d.val) == 0 {
+		return d.val // set form: nothing to read, nothing to lock
+	}
+	d.lock()
+	v := d.val
+	d.unlock()
+	return v
+}
+
+// SetValue overwrites the value stored at n's tower root. Sentinel nodes
+// are ignored.
+func (l *List[V]) SetValue(n *Node, v V) {
+	r := n.root
+	if r == nil || r.kind != kindData {
+		return
+	}
+	d := dataOf[V](r)
+	if unsafe.Sizeof(d.val) == 0 {
+		return
+	}
+	d.lock()
+	d.val = v
+	d.unlock()
+}
+
+// InsertResult reports what Insert or Upsert did.
+type InsertResult struct {
+	Inserted bool
+	Existing *Node // level-0 node of the already-present key, if any
+	Root     *Node // level-0 node this call created, nil if already present
+	Top      *Node // top-level node if the tower reached the top, else nil
+}
+
+// Insert adds key to the list, starting the descent from start (nil for
+// head). If the drawn tower height reaches the top level, the node is also
+// linked into the doubly-linked list (prev set via FixPrev) before Insert
+// returns, per the paper's toplevelInsert. If the key is already present
+// nothing is allocated and the existing level-0 node is reported.
+func (l *List[V]) Insert(key uint64, val V, start *Node, c *stats.Op) InsertResult {
+	return l.insertWithHeight(key, val, start, l.randomHeight(), false, c)
+}
+
+// Upsert is Insert, except that when the key is already present the
+// existing node's value is overwritten with val (still allocation-free).
+func (l *List[V]) Upsert(key uint64, val V, start *Node, c *stats.Op) InsertResult {
+	return l.insertWithHeight(key, val, start, l.randomHeight(), true, c)
+}
+
+// insertWithHeight is Insert/Upsert with the tower height fixed by the
+// caller; tests use it (via export_test.go) to construct deterministic
+// shapes.
+func (l *List[V]) insertWithHeight(key uint64, val V, start *Node, h int, upsert bool, c *stats.Op) InsertResult {
+	var lefts [MaxLevels]*Node
+	br := l.descend(key, start, &lefts, c)
+	t := target{key: key}
+	if br.Right.at(t) {
+		// Already present: the fast path allocates nothing.
+		if upsert {
+			l.SetValue(br.Right, val)
+		}
+		return InsertResult{Existing: br.Right}
+	}
+	dn := &dataNode[V]{val: val}
+	root := &dn.n
+	root.key = key
+	root.kind = kindData
+	root.origHeight = int8(h)
+	root.root = root
+	for {
+		root.succ.Store(Succ{Next: br.Right})
+		root.back.Store(br.Left)
+		c.IncCAS()
+		if _, ok := br.Left.succ.CompareAndSwap(br.LeftW, Succ{Next: root}); ok {
+			break
+		}
+		br = l.search(t, br.Left, c)
+		if br.Right.at(t) {
+			if upsert {
+				l.SetValue(br.Right, val)
+			}
+			return InsertResult{Existing: br.Right}
+		}
+	}
+	l.length.Add(1)
+	l.nodes.Add(1)
+
+	// Raise the tower, each link conditioned on the root's stop flag
+	// remaining unset (the paper's DCSS guard). Tower nodes above level 0
+	// are plain headers: they carry no value slot.
+	curr := root
+	for lv := 1; lv < h; lv++ {
+		if root.stop.Load() {
+			return InsertResult{Inserted: true, Root: root}
+		}
+		tn := &Node{key: key, kind: kindData, level: int8(lv), origHeight: int8(h), root: root, down: curr}
+		for {
+			br := l.search(t, lefts[lv], c)
+			if br.Right.at(t) {
+				// A same-key node exists at this level (a racing
+				// incarnation); cap our tower here.
+				return InsertResult{Inserted: true, Root: root}
+			}
+			tn.succ.Store(Succ{Next: br.Right})
+			tn.back.Store(br.Left)
+			if lv == l.levels-1 {
+				tn.prev.Store(br.Left) // initial guide; FixPrev corrects it
+			}
+			ok := false
+			if l.useDCSS {
+				c.IncDCSS()
+				_, ok = br.Left.succ.DCSS(br.LeftW, Succ{Next: tn}, func() bool { return !root.stop.Load() })
+			} else {
+				c.IncCAS()
+				_, ok = br.Left.succ.CompareAndSwap(br.LeftW, Succ{Next: tn})
+			}
+			if ok {
+				l.nodes.Add(1)
+				curr = tn
+				break
+			}
+			if root.stop.Load() {
+				return InsertResult{Inserted: true, Root: root}
+			}
+			lefts[lv] = br.Left
+		}
+	}
+	if h == l.levels {
+		// Reached the top: complete the doubly-linked insertion. Per
+		// Section 3 the insert first sets its own prev (Algorithm 1), then
+		// updates the prev pointer of its successor; the operation is not
+		// complete until both are done (Lemma 3.1 depends on this).
+		l.FixPrev(lefts[l.levels-1], curr, c)
+		hook("insert.before-succ-repair", curr)
+		if l.repair == RepairEager {
+			l.makeReadyChain(curr, c)
+		} else {
+			l.repairSuccessorPrev(curr, c)
+		}
+		return InsertResult{Inserted: true, Root: root, Top: curr}
+	}
+	return InsertResult{Inserted: true, Root: root}
+}

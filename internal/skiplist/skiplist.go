@@ -22,6 +22,15 @@
 // repaired by the in-flight insert) and the eager-helping mode (option 1 —
 // an insert recursively helps its successors before declaring itself
 // ready), selectable per list for the T8 ablation.
+//
+// The package is split along the value axis. Node and Topology are
+// value-free: they carry only the paper's state (keys, towers, succ/marked
+// words, back/prev pointers) and implement every navigation and repair
+// algorithm, so code that only routes through the structure — notably the
+// x-fast trie and its DCSS guards — compiles once, independent of any
+// value type. List[V] embeds a Topology and adds the insert path, whose
+// level-0 nodes are allocated with an inline, unboxed value slot of type V
+// (see list.go). In set form (V = struct{}) the slot is zero-width.
 package skiplist
 
 import (
@@ -68,8 +77,13 @@ type Succ struct {
 	Marked bool
 }
 
-// Node is one level of one tower. Fields key, kind, level, origHeight,
-// root and down are immutable after construction.
+// Node is one level of one tower: the value-free topology header every
+// layer above (the x-fast trie, the DCSS guards) operates on. Fields key,
+// kind, level, origHeight, root and down are immutable after construction.
+//
+// Level-0 data nodes of a List[V] are allocated as dataNode[V] — this
+// header followed by an unboxed value slot (list.go); sentinels and tower
+// nodes above level 0 are plain Nodes and carry no value storage at all.
 type Node struct {
 	key        uint64
 	kind       kind
@@ -82,15 +96,12 @@ type Node struct {
 	back atomic.Pointer[Node] // recovery hint; points to a strictly smaller node
 
 	// root-only:
-	stop atomic.Bool               // freezes tower raising (Section 2)
-	val  atomic.Pointer[valueCell] // optional user value (Map API)
+	stop atomic.Bool // freezes tower raising (Section 2)
 
 	// top-level-only:
 	prev  dcss.Atom[*Node] // backward guide pointer (Section 3)
 	ready atomic.Bool      // doubly-linked insertion finished
 }
-
-type valueCell struct{ v any }
 
 // Key returns the node's key. Meaningful only for data nodes.
 func (n *Node) Key() uint64 { return n.key }
@@ -138,20 +149,6 @@ func (n *Node) Back() *Node { return n.back.Load() }
 // Ready reports whether the node's doubly-linked insertion completed.
 func (n *Node) Ready() bool { return n.ready.Load() }
 
-// Value returns the user value stored at the tower root.
-func (n *Node) Value() any {
-	c := n.root.val.Load()
-	if c == nil {
-		return nil
-	}
-	return c.v
-}
-
-// SetValue stores a user value at the tower root.
-func (n *Node) SetValue(v any) {
-	n.root.val.Store(&valueCell{v: v})
-}
-
 // target identifies a search position: either a key or the tail sentinel.
 type target struct {
 	key  uint64
@@ -178,8 +175,12 @@ func (n *Node) at(t target) bool {
 	return n.kind == kindData && n.key == t.key
 }
 
-// List is a truncated lock-free skiplist.
-type List struct {
+// Topology is the value-free skeleton of a truncated lock-free skiplist:
+// the level sentinels plus every navigation, deletion and repair algorithm
+// of the paper. It is the surface the x-fast trie operates on; all List[V]
+// instantiations share this one concrete type, so the trie (and anything
+// else that only routes through the structure) compiles exactly once.
+type Topology struct {
 	levels  int
 	useDCSS bool
 	repair  RepairMode
@@ -203,8 +204,9 @@ type Config struct {
 	Seed uint64
 }
 
-// New returns an empty list. Levels outside [2, MaxLevels] are clamped.
-func New(cfg Config) *List {
+// init builds the sentinel towers. Levels outside [2, MaxLevels] are
+// clamped.
+func (l *Topology) init(cfg Config) {
 	lv := cfg.Levels
 	if lv < 2 {
 		lv = 2
@@ -212,7 +214,9 @@ func New(cfg Config) *List {
 	if lv > MaxLevels {
 		lv = MaxLevels
 	}
-	l := &List{levels: lv, useDCSS: !cfg.DisableDCSS, repair: cfg.Repair}
+	l.levels = lv
+	l.useDCSS = !cfg.DisableDCSS
+	l.repair = cfg.Repair
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 0x5ee0_70_1e_5eed
@@ -235,36 +239,35 @@ func New(cfg Config) *List {
 		l.heads[i] = h
 		l.tails[i] = t
 	}
-	return l
 }
 
 // Levels returns the number of levels.
-func (l *List) Levels() int { return l.levels }
+func (l *Topology) Levels() int { return l.levels }
 
 // Top returns the index of the top level.
-func (l *List) Top() int { return l.levels - 1 }
+func (l *Topology) Top() int { return l.levels - 1 }
 
 // Head returns the top-level head sentinel (the fallback starting point
 // for searches when the x-fast trie yields no better anchor).
-func (l *List) Head() *Node { return l.heads[l.levels-1] }
+func (l *Topology) Head() *Node { return l.heads[l.levels-1] }
 
 // HeadAt returns the head sentinel of the given level.
-func (l *List) HeadAt(level int) *Node { return l.heads[level] }
+func (l *Topology) HeadAt(level int) *Node { return l.heads[level] }
 
 // TailAt returns the tail sentinel of the given level.
-func (l *List) TailAt(level int) *Node { return l.tails[level] }
+func (l *Topology) TailAt(level int) *Node { return l.tails[level] }
 
 // Len returns the number of keys (approximate under concurrency).
-func (l *List) Len() int { return int(l.length.Load()) }
+func (l *Topology) Len() int { return int(l.length.Load()) }
 
 // NodeCount returns the number of live tower nodes across all levels
 // (approximate under concurrency), for the T6 space experiment.
-func (l *List) NodeCount() int { return int(l.nodes.Load()) }
+func (l *Topology) NodeCount() int { return int(l.nodes.Load()) }
 
 // randomHeight draws Geom(1/2) truncated to [1, levels]: P(h) = 2^-h,
 // with the remainder mass on h = levels, so P(reaching the top level) is
 // 2^-(levels-1) = 1/log u for levels = ceil(log2 log u)+1.
-func (l *List) randomHeight() int {
+func (l *Topology) randomHeight() int {
 	x := uintbits.Mix64(l.rng.Add(0x9E3779B97F4A7C15))
 	return bits.TrailingZeros64(x|1<<(l.levels-1)) + 1
 }
@@ -282,7 +285,7 @@ type Bracket struct {
 // unlinking marked nodes it passes, and return a bracket around t. start
 // may be marked or even past t; recovery uses back pointers (which always
 // decrease strictly, so recovery terminates at the level head).
-func (l *List) search(t target, start *Node, c *stats.Op) Bracket {
+func (l *Topology) search(t target, start *Node, c *stats.Op) Bracket {
 	left := start
 	for {
 		// Re-anchor: left must be unmarked and strictly before t.
@@ -323,7 +326,7 @@ func (l *List) search(t target, start *Node, c *stats.Op) Bracket {
 
 // SearchTop runs the paper's listSearch for key on the top level starting
 // from start (nil means the head sentinel).
-func (l *List) SearchTop(key uint64, start *Node, c *stats.Op) Bracket {
+func (l *Topology) SearchTop(key uint64, start *Node, c *stats.Op) Bracket {
 	if start == nil {
 		start = l.Head()
 	}
@@ -331,7 +334,7 @@ func (l *List) SearchTop(key uint64, start *Node, c *stats.Op) Bracket {
 }
 
 // searchTarget is SearchTop for an arbitrary target (including the tail).
-func (l *List) searchTarget(t target, start *Node, c *stats.Op) Bracket {
+func (l *Topology) searchTarget(t target, start *Node, c *stats.Op) Bracket {
 	if start == nil {
 		start = l.Head()
 	}
@@ -342,7 +345,7 @@ func (l *List) searchTarget(t target, start *Node, c *stats.Op) Bracket {
 // traversal: starting from a top-level node (or head), locate the bracket
 // of key on every level. It fills lefts[level] and returns the level-0
 // bracket.
-func (l *List) descend(key uint64, start *Node, lefts *[MaxLevels]*Node, c *stats.Op) Bracket {
+func (l *Topology) descend(key uint64, start *Node, lefts *[MaxLevels]*Node, c *stats.Op) Bracket {
 	if start == nil {
 		start = l.Head()
 	}
@@ -363,14 +366,14 @@ func (l *List) descend(key uint64, start *Node, lefts *[MaxLevels]*Node, c *stat
 // target, typically produced by the x-fast trie, or nil for the head) and
 // returns the level-0 bracket of key: Left is the strict predecessor,
 // Right is the first node >= key.
-func (l *List) PredecessorBracket(key uint64, start *Node, c *stats.Op) Bracket {
+func (l *Topology) PredecessorBracket(key uint64, start *Node, c *stats.Op) Bracket {
 	var lefts [MaxLevels]*Node
 	return l.descend(key, start, &lefts, c)
 }
 
 // LastBracket descends to the level-0 bracket of the tail: Left is the
 // largest key in the list (or the head sentinel if empty).
-func (l *List) LastBracket(start *Node, c *stats.Op) Bracket {
+func (l *Topology) LastBracket(start *Node, c *stats.Op) Bracket {
 	if start == nil {
 		start = l.Head()
 	}
@@ -386,103 +389,6 @@ func (l *List) LastBracket(start *Node, c *stats.Op) Bracket {
 	return br
 }
 
-// InsertResult reports what Insert did.
-type InsertResult struct {
-	Inserted bool
-	Root     *Node // level-0 node, nil if the key was already present
-	Top      *Node // top-level node if the tower reached the top, else nil
-}
-
-// Insert adds key to the list, starting the descent from start (nil for
-// head). If the drawn tower height reaches the top level, the node is also
-// linked into the doubly-linked list (prev set via FixPrev) before Insert
-// returns, per the paper's toplevelInsert.
-func (l *List) Insert(key uint64, val any, start *Node, c *stats.Op) InsertResult {
-	return l.insertWithHeight(key, val, start, l.randomHeight(), c)
-}
-
-// insertWithHeight is Insert with the tower height fixed by the caller;
-// tests use it (via export_test.go) to construct deterministic shapes.
-func (l *List) insertWithHeight(key uint64, val any, start *Node, h int, c *stats.Op) InsertResult {
-	var lefts [MaxLevels]*Node
-	br := l.descend(key, start, &lefts, c)
-	t := target{key: key}
-	root := &Node{key: key, kind: kindData, level: 0, origHeight: int8(h)}
-	root.root = root
-	if val != nil {
-		root.val.Store(&valueCell{v: val})
-	}
-	for {
-		if br.Right.at(t) {
-			return InsertResult{} // already present
-		}
-		root.succ.Store(Succ{Next: br.Right})
-		root.back.Store(br.Left)
-		c.IncCAS()
-		if _, ok := br.Left.succ.CompareAndSwap(br.LeftW, Succ{Next: root}); ok {
-			break
-		}
-		br = l.search(t, br.Left, c)
-	}
-	l.length.Add(1)
-	l.nodes.Add(1)
-
-	// Raise the tower, each link conditioned on the root's stop flag
-	// remaining unset (the paper's DCSS guard).
-	curr := root
-	for lv := 1; lv < h; lv++ {
-		if root.stop.Load() {
-			return InsertResult{Inserted: true, Root: root}
-		}
-		tn := &Node{key: key, kind: kindData, level: int8(lv), origHeight: int8(h), root: root, down: curr}
-		for {
-			br := l.search(t, lefts[lv], c)
-			if br.Right.at(t) {
-				// A same-key node exists at this level (a racing
-				// incarnation); cap our tower here.
-				return InsertResult{Inserted: true, Root: root}
-			}
-			tn.succ.Store(Succ{Next: br.Right})
-			tn.back.Store(br.Left)
-			if lv == l.levels-1 {
-				tn.prev.Store(br.Left) // initial guide; FixPrev corrects it
-			}
-			ok := false
-			if l.useDCSS {
-				c.IncDCSS()
-				_, ok = br.Left.succ.DCSS(br.LeftW, Succ{Next: tn}, func() bool { return !root.stop.Load() })
-			} else {
-				c.IncCAS()
-				_, ok = br.Left.succ.CompareAndSwap(br.LeftW, Succ{Next: tn})
-			}
-			if ok {
-				l.nodes.Add(1)
-				curr = tn
-				break
-			}
-			if root.stop.Load() {
-				return InsertResult{Inserted: true, Root: root}
-			}
-			lefts[lv] = br.Left
-		}
-	}
-	if h == l.levels {
-		// Reached the top: complete the doubly-linked insertion. Per
-		// Section 3 the insert first sets its own prev (Algorithm 1), then
-		// updates the prev pointer of its successor; the operation is not
-		// complete until both are done (Lemma 3.1 depends on this).
-		l.FixPrev(lefts[l.levels-1], curr, c)
-		hook("insert.before-succ-repair", curr)
-		if l.repair == RepairEager {
-			l.makeReadyChain(curr, c)
-		} else {
-			l.repairSuccessorPrev(curr, c)
-		}
-		return InsertResult{Inserted: true, Root: root, Top: curr}
-	}
-	return InsertResult{Inserted: true, Root: root}
-}
-
 // FixPrev is the paper's Algorithm 1: repeatedly locate node's predecessor
 // left on the top level and DCSS node.prev to it, conditioned on left
 // remaining unmarked with left.next = node, until success or node is
@@ -490,7 +396,7 @@ func (l *List) insertWithHeight(key uint64, val any, start *Node, h int, c *stat
 // prev has been set, or the node is logically deleted and its prev no
 // longer matters); in eager mode readiness is owned by makeReadyChain,
 // whose option-1 semantics are "my successor's prev points back at me".
-func (l *List) FixPrev(pred, node *Node, c *stats.Op) {
+func (l *Topology) FixPrev(pred, node *Node, c *stats.Op) {
 	var t target
 	if node.kind == kindTail {
 		t = target{tail: true}
@@ -533,7 +439,7 @@ func (l *List) FixPrev(pred, node *Node, c *stats.Op) {
 // ready, then point the successor's prev back at node. Helping only moves
 // rightward, so there is no deadlock; the chain length is bounded by the
 // number of concurrent unfinished inserts.
-func (l *List) makeReadyChain(node *Node, c *stats.Op) {
+func (l *Topology) makeReadyChain(node *Node, c *stats.Op) {
 	// Collect the chain of not-ready successors, then repair backwards.
 	var chain [64]*Node
 	n := 0
@@ -594,7 +500,7 @@ type DeleteResult struct {
 // Deleted=true. For towers that reached the top level it also performs the
 // paper's toplevelDelete duties: ensure the node was completely inserted
 // first, and repair the successor's prev pointer afterwards.
-func (l *List) Delete(key uint64, start *Node, c *stats.Op) DeleteResult {
+func (l *Topology) Delete(key uint64, start *Node, c *stats.Op) DeleteResult {
 	t := target{key: key}
 	var lefts [MaxLevels]*Node
 	br := l.descend(key, start, &lefts, c)
@@ -667,7 +573,7 @@ func (l *List) Delete(key uint64, start *Node, c *stats.Op) DeleteResult {
 
 // markNode sets n.back to the given hint and marks n, returning true if
 // this call's CAS performed the marking.
-func (l *List) markNode(n, backHint *Node, c *stats.Op) bool {
+func (l *Topology) markNode(n, backHint *Node, c *stats.Op) bool {
 	for {
 		s, w := n.succ.Load()
 		if s.Marked {
@@ -686,7 +592,7 @@ func (l *List) markNode(n, backHint *Node, c *stats.Op) bool {
 // node (the second half of a top-level insert). If node is deleted
 // meanwhile, the deleting operation takes over the repair (Algorithm 2),
 // so we simply stop.
-func (l *List) repairSuccessorPrev(node *Node, c *stats.Op) {
+func (l *Topology) repairSuccessorPrev(node *Node, c *stats.Op) {
 	for {
 		s, _ := node.succ.Load()
 		if s.Marked {
@@ -711,7 +617,7 @@ func (l *List) repairSuccessorPrev(node *Node, c *stats.Op) {
 // top-level node is deleted, find its successor and fix that successor's
 // prev so it no longer points behind the deleted node; retry if the
 // successor itself got marked meanwhile.
-func (l *List) repairPrevAfterDelete(t target, hint *Node, c *stats.Op) {
+func (l *Topology) repairPrevAfterDelete(t target, hint *Node, c *stats.Op) {
 	for {
 		br := l.searchTarget(t, hint, c)
 		succ := br.Right
@@ -730,7 +636,7 @@ func (l *List) repairPrevAfterDelete(t target, hint *Node, c *stats.Op) {
 
 // fixPrevOf is FixPrev when the caller already holds a bracket whose Right
 // is the node.
-func (l *List) fixPrevOf(t target, node *Node, br Bracket, c *stats.Op) {
+func (l *Topology) fixPrevOf(t target, node *Node, br Bracket, c *stats.Op) {
 	for !node.Marked() {
 		_, pw := node.prev.Load()
 		if br.Right == node {
@@ -755,14 +661,14 @@ func (l *List) fixPrevOf(t target, node *Node, br Bracket, c *stats.Op) {
 }
 
 // Contains reports whether key is present, descending from start.
-func (l *List) Contains(key uint64, start *Node, c *stats.Op) bool {
+func (l *Topology) Contains(key uint64, start *Node, c *stats.Op) bool {
 	br := l.PredecessorBracket(key, start, c)
 	return br.Right.at(target{key: key})
 }
 
 // Find returns the level-0 node holding key, if present (unmarked at
 // witness time).
-func (l *List) Find(key uint64, start *Node, c *stats.Op) (*Node, bool) {
+func (l *Topology) Find(key uint64, start *Node, c *stats.Op) (*Node, bool) {
 	br := l.PredecessorBracket(key, start, c)
 	if br.Right.at(target{key: key}) {
 		return br.Right, true

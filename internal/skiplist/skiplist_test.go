@@ -7,9 +7,9 @@ import (
 	"testing"
 )
 
-func newList(t *testing.T, levels int) *List {
+func newList(t *testing.T, levels int) *List[any] {
 	t.Helper()
-	return New(Config{Levels: levels, Seed: 42})
+	return New[any](Config{Levels: levels, Seed: 42})
 }
 
 func TestEmptyList(t *testing.T) {
@@ -152,23 +152,34 @@ func TestPredecessorBracket(t *testing.T) {
 }
 
 func TestValueStorage(t *testing.T) {
-	l := newList(t, 4)
+	l := New[string](Config{Levels: 4, Seed: 42})
 	r := l.Insert(3, "three", nil, nil)
-	if got := r.Root.Value(); got != "three" {
+	if got := l.ValueOf(r.Root); got != "three" {
 		t.Fatalf("value = %v", got)
 	}
-	r.Root.SetValue("drei")
-	if got := r.Root.Value(); got != "drei" {
+	l.SetValue(r.Root, "drei")
+	if got := l.ValueOf(r.Root); got != "drei" {
 		t.Fatalf("value = %v", got)
 	}
 	n, ok := l.Find(3, nil, nil)
-	if !ok || n.Value() != "drei" {
+	if !ok || l.ValueOf(n) != "drei" {
 		t.Fatalf("Find value = %v, %v", n, ok)
 	}
-	// Nil value round-trips as nil.
-	r2 := l.Insert(4, nil, nil, nil)
-	if got := r2.Root.Value(); got != nil {
-		t.Fatalf("nil value = %v", got)
+	// Upsert overwrites in place without allocating a node.
+	if r := l.Upsert(3, "trois", nil, nil); r.Inserted || r.Existing == nil {
+		t.Fatalf("Upsert on existing key: %+v", r)
+	}
+	if got := l.ValueOf(n); got != "trois" {
+		t.Fatalf("value after Upsert = %v", got)
+	}
+	// Sentinels yield the zero value.
+	if got := l.ValueOf(l.Head()); got != "" {
+		t.Fatalf("sentinel value = %q", got)
+	}
+	// The zero value of V round-trips.
+	r2 := l.Insert(4, "", nil, nil)
+	if got := l.ValueOf(r2.Root); got != "" {
+		t.Fatalf("zero value = %v", got)
 	}
 }
 
@@ -303,7 +314,7 @@ func TestStopFlagCapsRaising(t *testing.T) {
 }
 
 func TestDisableDCSSMode(t *testing.T) {
-	l := New(Config{Levels: 5, DisableDCSS: true, Seed: 1})
+	l := New[any](Config{Levels: 5, DisableDCSS: true, Seed: 1})
 	for k := uint64(0); k < 2000; k++ {
 		l.Insert(k, nil, nil, nil)
 	}
@@ -322,7 +333,7 @@ func TestDisableDCSSMode(t *testing.T) {
 }
 
 func TestEagerRepairMode(t *testing.T) {
-	l := New(Config{Levels: 4, Repair: RepairEager, Seed: 5})
+	l := New[any](Config{Levels: 4, Repair: RepairEager, Seed: 5})
 	const n = 3000
 	for k := uint64(0); k < n; k++ {
 		l.Insert(k, nil, nil, nil)
@@ -334,11 +345,11 @@ func TestEagerRepairMode(t *testing.T) {
 }
 
 func TestLevelsClamped(t *testing.T) {
-	l := New(Config{Levels: 0})
+	l := New[any](Config{Levels: 0})
 	if l.Levels() != 2 {
 		t.Fatalf("Levels = %d, want 2", l.Levels())
 	}
-	l = New(Config{Levels: 100})
+	l = New[any](Config{Levels: 100})
 	if l.Levels() != MaxLevels {
 		t.Fatalf("Levels = %d, want %d", l.Levels(), MaxLevels)
 	}
@@ -570,7 +581,7 @@ func TestConcurrentReadersDuringChurn(t *testing.T) {
 }
 
 func TestConcurrentEagerMode(t *testing.T) {
-	l := New(Config{Levels: 4, Repair: RepairEager, Seed: 11})
+	l := New[any](Config{Levels: 4, Repair: RepairEager, Seed: 11})
 	var wg sync.WaitGroup
 	const workers = 6
 	const perG = 800

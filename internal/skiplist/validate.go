@@ -18,7 +18,7 @@ import "fmt"
 //     guides during execution, but quiescence implies all repairs
 //     finished);
 //  5. the recorded length matches the number of unmarked level-0 nodes.
-func (l *List) Validate() error {
+func (l *Topology) Validate() error {
 	levelKeys := make([]map[uint64]*Node, l.levels)
 	for lv := 0; lv < l.levels; lv++ {
 		keys := make(map[uint64]*Node)
@@ -112,7 +112,7 @@ func nodeDesc(n *Node) string {
 // LevelCounts walks every level and returns the number of unmarked data
 // nodes on each (index 0 = bottom). Call at quiescence; used by
 // visualization and the F1/T6 experiments.
-func (l *List) LevelCounts() []int {
+func (l *Topology) LevelCounts() []int {
 	counts := make([]int, l.levels)
 	for lv := 0; lv < l.levels; lv++ {
 		n := l.heads[lv]
@@ -134,7 +134,7 @@ func (l *List) LevelCounts() []int {
 // the head and tail sentinels as boundaries), the number of level-0 keys
 // strictly between them. This measures the paper's Figure 1 claim: gaps
 // are geometrically distributed with mean about log u. Call at quiescence.
-func (l *List) TopGaps() []int {
+func (l *Topology) TopGaps() []int {
 	top := l.levels - 1
 	var gaps []int
 	gap := 0

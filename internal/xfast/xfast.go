@@ -79,7 +79,7 @@ type treeNode struct {
 // skiplist.
 type Trie struct {
 	width    uint8 // W = log u
-	list     *skiplist.List
+	list     *skiplist.Topology
 	prefixes *splitorder.Map[*treeNode]
 	useDCSS  bool
 }
@@ -88,8 +88,10 @@ type Trie struct {
 type Config struct {
 	// Width is the universe width W = log u, in [1, 64].
 	Width uint8
-	// List is the skiplist whose top level the trie indexes.
-	List *skiplist.List
+	// List is the value-free topology of the skiplist whose top level the
+	// trie indexes (List[V].Topo()); the trie itself is value-agnostic and
+	// compiles once for every List[V] instantiation.
+	List *skiplist.Topology
 	// DisableDCSS replaces every DCSS by plain CAS (drops the second
 	// guard), the fallback the paper proves remains linearizable.
 	DisableDCSS bool

@@ -14,12 +14,12 @@ import (
 // so the trie walks can be exercised in isolation.
 type rig struct {
 	width uint8
-	list  *skiplist.List
+	list  *skiplist.List[struct{}]
 	trie  *Trie
 }
 
 func newRig(width uint8, disableDCSS bool) *rig {
-	l := skiplist.New(skiplist.Config{
+	l := skiplist.New[struct{}](skiplist.Config{
 		Levels:      uintbits.Levels(width),
 		DisableDCSS: disableDCSS,
 		Seed:        7,
@@ -27,7 +27,7 @@ func newRig(width uint8, disableDCSS bool) *rig {
 	return &rig{
 		width: width,
 		list:  l,
-		trie:  New(Config{Width: width, List: l, DisableDCSS: disableDCSS}),
+		trie:  New(Config{Width: width, List: l.Topo(), DisableDCSS: disableDCSS}),
 	}
 }
 
@@ -36,7 +36,7 @@ func (r *rig) insert(key uint64) bool {
 	if start.IsData() && start.Key() == key && !start.Marked() {
 		return false
 	}
-	res := r.list.Insert(key, nil, start, nil)
+	res := r.list.Insert(key, struct{}{}, start, nil)
 	if !res.Inserted {
 		return false
 	}
@@ -180,7 +180,7 @@ func TestLowestAncestorFindsClosest(t *testing.T) {
 	var tops []uint64
 	for k := uint64(0); k < 20000; k += 7 {
 		start := r.trie.Pred(k, false, nil)
-		res := r.list.Insert(k, nil, start, nil)
+		res := r.list.Insert(k, struct{}{}, start, nil)
 		if res.Top != nil {
 			r.trie.InsertWalk(res.Top, nil)
 			tops = append(tops, k)

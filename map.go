@@ -5,12 +5,22 @@ import (
 	"skiptrie/internal/stats"
 )
 
-// Map is a concurrent lock-free ordered map from uint64 keys to values of
-// type V, built on the same SkipTrie structure as the set API and adding
-// predecessor/successor queries over keys. Create one with NewMap; the
-// zero value is not usable.
+// Map is a concurrent ordered map from uint64 keys to values of type V,
+// built on the same SkipTrie structure as the set API and adding
+// predecessor/successor queries over keys. Values are stored unboxed
+// inline in the structure's level-0 nodes: no interface conversion or
+// other per-operation allocation happens on the Store-existing-key or
+// Load paths. Create one with NewMap; the zero value is not usable.
+//
+// All structural operations (key membership, ordering, iteration) are
+// lock-free, exactly as in the set API. Reading or overwriting the value
+// attached to one key is the exception: value access serializes through a
+// word-sized per-node spinlock, so a stalled overwriter can briefly block
+// readers of that same key's value (and hot-key value reads serialize).
+// This is the price of keeping values unboxed; use the set API if you
+// need the pure lock-free guarantee.
 type Map[V any] struct {
-	c *core.SkipTrie
+	c *core.SkipTrie[V]
 	m *Metrics
 }
 
@@ -18,7 +28,7 @@ type Map[V any] struct {
 func NewMap[V any](opts ...Option) *Map[V] {
 	o := buildOptions(opts)
 	return &Map[V]{
-		c: core.New(core.Config{
+		c: core.New[V](core.Config{
 			Width:       o.width,
 			DisableDCSS: o.disableDCSS,
 			Repair:      o.repair,
@@ -35,29 +45,13 @@ func (m *Map[V]) op() *stats.Op {
 	return new(stats.Op)
 }
 
-func (m *Map[V]) cast(v any) V {
-	if v == nil {
-		var zero V
-		return zero
-	}
-	return v.(V)
-}
-
-// Store sets the value for key, inserting it if absent.
+// Store sets the value for key, inserting it if absent. Overwriting an
+// existing key's value happens in place, without allocation. Keys outside
+// the universe [0, 2^W) are rejected: nothing is stored.
 func (m *Map[V]) Store(key uint64, val V) {
 	c := m.op()
-	defer m.m.record(OpInsert, key, c)
-	for {
-		if m.c.Insert(key, val, c) {
-			return
-		}
-		if n, ok := m.c.FindNode(key, c); ok {
-			n.SetValue(val)
-			return
-		}
-		// The key vanished between the failed insert and the lookup
-		// (concurrent delete); retry the insert.
-	}
+	m.c.Store(key, val, c)
+	m.m.record(OpInsert, key, c)
 }
 
 // Load returns the value stored under key.
@@ -65,22 +59,18 @@ func (m *Map[V]) Load(key uint64) (V, bool) {
 	c := m.op()
 	v, ok := m.c.Find(key, c)
 	m.m.record(OpContains, key, c)
-	return m.cast(v), ok
+	return v, ok
 }
 
 // LoadOrStore returns the existing value for key if present; otherwise it
-// stores val. The loaded result reports whether the value was loaded.
+// stores val. The loaded result reports whether the value was loaded. Keys
+// outside the universe [0, 2^W) are rejected: nothing is stored and the
+// result is (val, false) even though no later Load will find it.
 func (m *Map[V]) LoadOrStore(key uint64, val V) (actual V, loaded bool) {
 	c := m.op()
-	defer m.m.record(OpInsert, key, c)
-	for {
-		if m.c.Insert(key, val, c) {
-			return val, false
-		}
-		if v, ok := m.c.Find(key, c); ok {
-			return m.cast(v), true
-		}
-	}
+	actual, loaded = m.c.LoadOrStore(key, val, c)
+	m.m.record(OpInsert, key, c)
+	return actual, loaded
 }
 
 // Delete removes key and reports whether this call removed it.
@@ -96,39 +86,41 @@ func (m *Map[V]) Predecessor(x uint64) (uint64, V, bool) {
 	c := m.op()
 	k, v, ok := m.c.Predecessor(x, c)
 	m.m.record(OpPredecessor, x, c)
-	return k, m.cast(v), ok
+	return k, v, ok
 }
 
 // Successor returns the smallest key >= x and its value.
 func (m *Map[V]) Successor(x uint64) (uint64, V, bool) {
 	c := m.op()
 	k, v, ok := m.c.Successor(x, c)
-	m.m.record(OpPredecessor, x, c)
-	return k, m.cast(v), ok
+	m.m.record(OpSuccessor, x, c)
+	return k, v, ok
 }
 
 // StrictPredecessor returns the largest key < x and its value.
 func (m *Map[V]) StrictPredecessor(x uint64) (uint64, V, bool) {
-	k, v, ok := m.c.StrictPredecessor(x, m.op())
-	return k, m.cast(v), ok
+	c := m.op()
+	k, v, ok := m.c.StrictPredecessor(x, c)
+	m.m.record(OpPredecessor, x, c)
+	return k, v, ok
 }
 
 // StrictSuccessor returns the smallest key > x and its value.
 func (m *Map[V]) StrictSuccessor(x uint64) (uint64, V, bool) {
-	k, v, ok := m.c.StrictSuccessor(x, m.op())
-	return k, m.cast(v), ok
+	c := m.op()
+	k, v, ok := m.c.StrictSuccessor(x, c)
+	m.m.record(OpSuccessor, x, c)
+	return k, v, ok
 }
 
 // Min returns the smallest key and its value.
 func (m *Map[V]) Min() (uint64, V, bool) {
-	k, v, ok := m.c.Min(nil)
-	return k, m.cast(v), ok
+	return m.c.Min(nil)
 }
 
 // Max returns the largest key and its value.
 func (m *Map[V]) Max() (uint64, V, bool) {
-	k, v, ok := m.c.Max(nil)
-	return k, m.cast(v), ok
+	return m.c.Max(nil)
 }
 
 // Len returns the number of keys (approximate under concurrent mutation).
@@ -137,13 +129,13 @@ func (m *Map[V]) Len() int { return m.c.Len() }
 // Range calls fn on each key/value with key >= from in ascending order
 // until fn returns false. Iteration is weakly consistent.
 func (m *Map[V]) Range(from uint64, fn func(key uint64, val V) bool) {
-	m.c.Range(from, func(k uint64, v any) bool { return fn(k, m.cast(v)) }, nil)
+	m.c.Range(from, fn, nil)
 }
 
 // Descend calls fn on each key/value with key <= from in descending order
 // until fn returns false. Each step costs one strict-predecessor query.
 func (m *Map[V]) Descend(from uint64, fn func(key uint64, val V) bool) {
-	m.c.Descend(from, func(k uint64, v any) bool { return fn(k, m.cast(v)) }, nil)
+	m.c.Descend(from, fn, nil)
 }
 
 // Validate checks the quiescent structure's invariants (see

@@ -17,6 +17,7 @@ const (
 	OpInsert
 	OpDelete
 	OpContains
+	OpSuccessor
 	numOpKinds
 )
 
@@ -31,6 +32,8 @@ func (k OpKind) String() string {
 		return "delete"
 	case OpContains:
 		return "contains"
+	case OpSuccessor:
+		return "successor"
 	default:
 		return fmt.Sprintf("OpKind(%d)", uint8(k))
 	}

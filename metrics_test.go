@@ -1,0 +1,67 @@
+package skiptrie
+
+import "testing"
+
+// TestMetricsAttribution checks that every public operation records its
+// sample under the right OpKind bucket — in particular that successor
+// queries land under OpSuccessor, not OpPredecessor.
+func TestMetricsAttribution(t *testing.T) {
+	var mx Metrics
+	s := New(WithWidth(16), WithMetrics(&mx))
+	for k := uint64(10); k <= 50; k += 10 {
+		s.Insert(k) // 5 x OpInsert
+	}
+	s.Delete(10)            // 1 x OpDelete
+	s.Contains(20)          // 1 x OpContains
+	s.Contains(11)          // 1 x OpContains
+	s.Predecessor(25)       // OpPredecessor
+	s.StrictPredecessor(30) // OpPredecessor
+	s.Successor(25)         // OpSuccessor
+	s.Successor(26)         // OpSuccessor
+	s.StrictSuccessor(30)   // OpSuccessor
+	sn := mx.Snapshot()
+	want := map[OpKind]uint64{
+		OpInsert:      5,
+		OpDelete:      1,
+		OpContains:    2,
+		OpPredecessor: 2,
+		OpSuccessor:   3,
+	}
+	for kind, n := range want {
+		if got := sn.Ops[kind]; got != n {
+			t.Errorf("set %v ops = %d, want %d", kind, got, n)
+		}
+	}
+	if got := sn.TotalOps(); got != 13 {
+		t.Errorf("set TotalOps = %d, want 13", got)
+	}
+	if sn.AvgSteps(OpSuccessor) <= 0 {
+		t.Error("successor queries recorded no steps")
+	}
+
+	// The Map wrapper shares the same attribution.
+	var mm Metrics
+	m := NewMap[int](WithWidth(16), WithMetrics(&mm))
+	m.Store(5, 1)          // OpInsert
+	m.Store(5, 2)          // OpInsert (update path)
+	m.LoadOrStore(6, 3)    // OpInsert
+	m.Load(5)              // OpContains
+	m.Delete(6)            // OpDelete
+	m.Predecessor(9)       // OpPredecessor
+	m.StrictPredecessor(9) // OpPredecessor
+	m.Successor(1)         // OpSuccessor
+	m.StrictSuccessor(1)   // OpSuccessor
+	msn := mm.Snapshot()
+	mwant := map[OpKind]uint64{
+		OpInsert:      3,
+		OpDelete:      1,
+		OpContains:    1,
+		OpPredecessor: 2,
+		OpSuccessor:   2,
+	}
+	for kind, n := range mwant {
+		if got := msn.Ops[kind]; got != n {
+			t.Errorf("map %v ops = %d, want %d", kind, got, n)
+		}
+	}
+}

@@ -35,7 +35,7 @@ import (
 // SkipTrie is a concurrent lock-free sorted set of uint64 keys drawn from
 // a universe [0, 2^W). Create one with New; the zero value is not usable.
 type SkipTrie struct {
-	c *core.SkipTrie
+	c *core.SkipTrie[struct{}]
 	m *Metrics
 }
 
@@ -109,7 +109,7 @@ func buildOptions(opts []Option) options {
 func New(opts ...Option) *SkipTrie {
 	o := buildOptions(opts)
 	return &SkipTrie{
-		c: core.New(core.Config{
+		c: core.NewSet(core.Config{
 			Width:       o.width,
 			DisableDCSS: o.disableDCSS,
 			Repair:      o.repair,
@@ -131,7 +131,7 @@ func (s *SkipTrie) op() *stats.Op {
 // outside the universe are rejected (returns false).
 func (s *SkipTrie) Insert(key uint64) bool {
 	c := s.op()
-	ok := s.c.Insert(key, nil, c)
+	ok := s.c.Add(key, c)
 	s.m.record(OpInsert, key, c)
 	return ok
 }
@@ -173,7 +173,7 @@ func (s *SkipTrie) StrictPredecessor(x uint64) (uint64, bool) {
 func (s *SkipTrie) Successor(x uint64) (uint64, bool) {
 	c := s.op()
 	k, _, ok := s.c.Successor(x, c)
-	s.m.record(OpPredecessor, x, c)
+	s.m.record(OpSuccessor, x, c)
 	return k, ok
 }
 
@@ -181,7 +181,7 @@ func (s *SkipTrie) Successor(x uint64) (uint64, bool) {
 func (s *SkipTrie) StrictSuccessor(x uint64) (uint64, bool) {
 	c := s.op()
 	k, _, ok := s.c.StrictSuccessor(x, c)
-	s.m.record(OpPredecessor, x, c)
+	s.m.record(OpSuccessor, x, c)
 	return k, ok
 }
 
@@ -213,14 +213,14 @@ func (s *SkipTrie) MaxKey() uint64 { return s.c.MaxKey() }
 // Range calls fn on every key >= from in ascending order until fn returns
 // false. Iteration is weakly consistent under concurrent mutation.
 func (s *SkipTrie) Range(from uint64, fn func(key uint64) bool) {
-	s.c.Range(from, func(k uint64, _ any) bool { return fn(k) }, nil)
+	s.c.Range(from, func(k uint64, _ struct{}) bool { return fn(k) }, nil)
 }
 
 // Descend calls fn on every key <= from in descending order until fn
 // returns false. Each step costs one strict-predecessor query; iteration
 // is weakly consistent under concurrent mutation.
 func (s *SkipTrie) Descend(from uint64, fn func(key uint64) bool) {
-	s.c.Descend(from, func(k uint64, _ any) bool { return fn(k) }, nil)
+	s.c.Descend(from, func(k uint64, _ struct{}) bool { return fn(k) }, nil)
 }
 
 // Keys returns all keys in ascending order (a weakly consistent snapshot).

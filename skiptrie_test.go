@@ -248,6 +248,7 @@ func TestOpKindString(t *testing.T) {
 		OpInsert:      "insert",
 		OpDelete:      "delete",
 		OpContains:    "contains",
+		OpSuccessor:   "successor",
 	}
 	for k, want := range names {
 		if k.String() != want {
