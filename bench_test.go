@@ -8,6 +8,7 @@ package skiptrie
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"skiptrie/internal/baseline/cskiplist"
@@ -289,6 +290,117 @@ func BenchmarkT8PrevRepair(b *testing.B) {
 				}
 			})
 		})
+	}
+}
+
+// --- S1: sharded vs unsharded under controlled goroutine counts ---
+
+// kvStore is the Map/Sharded surface the sharding benchmarks compare.
+type kvStore interface {
+	Store(key uint64, val uint64)
+	Load(key uint64) (uint64, bool)
+	Delete(key uint64) bool
+}
+
+// shardedBenchBuilds pairs the single-trie Map against Sharded at the
+// default (GOMAXPROCS-rounded) and a fixed 8-shard configuration.
+func shardedBenchBuilds() []struct {
+	name  string
+	build func() kvStore
+} {
+	const w = 32
+	return []struct {
+		name  string
+		build func() kvStore
+	}{
+		{"map", func() kvStore { return NewMap[uint64](WithWidth(w), WithSeed(1)) }},
+		{"sharded8", func() kvStore { return NewSharded[uint64](WithWidth(w), WithShards(8), WithSeed(1)) }},
+	}
+}
+
+// runShardedBench splits b.N across g goroutines, each running worker
+// with its own rng, and waits for all of them.
+func runShardedBench(b *testing.B, g int, worker func(rng *rand.Rand, n int)) {
+	per := (b.N + g - 1) / g
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for id := 0; id < g; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			worker(rand.New(rand.NewSource(int64(id)*6151+1)), per)
+		}(id)
+	}
+	wg.Wait()
+}
+
+var shardedBenchGs = []int{1, 2, 4, 8, 16}
+
+func BenchmarkShardedStore(b *testing.B) {
+	for _, tc := range shardedBenchBuilds() {
+		for _, g := range shardedBenchGs {
+			b.Run(fmt.Sprintf("%s/g=%d", tc.name, g), func(b *testing.B) {
+				s := tc.build()
+				for _, k := range workload.SpreadKeys(benchM, 32) {
+					s.Store(k, k)
+				}
+				runShardedBench(b, g, func(rng *rand.Rand, n int) {
+					for i := 0; i < n; i++ {
+						k := uint64(rng.Uint32())
+						s.Store(k, k)
+					}
+				})
+			})
+		}
+	}
+}
+
+func BenchmarkShardedLoad(b *testing.B) {
+	for _, tc := range shardedBenchBuilds() {
+		for _, g := range shardedBenchGs {
+			b.Run(fmt.Sprintf("%s/g=%d", tc.name, g), func(b *testing.B) {
+				s := tc.build()
+				keys := workload.SpreadKeys(benchM, 32)
+				for _, k := range keys {
+					s.Store(k, k)
+				}
+				runShardedBench(b, g, func(rng *rand.Rand, n int) {
+					for i := 0; i < n; i++ {
+						s.Load(keys[rng.Intn(len(keys))])
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkShardedMixed is the acceptance workload: 50% Load, 25%
+// Store, 25% Delete over random keys. On multicore hardware the
+// sharded rows should clearly beat the single trie as g grows, since
+// writers in different shards share no CAS targets or cache lines.
+func BenchmarkShardedMixed(b *testing.B) {
+	for _, tc := range shardedBenchBuilds() {
+		for _, g := range shardedBenchGs {
+			b.Run(fmt.Sprintf("%s/g=%d", tc.name, g), func(b *testing.B) {
+				s := tc.build()
+				for _, k := range workload.SpreadKeys(benchM, 32) {
+					s.Store(k, k)
+				}
+				runShardedBench(b, g, func(rng *rand.Rand, n int) {
+					for i := 0; i < n; i++ {
+						k := uint64(rng.Uint32())
+						switch rng.Intn(4) {
+						case 0:
+							s.Store(k, k)
+						case 1:
+							s.Delete(k)
+						default:
+							s.Load(k)
+						}
+					}
+				})
+			})
+		}
 	}
 }
 

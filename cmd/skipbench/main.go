@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	skipbench [-exp all|t1|t2|t3|t4|t5|t6|f1|t7|t8] [-m 16384]
+//	skipbench [-exp all|t1|t2|t3|t4|t5|t6|f1|t7|t8|s1] [-m 16384]
 //	          [-queries 20000] [-dur 150ms] [-threads 1,2,4,8]
+//	          [-shards 1,2,4,8,16]
 //
 // Each experiment prints one table; EXPERIMENTS.md archives a reference
 // run and compares it against the paper's claims.
@@ -29,20 +30,26 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: all, t1..t8, f1 (comma-separated ok)")
+		exp     = flag.String("exp", "all", "experiment id: all, t1..t8, f1, s1 (comma-separated ok)")
 		m       = flag.Int("m", 1<<14, "resident keys")
 		queries = flag.Int("queries", 20000, "sequential measured queries")
 		dur     = flag.Duration("dur", 150*time.Millisecond, "duration per concurrent cell")
 		threads = flag.String("threads", "1,2,4,8", "thread counts for scaling experiments")
+		shards  = flag.String("shards", "1,2,4,8,16", "shard counts for the s1 sharding sweep")
 	)
 	flag.Parse()
 
-	ths, err := parseThreads(*threads)
+	ths, err := parseCounts(*threads)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skipbench: %v\n", err)
 		return 2
 	}
-	sc := harness.Scale{M: *m, Queries: *queries, Duration: *dur, Threads: ths}
+	shs, err := parseCounts(*shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skipbench: %v\n", err)
+		return 2
+	}
+	sc := harness.Scale{M: *m, Queries: *queries, Duration: *dur, Threads: ths, Shards: shs}
 
 	fmt.Printf("skiptrie reproduction experiments (GOMAXPROCS=%d, m=%d, queries=%d, dur=%v)\n\n",
 		runtime.GOMAXPROCS(0), sc.M, sc.Queries, sc.Duration)
@@ -57,8 +64,9 @@ func run() int {
 		"f1": harness.F1TopGaps,
 		"t7": harness.T7DCSSvsCAS,
 		"t8": harness.T8PrevRepair,
+		"s1": harness.S1ShardedScaling,
 	}
-	order := []string{"t1", "t2", "t3", "t4", "t5", "t6", "f1", "t7", "t8"}
+	order := []string{"t1", "t2", "t3", "t4", "t5", "t6", "f1", "t7", "t8", "s1"}
 
 	var ids []string
 	if *exp == "all" {
@@ -84,17 +92,17 @@ func run() int {
 	return 0
 }
 
-func parseThreads(s string) ([]int, error) {
+func parseCounts(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad thread count %q", part)
+			return nil, fmt.Errorf("bad count %q", part)
 		}
 		out = append(out, n)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("no thread counts")
+		return nil, fmt.Errorf("no counts")
 	}
 	return out, nil
 }

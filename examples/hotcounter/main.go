@@ -1,0 +1,113 @@
+// hotcounter: a skew-heavy hit-counter service comparing Map against
+// the sharded front-end. Traffic follows a Zipf distribution — a few
+// items absorb most hits, the regime The Splay-List (Aksenov et al.)
+// motivates measuring — and item ids are striped across the key
+// universe, so the hottest items land in *different* shards. Every hit
+// is a LoadOrStore of a *atomic.Uint64 counter followed by an atomic
+// increment: the structure provides concurrent ordered indexing, the
+// value provides lock-free aggregation, and sharding keeps hot items
+// from contending on one trie's towers and cache lines.
+//
+// Run with:
+//
+//	go run ./examples/hotcounter
+package main
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skiptrie"
+)
+
+const (
+	width   = 30      // item-id universe [0, 2^30)
+	items   = 1 << 14 // distinct items
+	writers = 8
+	hits    = 200_000 // per writer
+	zipfS   = 1.3     // skew exponent: top item gets a few % of all traffic
+)
+
+// counterStore is the surface shared by Map and Sharded.
+type counterStore interface {
+	LoadOrStore(key uint64, val *atomic.Uint64) (*atomic.Uint64, bool)
+	Range(from uint64, fn func(key uint64, val *atomic.Uint64) bool)
+	Len() int
+}
+
+// itemKey maps rank r to a key by bit-reversal, so popular (low) ranks
+// spread over the whole universe — and therefore over shards — instead
+// of clustering in one prefix: rank 0 -> key 0, rank 1 -> the universe
+// midpoint, rank 2 -> the first quartile, and so on. A monotone
+// rank*stride mapping would put every hot rank in shard 0.
+func itemKey(rank uint64) uint64 {
+	return bits.Reverse64(rank) >> (64 - width)
+}
+
+// pound sends the whole Zipf-distributed hit stream at s and returns
+// the wall time.
+func pound(s counterStore) time.Duration {
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			zipf := rand.NewZipf(rng, zipfS, 1, items-1)
+			for i := 0; i < hits; i++ {
+				k := itemKey(zipf.Uint64())
+				c, _ := s.LoadOrStore(k, new(atomic.Uint64))
+				c.Add(1)
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+func main() {
+	shards := runtime.GOMAXPROCS(0)
+	single := skiptrie.NewMap[*atomic.Uint64](skiptrie.WithWidth(width))
+	sharded := skiptrie.NewSharded[*atomic.Uint64](
+		skiptrie.WithWidth(width), skiptrie.WithShards(shards))
+
+	total := writers * hits
+	fmt.Printf("hotcounter: %d writers x %d Zipf(s=%.1f) hits over %d items (GOMAXPROCS=%d)\n\n",
+		writers, hits, zipfS, items, runtime.GOMAXPROCS(0))
+
+	dm := pound(single)
+	fmt.Printf("  map      : %8.0f hits/ms  (%v, %d distinct items seen)\n",
+		float64(total)/float64(dm.Milliseconds()+1), dm.Round(time.Millisecond), single.Len())
+	ds := pound(sharded)
+	fmt.Printf("  sharded%-2d: %8.0f hits/ms  (%v, %d distinct items seen)\n\n",
+		sharded.Shards(), float64(total)/float64(ds.Milliseconds()+1),
+		ds.Round(time.Millisecond), sharded.Len())
+
+	// Top items by hit count, read through the ordered iteration the
+	// trie gives us for free (a hash map would need a full sort).
+	type hot struct {
+		key  uint64
+		hits uint64
+	}
+	var all []hot
+	sharded.Range(0, func(k uint64, c *atomic.Uint64) bool {
+		all = append(all, hot{k, c.Load()})
+		return true
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].hits > all[j].hits })
+	fmt.Println("  hottest items (sharded):")
+	sum := uint64(0)
+	for i := 0; i < 5 && i < len(all); i++ {
+		fmt.Printf("    key %8d: %7d hits (%4.1f%% of traffic)\n",
+			all[i].key, all[i].hits, 100*float64(all[i].hits)/float64(total))
+		sum += all[i].hits
+	}
+	fmt.Printf("    top 5 together: %.1f%% of %d hits\n", 100*float64(sum)/float64(total), total)
+}

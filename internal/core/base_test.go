@@ -1,0 +1,172 @@
+package core
+
+import "testing"
+
+// TestBaseSubUniverse exercises a SkipTrie whose universe is a slice
+// [Base, Base+2^W) of the key space, the configuration each shard of a
+// sharded front-end runs with.
+func TestBaseSubUniverse(t *testing.T) {
+	const (
+		w    = 8
+		base = uint64(0x300)
+	)
+	st := New[uint64](Config{Width: w, Base: base, Seed: 9})
+	if st.Base() != base {
+		t.Fatalf("Base() = %#x, want %#x", st.Base(), base)
+	}
+	if got, want := st.MaxKey(), base+(1<<w)-1; got != want {
+		t.Fatalf("MaxKey() = %#x, want %#x", got, want)
+	}
+
+	// Keys outside [base, base+2^w) are rejected on every write path.
+	for _, k := range []uint64{0, base - 1, base + 1<<w, ^uint64(0)} {
+		if st.Insert(k, k, nil) {
+			t.Fatalf("Insert(%#x) accepted an out-of-universe key", k)
+		}
+		if st.Store(k, k, nil) {
+			t.Fatalf("Store(%#x) inserted an out-of-universe key", k)
+		}
+		if st.Contains(k, nil) {
+			t.Fatalf("Contains(%#x) = true for out-of-universe key", k)
+		}
+	}
+
+	keys := []uint64{base, base + 7, base + 100, base + (1 << w) - 1}
+	for _, k := range keys {
+		if !st.Insert(k, k*10, nil) {
+			t.Fatalf("Insert(%#x) = false", k)
+		}
+	}
+	if st.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", st.Len(), len(keys))
+	}
+	for _, k := range keys {
+		v, ok := st.Find(k, nil)
+		if !ok || v != k*10 {
+			t.Fatalf("Find(%#x) = %d,%v want %d,true", k, v, ok, k*10)
+		}
+	}
+
+	// Ordered queries translate back to public keys.
+	if k, v, ok := st.Min(nil); !ok || k != base || v != base*10 {
+		t.Fatalf("Min = %#x,%d,%v", k, v, ok)
+	}
+	if k, _, ok := st.Max(nil); !ok || k != base+(1<<w)-1 {
+		t.Fatalf("Max = %#x,%v", k, ok)
+	}
+	if k, _, ok := st.Predecessor(base+50, nil); !ok || k != base+7 {
+		t.Fatalf("Predecessor(base+50) = %#x,%v want base+7", k, ok)
+	}
+	if k, _, ok := st.Successor(base+8, nil); !ok || k != base+100 {
+		t.Fatalf("Successor(base+8) = %#x,%v want base+100", k, ok)
+	}
+	if k, _, ok := st.StrictPredecessor(base+7, nil); !ok || k != base {
+		t.Fatalf("StrictPredecessor(base+7) = %#x,%v want base", k, ok)
+	}
+	if k, _, ok := st.StrictSuccessor(base+7, nil); !ok || k != base+100 {
+		t.Fatalf("StrictSuccessor(base+7) = %#x,%v want base+100", k, ok)
+	}
+
+	// Queries from outside the sub-universe clamp, matching the
+	// stitching logic's expectations.
+	if _, _, ok := st.Predecessor(base-1, nil); ok {
+		t.Fatal("Predecessor below base found a key")
+	}
+	if k, _, ok := st.Predecessor(^uint64(0), nil); !ok || k != base+(1<<w)-1 {
+		t.Fatalf("Predecessor(max uint64) = %#x,%v want universe max", k, ok)
+	}
+	if k, _, ok := st.Successor(0, nil); !ok || k != base {
+		t.Fatalf("Successor(0) = %#x,%v want base", k, ok)
+	}
+	if _, _, ok := st.Successor(base+1<<w, nil); ok {
+		t.Fatal("Successor above the sub-universe found a key")
+	}
+	if k, _, ok := st.StrictPredecessor(base+1<<w+5, nil); !ok || k != base+(1<<w)-1 {
+		t.Fatalf("StrictPredecessor above universe = %#x,%v want Max", k, ok)
+	}
+	if _, _, ok := st.StrictPredecessor(base, nil); ok {
+		t.Fatal("StrictPredecessor(base) found a key below base")
+	}
+
+	// Iteration yields public keys in order.
+	var got []uint64
+	st.Range(0, func(k uint64, v uint64) bool {
+		if v != k*10 {
+			t.Fatalf("Range saw (%#x, %d)", k, v)
+		}
+		got = append(got, k)
+		return true
+	}, nil)
+	if len(got) != len(keys) {
+		t.Fatalf("Range saw %d keys, want %d", len(got), len(keys))
+	}
+	for i, k := range keys {
+		if got[i] != k {
+			t.Fatalf("Range[%d] = %#x, want %#x", i, got[i], k)
+		}
+	}
+	var down []uint64
+	st.Descend(^uint64(0), func(k uint64, _ uint64) bool {
+		down = append(down, k)
+		return true
+	}, nil)
+	if len(down) != len(keys) || down[0] != keys[len(keys)-1] || down[len(down)-1] != keys[0] {
+		t.Fatalf("Descend order wrong: %#x", down)
+	}
+
+	for _, k := range keys {
+		if !st.Delete(k, nil) {
+			t.Fatalf("Delete(%#x) = false", k)
+		}
+	}
+	if st.Len() != 0 {
+		t.Fatalf("Len after deletes = %d", st.Len())
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+// TestBaseAtTopOfKeySpace places the sub-universe flush against 2^64,
+// where base+size arithmetic would overflow if computed naively.
+func TestBaseAtTopOfKeySpace(t *testing.T) {
+	const w = 4
+	base := ^uint64(0) - 15 // [2^64-16, 2^64)
+	st := New[struct{}](Config{Width: w, Base: base, Seed: 3})
+	if st.MaxKey() != ^uint64(0) {
+		t.Fatalf("MaxKey = %#x", st.MaxKey())
+	}
+	for i := uint64(0); i < 16; i += 3 {
+		if !st.Add(base+i, nil) {
+			t.Fatalf("Add(base+%d) = false", i)
+		}
+	}
+	if k, _, ok := st.Max(nil); !ok || k != base+15 {
+		t.Fatalf("Max = %#x,%v want %#x", k, ok, base+15)
+	}
+	if k, _, ok := st.Predecessor(^uint64(0), nil); !ok || k != base+15 {
+		t.Fatalf("Predecessor(2^64-1) = %#x,%v", k, ok)
+	}
+	if _, _, ok := st.StrictSuccessor(^uint64(0), nil); ok {
+		t.Fatal("StrictSuccessor(2^64-1) found a key")
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+// TestBaseConfigPanics pins the misconfiguration guards.
+func TestBaseConfigPanics(t *testing.T) {
+	mustPanic := func(name string, cfg Config) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: New did not panic", name)
+			}
+		}()
+		New[struct{}](cfg)
+	}
+	mustPanic("base with full-width universe", Config{Width: 64, Base: 1})
+	mustPanic("base with default (64) width", Config{Base: 1 << 60})
+	mustPanic("base+2^w overflows", Config{Width: 8, Base: ^uint64(0) - 100})
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSameKeyChurnTrieClean hammers a handful of keys with
+// concurrent Store/Delete/LoadOrStore churn and validates the x-fast
+// trie at quiescence. It is the regression test for two races that left
+// stale trie state behind (each originally reproducing within a few
+// hundred iterations):
+//
+//  1. An InsertWalk that created a trie level after its node was marked
+//     — the deleter's shortest-first walk had already passed that
+//     prefix, so the new trie node was never removed. InsertWalk now
+//     re-checks the mark after publishing a level and disconnects it
+//     itself.
+//  2. Two racing deletes of one key: the loser of the root-mark CAS was
+//     the only caller that had seen (and marked) the tower's top-level
+//     node, but it returned without reporting it, so no DeleteWalk ever
+//     disconnected the trie's pointers to the marked node. DeleteResult
+//     now carries Top even when Deleted is false, and core.Delete walks
+//     it regardless.
+func TestConcurrentSameKeyChurnTrieClean(t *testing.T) {
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+	for iter := 0; iter < iters; iter++ {
+		s := New[uint64](Config{Width: 16, Seed: uint64(iter + 1)})
+		keys := []uint64{0x1FFF, 0x2000, 0x3FFF, 0x4000, 0xDFFF, 0xE000, 0xFFFF}
+		var wg sync.WaitGroup
+		for g := 0; g < 7; g++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 300; i++ {
+					k := keys[rng.Intn(len(keys))]
+					switch rng.Intn(3) {
+					case 0:
+						s.Store(k, k, nil)
+					case 1:
+						s.Delete(k, nil)
+					default:
+						s.LoadOrStore(k, k, nil)
+					}
+				}
+			}(int64(iter*100 + g))
+		}
+		wg.Wait()
+		if err := s.Validate(); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}

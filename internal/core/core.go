@@ -28,9 +28,18 @@ import (
 )
 
 // SkipTrie is a lock-free, linearizable predecessor structure over the
-// integer universe [0, 2^Width), mapping keys to unboxed values of type V.
+// integer sub-universe [Base, Base+2^Width), mapping keys to unboxed
+// values of type V. With the default Base of 0 it covers [0, 2^Width).
+//
+// Keys are translated to Base-relative offsets at the API boundary, so
+// the skiplist and x-fast trie always operate on a dense width-W
+// universe regardless of where the sub-universe sits in key space. This
+// is what lets a sharded front-end hand each shard a slice of a larger
+// universe while every shard keeps the paper's O(log log u) depth for
+// its own (smaller) u.
 type SkipTrie[V any] struct {
 	width uint8
+	base  uint64
 	list  *skiplist.List[V]
 	trie  *xfast.Trie
 }
@@ -38,8 +47,12 @@ type SkipTrie[V any] struct {
 // Config configures a SkipTrie.
 type Config struct {
 	// Width is the universe width W = log u, in [1, 64]. Keys must be
-	// < 2^Width. The default (0) means 64.
+	// in [Base, Base+2^Width). The default (0) means 64.
 	Width uint8
+	// Base is the smallest key of the sub-universe. It requires
+	// Width < 64 (a 64-bit universe already spans the whole key space)
+	// and Base+2^Width must not overflow; New panics otherwise.
+	Base uint64
 	// DisableDCSS replaces every DCSS with a plain CAS, the degraded mode
 	// the paper proves remains linearizable and lock-free (T7 ablation).
 	DisableDCSS bool
@@ -55,6 +68,14 @@ func New[V any](cfg Config) *SkipTrie[V] {
 	if w == 0 || w > uintbits.MaxWidth {
 		w = uintbits.MaxWidth
 	}
+	if cfg.Base != 0 {
+		if w == uintbits.MaxWidth {
+			panic("core: Config.Base requires Width < 64")
+		}
+		if cfg.Base > ^uint64(0)-(1<<w-1) {
+			panic("core: Config.Base + 2^Width overflows the key space")
+		}
+	}
 	l := skiplist.New[V](skiplist.Config{
 		Levels:      uintbits.Levels(w),
 		DisableDCSS: cfg.DisableDCSS,
@@ -63,6 +84,7 @@ func New[V any](cfg Config) *SkipTrie[V] {
 	})
 	return &SkipTrie[V]{
 		width: w,
+		base:  cfg.Base,
 		list:  l,
 		trie:  xfast.New(xfast.Config{Width: w, List: l.Topo(), DisableDCSS: cfg.DisableDCSS}),
 	}
@@ -77,16 +99,29 @@ func NewSet(cfg Config) *SkipTrie[struct{}] {
 // Width returns the universe width W = log u.
 func (s *SkipTrie[V]) Width() uint8 { return s.width }
 
+// Base returns the smallest key of the sub-universe.
+func (s *SkipTrie[V]) Base() uint64 { return s.base }
+
 // Levels returns the number of skiplist levels (log log u).
 func (s *SkipTrie[V]) Levels() int { return s.list.Levels() }
 
 // Len returns the number of keys (approximate under concurrent mutation).
 func (s *SkipTrie[V]) Len() int { return s.list.Len() }
 
-// inUniverse reports whether key fits the configured universe.
-func (s *SkipTrie[V]) inUniverse(key uint64) bool {
-	return s.width == 64 || key < 1<<s.width
+// local translates key to its Base-relative offset, reporting whether
+// key lies inside the sub-universe [Base, Base+2^Width). All internal
+// structures operate on local offsets; public results are translated
+// back with s.base+offset.
+func (s *SkipTrie[V]) local(key uint64) (uint64, bool) {
+	if key < s.base {
+		return 0, false
+	}
+	k := key - s.base
+	return k, s.width == 64 || k < 1<<s.width
 }
+
+// localMax returns the largest local offset, 2^Width - 1.
+func (s *SkipTrie[V]) localMax() uint64 { return ^uint64(0) >> (64 - s.width) }
 
 // insertWalkIfTop completes an insert whose tower reached the top level:
 // the key's prefixes enter the x-fast trie (Alg 6 lines 5-19).
@@ -102,14 +137,15 @@ func (s *SkipTrie[V]) insertWalkIfTop(res skiplist.InsertResult, c *stats.Op) {
 // overwrite). Inserting a key outside the universe returns false. This is
 // the paper's Algorithm 6.
 func (s *SkipTrie[V]) Insert(key uint64, val V, c *stats.Op) bool {
-	if !s.inUniverse(key) {
+	k, ok := s.local(key)
+	if !ok {
 		return false
 	}
-	start := s.trie.Pred(key, false, c)
-	if start.IsData() && start.Key() == key && !start.Marked() {
+	start := s.trie.Pred(k, false, c)
+	if start.IsData() && start.Key() == k && !start.Marked() {
 		return false // Alg 6 line 1: already present as a top-level node
 	}
-	res := s.list.Insert(key, val, start, c)
+	res := s.list.Insert(k, val, start, c)
 	if !res.Inserted {
 		return false
 	}
@@ -128,15 +164,16 @@ func (s *SkipTrie[V]) Add(key uint64, c *stats.Op) bool {
 // present. It reports whether the key was inserted. Keys outside the
 // universe are rejected (returns false, nothing stored).
 func (s *SkipTrie[V]) Store(key uint64, val V, c *stats.Op) bool {
-	if !s.inUniverse(key) {
+	k, ok := s.local(key)
+	if !ok {
 		return false
 	}
-	start := s.trie.Pred(key, false, c)
-	if start.IsData() && start.Key() == key && !start.Marked() {
+	start := s.trie.Pred(k, false, c)
+	if start.IsData() && start.Key() == k && !start.Marked() {
 		s.list.SetValue(start, val)
 		return false
 	}
-	res := s.list.Upsert(key, val, start, c)
+	res := s.list.Upsert(k, val, start, c)
 	if res.Existing != nil {
 		return false // Upsert overwrote the existing node's value
 	}
@@ -148,15 +185,16 @@ func (s *SkipTrie[V]) Store(key uint64, val V, c *stats.Op) bool {
 // stores val. loaded reports whether the value was loaded rather than
 // stored. Keys outside the universe are rejected (returns val, false).
 func (s *SkipTrie[V]) LoadOrStore(key uint64, val V, c *stats.Op) (actual V, loaded bool) {
-	if !s.inUniverse(key) {
+	k, ok := s.local(key)
+	if !ok {
 		return val, false
 	}
 	for {
-		start := s.trie.Pred(key, false, c)
-		if start.IsData() && start.Key() == key && !start.Marked() {
+		start := s.trie.Pred(k, false, c)
+		if start.IsData() && start.Key() == k && !start.Marked() {
 			return s.list.ValueOf(start), true
 		}
-		res := s.list.Insert(key, val, start, c)
+		res := s.list.Insert(k, val, start, c)
 		if res.Inserted {
 			s.insertWalkIfTop(res, c)
 			return val, false
@@ -170,36 +208,39 @@ func (s *SkipTrie[V]) LoadOrStore(key uint64, val V, c *stats.Op) (actual V, loa
 // Delete removes key, reporting whether this call removed it. This is the
 // paper's Algorithm 7.
 func (s *SkipTrie[V]) Delete(key uint64, c *stats.Op) bool {
-	if !s.inUniverse(key) {
+	k, ok := s.local(key)
+	if !ok {
 		return false
 	}
 	// Alg 7 line 1 uses predecessor(key-1): a strictly smaller top-level
 	// anchor, so the descent does not start on the node being deleted.
-	start := s.trie.Pred(key, true, c)
-	res := s.list.Delete(key, start, c)
-	if !res.Deleted {
-		return false
-	}
+	start := s.trie.Pred(k, true, c)
+	res := s.list.Delete(k, start, c)
 	if res.Top != nil {
 		// The tower had reached the top level: disconnect the key's
-		// prefixes from the trie (Alg 7 lines 5-22).
+		// prefixes from the trie (Alg 7 lines 5-22). This runs even when
+		// the delete lost the root-mark race: the loser may be the only
+		// caller holding the marked top node (see DeleteResult.Top), and
+		// a duplicate walk is harmless — every step no-ops once the
+		// pointers have moved off the node.
 		c.TouchTrie()
-		s.trie.DeleteWalk(key, res.Top, start, c)
+		s.trie.DeleteWalk(k, res.Top, start, c)
 	}
-	return true
+	return res.Deleted
 }
 
 // Contains reports whether key is present.
 func (s *SkipTrie[V]) Contains(key uint64, c *stats.Op) bool {
-	if !s.inUniverse(key) {
+	k, ok := s.local(key)
+	if !ok {
 		return false
 	}
-	start := s.trie.Pred(key, false, c)
-	if start.IsData() && start.Key() == key && !start.Marked() {
+	start := s.trie.Pred(k, false, c)
+	if start.IsData() && start.Key() == k && !start.Marked() {
 		return true
 	}
-	br := s.list.PredecessorBracket(key, start, c)
-	return br.Right.IsData() && br.Right.Key() == key
+	br := s.list.PredecessorBracket(k, start, c)
+	return br.Right.IsData() && br.Right.Key() == k
 }
 
 // Find returns the value associated with key.
@@ -212,13 +253,15 @@ func (s *SkipTrie[V]) Find(key uint64, c *stats.Op) (V, bool) {
 	return s.list.ValueOf(n), true
 }
 
-// FindNode returns the level-0 node holding key, if present.
+// FindNode returns the level-0 node holding key, if present. The node's
+// Key() is the Base-relative offset, not the public key.
 func (s *SkipTrie[V]) FindNode(key uint64, c *stats.Op) (*skiplist.Node, bool) {
-	if !s.inUniverse(key) {
+	k, ok := s.local(key)
+	if !ok {
 		return nil, false
 	}
-	start := s.trie.Pred(key, false, c)
-	return s.list.Find(key, start, c)
+	start := s.trie.Pred(k, false, c)
+	return s.list.Find(k, start, c)
 }
 
 // SetValue overwrites the value stored at a node previously returned by
@@ -235,45 +278,57 @@ func (s *SkipTrie[V]) valueAt(n *skiplist.Node) V {
 // Predecessor returns the largest key <= x and its value. This is the
 // paper's Algorithm 5.
 func (s *SkipTrie[V]) Predecessor(x uint64, c *stats.Op) (uint64, V, bool) {
-	if !s.inUniverse(x) {
-		x = 1<<s.width - 1 // clamp: everything in-universe is <= x
+	var zero V
+	if x < s.base {
+		return 0, zero, false // every key is >= Base > x
 	}
-	start := s.trie.Pred(x, false, c)
-	br := s.list.PredecessorBracket(x, start, c)
-	if br.Right.IsData() && br.Right.Key() == x {
-		return x, s.valueAt(br.Right), true
+	k := x - s.base
+	if s.width < 64 && k > s.localMax() {
+		k = s.localMax() // clamp: everything in-universe is <= x
+	}
+	start := s.trie.Pred(k, false, c)
+	br := s.list.PredecessorBracket(k, start, c)
+	if br.Right.IsData() && br.Right.Key() == k {
+		return s.base + k, s.valueAt(br.Right), true
 	}
 	if br.Left.IsData() {
-		return br.Left.Key(), s.valueAt(br.Left), true
+		return s.base + br.Left.Key(), s.valueAt(br.Left), true
 	}
-	var zero V
 	return 0, zero, false
 }
 
 // StrictPredecessor returns the largest key < x and its value.
 func (s *SkipTrie[V]) StrictPredecessor(x uint64, c *stats.Op) (uint64, V, bool) {
-	if !s.inUniverse(x) {
-		return s.Max(c)
-	}
-	start := s.trie.Pred(x, true, c)
-	br := s.list.PredecessorBracket(x, start, c)
-	if br.Left.IsData() {
-		return br.Left.Key(), s.valueAt(br.Left), true
-	}
 	var zero V
+	if x <= s.base {
+		return 0, zero, false // no key is strictly below Base
+	}
+	k := x - s.base
+	if s.width < 64 && k > s.localMax() {
+		return s.Max(c) // everything in-universe is < x
+	}
+	start := s.trie.Pred(k, true, c)
+	br := s.list.PredecessorBracket(k, start, c)
+	if br.Left.IsData() {
+		return s.base + br.Left.Key(), s.valueAt(br.Left), true
+	}
 	return 0, zero, false
 }
 
 // Successor returns the smallest key >= x and its value.
 func (s *SkipTrie[V]) Successor(x uint64, c *stats.Op) (uint64, V, bool) {
 	var zero V
-	if !s.inUniverse(x) {
+	if x < s.base {
+		x = s.base // clamp: everything in-universe is >= x
+	}
+	k := x - s.base
+	if s.width < 64 && k > s.localMax() {
 		return 0, zero, false
 	}
-	start := s.trie.Pred(x, true, c)
-	br := s.list.PredecessorBracket(x, start, c)
+	start := s.trie.Pred(k, true, c)
+	br := s.list.PredecessorBracket(k, start, c)
 	if br.Right.IsData() {
-		return br.Right.Key(), s.valueAt(br.Right), true
+		return s.base + br.Right.Key(), s.valueAt(br.Right), true
 	}
 	return 0, zero, false
 }
@@ -292,15 +347,15 @@ func (s *SkipTrie[V]) Min(c *stats.Op) (uint64, V, bool) {
 	return s.Successor(0, c)
 }
 
-// MaxKey returns the largest key of the universe, 2^Width - 1.
-func (s *SkipTrie[V]) MaxKey() uint64 { return ^uint64(0) >> (64 - s.width) }
+// MaxKey returns the largest key of the sub-universe, Base + 2^Width - 1.
+func (s *SkipTrie[V]) MaxKey() uint64 { return s.base + s.localMax() }
 
 // Max returns the largest key and its value.
 func (s *SkipTrie[V]) Max(c *stats.Op) (uint64, V, bool) {
-	start := s.trie.Pred(s.MaxKey(), false, c)
+	start := s.trie.Pred(s.localMax(), false, c)
 	br := s.list.LastBracket(start, c)
 	if br.Left.IsData() {
-		return br.Left.Key(), s.valueAt(br.Left), true
+		return s.base + br.Left.Key(), s.valueAt(br.Left), true
 	}
 	var zero V
 	return 0, zero, false
@@ -310,16 +365,20 @@ func (s *SkipTrie[V]) Max(c *stats.Op) (uint64, V, bool) {
 // false. The iteration is weakly consistent: it reflects some interleaving
 // of concurrent updates.
 func (s *SkipTrie[V]) Range(from uint64, fn func(key uint64, val V) bool, c *stats.Op) {
-	if !s.inUniverse(from) {
+	if from < s.base {
+		from = s.base
+	}
+	k := from - s.base
+	if s.width < 64 && k > s.localMax() {
 		return
 	}
-	start := s.trie.Pred(from, true, c)
-	br := s.list.PredecessorBracket(from, start, c)
+	start := s.trie.Pred(k, true, c)
+	br := s.list.PredecessorBracket(k, start, c)
 	n := br.Right
 	for n.IsData() {
 		sc, _ := n.LoadSucc()
 		if !sc.Marked {
-			if !fn(n.Key(), s.valueAt(n)) {
+			if !fn(s.base+n.Key(), s.valueAt(n)) {
 				return
 			}
 		}

@@ -2,6 +2,8 @@ package harness
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"math/rand"
 	"sort"
 	"time"
@@ -10,6 +12,7 @@ import (
 	"skiptrie/internal/baseline/lockedset"
 	"skiptrie/internal/baseline/yfast"
 	"skiptrie/internal/core"
+	"skiptrie/internal/shard"
 	"skiptrie/internal/skiplist"
 	"skiptrie/internal/stats"
 	"skiptrie/internal/uintbits"
@@ -23,6 +26,7 @@ type Scale struct {
 	Queries  int           // sequential measured queries
 	Duration time.Duration // per concurrent cell
 	Threads  []int         // thread counts for scaling experiments
+	Shards   []int         // shard counts for the S1 sharding sweep
 }
 
 // DefaultScale is sized for seconds-per-experiment runs.
@@ -32,7 +36,17 @@ func DefaultScale() Scale {
 		Queries:  20000,
 		Duration: 150 * time.Millisecond,
 		Threads:  []int{1, 2, 4, 8},
+		Shards:   []int{1, 2, 4, 8, 16},
 	}
+}
+
+// shardCounts returns the S1 sweep's shard counts, defaulting when the
+// Scale predates the field.
+func (sc Scale) shardCounts() []int {
+	if len(sc.Shards) == 0 {
+		return []int{1, 2, 4, 8, 16}
+	}
+	return sc.Shards
 }
 
 // T1PredecessorVsUniverse: predecessor step cost grows like log log u for
@@ -350,6 +364,85 @@ func T8PrevRepair(sc Scale) Result {
 	return res
 }
 
+// stripedZipf draws zipf-like ranks (log-uniform: rank ~ n^U, the s=1
+// Zipf density) and bit-reverses them so the hottest ranks land in
+// different shards. Unlike rand.Zipf — which binds its own rand.Source
+// and is unsafe to share — it samples from the per-worker rng
+// RunConcurrent passes in.
+type stripedZipf struct {
+	w uint8
+	n uint64
+}
+
+// Next returns a skewed, shard-striped key.
+func (z stripedZipf) Next(rng *rand.Rand) uint64 {
+	rank := uint64(math.Pow(float64(z.n), rng.Float64())) - 1
+	return bits.Reverse64(rank) >> (64 - z.w)
+}
+
+// Width returns the universe width.
+func (z stripedZipf) Width() uint8 { return z.w }
+
+// S1ShardedScaling: throughput vs shard count at the highest configured
+// thread count, under a uniform spread workload and a Zipf-skewed one
+// whose hot ranks are striped across shards. The sharded rows should
+// approach shards× the single-trie row's update throughput on multicore
+// hardware (shards divide the contention term c of Theorem 4.3);
+// ordered-query cost stays flat because stitching only probes neighbor
+// shards when the home shard has no answer.
+func S1ShardedScaling(sc Scale) Result {
+	res := Result{
+		Name:  "S1 sharded throughput vs shard count (W=32)",
+		Claim: "partitioning by key prefix multiplies update throughput without giving up lock-freedom",
+		Header: []string{"shards", "threads", "uniform kop/s", "skew kop/s",
+			"pred-heavy kop/s", "balance max/mean"},
+	}
+	const w = 32
+	threads := 1
+	if len(sc.Threads) > 0 {
+		threads = sc.Threads[len(sc.Threads)-1]
+	}
+	for _, shards := range sc.shardCounts() {
+		// Fresh build + Prefill per cell, like every other experiment, so
+		// each column measures the same resident population.
+		cell := func(gen workload.KeyGen, mix workload.Mix, seed int64) (*shard.Trie[struct{}], ThroughputResult) {
+			tr := shard.New[struct{}](shard.Config{Width: w, Shards: shards, Seed: 23})
+			s := ShardedSet{T: tr}
+			Prefill(s, sc.M, w)
+			return tr, RunConcurrent(s, gen, mix, threads, sc.Duration, seed)
+		}
+		_, uni := cell(workload.Uniform{W: w}, workload.Mix{InsertPct: 25, DeletePct: 25}, 501)
+		// Zipf-skewed with bit-reversed ranks: hot ranks land in different
+		// shards, so skew concentrates per-key contention, not per-shard
+		// load (a monotone rank*stride map would funnel every hot rank
+		// into shard 0).
+		_, skew := cell(stripedZipf{w: w, n: uint64(sc.M)}, workload.Mix{InsertPct: 25, DeletePct: 25}, 503)
+		tr, pred := cell(workload.Uniform{W: w}, workload.Mix{InsertPct: 5, DeletePct: 5}, 504)
+
+		lens := tr.ShardLens()
+		maxLen, total := 0, 0
+		for _, n := range lens {
+			total += n
+			if n > maxLen {
+				maxLen = n
+			}
+		}
+		balance := 0.0
+		if total > 0 {
+			balance = float64(maxLen) * float64(len(lens)) / float64(total)
+		}
+		res.AddRow(
+			I(tr.Shards()), I(threads),
+			F(uni.OpsPerMs), F(skew.OpsPerMs), F(pred.OpsPerMs),
+			F2(balance),
+		)
+	}
+	res.Notes = append(res.Notes,
+		"uniform/skew = 50/25/25 contains/insert/delete; pred-heavy = 90/5/5 predecessor/insert/delete",
+		"balance = busiest shard's key count over the per-shard mean (1.0 = perfectly even)")
+	return res
+}
+
 // All runs every experiment.
 func All(sc Scale) []Result {
 	return []Result{
@@ -362,5 +455,6 @@ func All(sc Scale) []Result {
 		F1TopGaps(sc),
 		T7DCSSvsCAS(sc),
 		T8PrevRepair(sc),
+		S1ShardedScaling(sc),
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"skiptrie/internal/baseline/lockedset"
 	"skiptrie/internal/baseline/yfast"
 	"skiptrie/internal/core"
+	"skiptrie/internal/shard"
 	"skiptrie/internal/stats"
 	"skiptrie/internal/workload"
 )
@@ -99,6 +100,27 @@ func (s SkipTrieSet) Contains(key uint64, c *stats.Op) bool { return s.T.Contain
 
 // Predecessor implements Set.
 func (s SkipTrieSet) Predecessor(x uint64, c *stats.Op) (uint64, bool) {
+	k, _, ok := s.T.Predecessor(x, c)
+	return k, ok
+}
+
+// ShardedSet adapts the sharded trie in set form.
+type ShardedSet struct{ T *shard.Trie[struct{}] }
+
+// Name implements Set.
+func (s ShardedSet) Name() string { return "sharded" }
+
+// Insert implements Set.
+func (s ShardedSet) Insert(key uint64, c *stats.Op) bool { return s.T.Add(key, c) }
+
+// Delete implements Set.
+func (s ShardedSet) Delete(key uint64, c *stats.Op) bool { return s.T.Delete(key, c) }
+
+// Contains implements Set.
+func (s ShardedSet) Contains(key uint64, c *stats.Op) bool { return s.T.Contains(key, c) }
+
+// Predecessor implements Set.
+func (s ShardedSet) Predecessor(x uint64, c *stats.Op) (uint64, bool) {
 	k, _, ok := s.T.Predecessor(x, c)
 	return k, ok
 }

@@ -9,6 +9,7 @@ import (
 	"skiptrie/internal/baseline/lockedset"
 	"skiptrie/internal/baseline/yfast"
 	"skiptrie/internal/core"
+	"skiptrie/internal/shard"
 	"skiptrie/internal/workload"
 )
 
@@ -19,6 +20,7 @@ func tinyScale() Scale {
 		Queries:  400,
 		Duration: 20 * time.Millisecond,
 		Threads:  []int{1, 2},
+		Shards:   []int{1, 4},
 	}
 }
 
@@ -42,9 +44,10 @@ func TestResultFprint(t *testing.T) {
 }
 
 func TestAdaptersAgree(t *testing.T) {
-	// All four adapters expose the same semantics.
+	// All five adapters expose the same semantics.
 	sets := []Set{
 		SkipTrieSet{T: core.NewSet(core.Config{Width: 16, Seed: 2})},
+		ShardedSet{T: shard.New[struct{}](shard.Config{Width: 16, Shards: 4, Seed: 2})},
 		CSkipListSet{L: cskiplist.New(2)},
 		LockedYFastSet{Y: yfast.NewLocked(16)},
 		LockedTreapSet{S: lockedset.New(2)},
@@ -124,6 +127,7 @@ func TestExperimentsProduceRows(t *testing.T) {
 		{"F1", F1TopGaps},
 		{"T7", T7DCSSvsCAS},
 		{"T8", T8PrevRepair},
+		{"S1", S1ShardedScaling},
 	} {
 		res := tc.run(sc)
 		if len(res.Rows) == 0 {

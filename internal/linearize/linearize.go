@@ -1,23 +1,31 @@
 // Package linearize provides a brute-force linearizability checker for
-// concurrent histories of sorted-set operations (insert, delete, contains,
-// predecessor) — the correctness condition Theorem 4.3 claims for the
-// SkipTrie.
+// concurrent histories of ordered-map operations — the correctness
+// condition Theorem 4.3 claims for the SkipTrie. It covers the set
+// surface (insert, delete, contains, predecessor) and the value-carrying
+// map surface (store, load, load-or-store), whose sequential semantics
+// track the last value written to each key, not just key presence.
+// Values are modeled as uint64, matching the Map[uint64] histories the
+// tests record.
 //
 // The checker enumerates linearization orders consistent with the
 // history's real-time partial order (an operation that returned before
 // another was invoked must be linearized first) and tests whether some
 // order's sequential semantics reproduces every recorded result. The
 // search is exponential in general, so it is meant for small histories
-// (up to ~25 operations over a handful of keys); a key observation makes
-// memoization sound: for fixed per-operation results, the set state after
-// linearizing any subset of operations is determined by the subset alone
-// (each key's presence is its net count of effectual inserts minus
-// effectual deletes), so failed subsets can be pruned globally.
+// (up to ~25 operations over a handful of keys). Failed search states
+// are memoized; for set-only histories the linearized subset alone
+// determines the state (each key's presence is its net count of
+// effectual inserts minus effectual deletes along any valid path), but
+// value-writing operations break that property — two stores of
+// different values to one key leave a state that depends on their
+// order — so the memo key is the subset plus a canonical encoding of
+// the per-key value state.
 package linearize
 
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -31,6 +39,10 @@ const (
 	Delete
 	Contains
 	Predecessor
+	// Value-carrying map operations.
+	Store       // store(key, val): unconditional write, no result
+	Load        // load(key) = (rval, ok)
+	LoadOrStore // load-or-store(key, val) = (rval, loaded)
 )
 
 // String names the operation class.
@@ -44,6 +56,12 @@ func (t OpType) String() string {
 		return "contains"
 	case Predecessor:
 		return "predecessor"
+	case Store:
+		return "store"
+	case Load:
+		return "load"
+	case LoadOrStore:
+		return "loadorstore"
 	default:
 		return fmt.Sprintf("OpType(%d)", int(t))
 	}
@@ -53,22 +71,45 @@ func (t OpType) String() string {
 type Event struct {
 	Type OpType
 	Key  uint64 // argument
-	// Results: Ok is the boolean result of insert/delete/contains, and the
-	// "found" result of predecessor; Res is predecessor's returned key.
-	Ok  bool
-	Res uint64
+	// Val is the value argument of store/load-or-store (and the value an
+	// effectual insert associates with its key).
+	Val uint64
+	// Results: Ok is the boolean result of insert/delete/contains, the
+	// "found" result of predecessor/load, and the "loaded" result of
+	// load-or-store; Res is predecessor's returned key; RVal is the value
+	// returned by load and load-or-store.
+	Ok   bool
+	Res  uint64
+	RVal uint64
 	// Invoke and Return are strictly increasing global timestamps.
 	Invoke, Return int64
 }
 
 // String renders the event compactly for failure logs.
 func (e Event) String() string {
-	return fmt.Sprintf("%s(%d)=(%d,%v)@[%d,%d]", e.Type, e.Key, e.Res, e.Ok, e.Invoke, e.Return)
+	switch e.Type {
+	case Store:
+		return fmt.Sprintf("%s(%d,%d)@[%d,%d]", e.Type, e.Key, e.Val, e.Invoke, e.Return)
+	case Load:
+		return fmt.Sprintf("%s(%d)=(%d,%v)@[%d,%d]", e.Type, e.Key, e.RVal, e.Ok, e.Invoke, e.Return)
+	case LoadOrStore:
+		return fmt.Sprintf("%s(%d,%d)=(%d,%v)@[%d,%d]", e.Type, e.Key, e.Val, e.RVal, e.Ok, e.Invoke, e.Return)
+	default:
+		return fmt.Sprintf("%s(%d)=(%d,%v)@[%d,%d]", e.Type, e.Key, e.Res, e.Ok, e.Invoke, e.Return)
+	}
 }
 
-// Check reports whether the history is linearizable under sorted-set
+// keyState is one key's sequential state: present and, if so, the last
+// value written (by store, load-or-store, or the insert that added it).
+type keyState struct {
+	present bool
+	val     uint64
+}
+
+// Check reports whether the history is linearizable under ordered-map
 // semantics. Histories longer than 64 events are rejected outright (the
-// search would be intractable and the bitmask memoization would overflow).
+// search would be intractable and the bitmask memoization would
+// overflow).
 func Check(history []Event) (bool, error) {
 	n := len(history)
 	if n == 0 {
@@ -93,17 +134,49 @@ func Check(history []Event) (bool, error) {
 		}
 	}
 
-	// The state after linearizing a subset is subset-determined; presence
-	// of key k = net effectual inserts. Track it incrementally in a map.
-	state := map[uint64]bool{}
-	failed := make(map[uint64]bool)
+	// Value-writing ops make the state order-dependent within a subset,
+	// so the memo key is subset ⊕ canonical state (see package comment).
+	// Set-only histories keep the original subset-determined property —
+	// the fast path memoizes on the subset bitmask alone.
+	valueOps := false
+	for _, e := range evs {
+		if e.Type == Store || e.Type == Load || e.Type == LoadOrStore {
+			valueOps = true
+			break
+		}
+	}
+	state := map[uint64]keyState{}
+	failedBits := make(map[uint64]bool)
+	failedState := make(map[string]bool)
+	var sb strings.Builder
+	stateKey := func(done uint64) string {
+		sb.Reset()
+		fmt.Fprintf(&sb, "%x:", done)
+		keys := make([]uint64, 0, len(state))
+		for k, ks := range state {
+			if ks.present {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "%x=%x;", k, state[k].val)
+		}
+		return sb.String()
+	}
 
 	var dfs func(done uint64) bool
 	dfs = func(done uint64) bool {
 		if done == 1<<n-1 {
 			return true
 		}
-		if failed[done] {
+		var memo string
+		if valueOps {
+			memo = stateKey(done)
+			if failedState[memo] {
+				return false
+			}
+		} else if failedBits[done] {
 			return false
 		}
 		for i := 0; i < n; i++ {
@@ -115,13 +188,17 @@ func Check(history []Event) (bool, error) {
 			if !matches(e, state) {
 				continue
 			}
-			apply(e, state, true)
+			u := apply(e, state)
 			if dfs(done | bit) {
 				return true
 			}
-			apply(e, state, false)
+			revert(u, state)
 		}
-		failed[done] = true
+		if valueOps {
+			failedState[memo] = true
+		} else {
+			failedBits[done] = true
+		}
 		return false
 	}
 	return dfs(0), nil
@@ -129,19 +206,31 @@ func Check(history []Event) (bool, error) {
 
 // matches reports whether e's recorded result is consistent with the
 // current sequential state.
-func matches(e Event, state map[uint64]bool) bool {
+func matches(e Event, state map[uint64]keyState) bool {
+	ks := state[e.Key]
 	switch e.Type {
 	case Insert:
-		return e.Ok == !state[e.Key]
+		return e.Ok == !ks.present
 	case Delete:
-		return e.Ok == state[e.Key]
+		return e.Ok == ks.present
 	case Contains:
-		return e.Ok == state[e.Key]
+		return e.Ok == ks.present
+	case Store:
+		return true // unconditional write, no observable result
+	case Load:
+		return e.Ok == ks.present && (!ks.present || e.RVal == ks.val)
+	case LoadOrStore:
+		// loaded ⇔ present; a load must have seen the current value, and
+		// a store must have returned its own argument.
+		if ks.present {
+			return e.Ok && e.RVal == ks.val
+		}
+		return !e.Ok && e.RVal == e.Val
 	case Predecessor:
 		var want uint64
 		have := false
-		for k, present := range state {
-			if present && k <= e.Key && (!have || k > want) {
+		for k, s := range state {
+			if s.present && k <= e.Key && (!have || k > want) {
 				want, have = k, true
 			}
 		}
@@ -151,17 +240,43 @@ func matches(e Event, state map[uint64]bool) bool {
 	}
 }
 
-// apply performs (or undoes) e's effect on the state.
-func apply(e Event, state map[uint64]bool, forward bool) {
+// undo captures the state needed to revert one applied event.
+type undo struct {
+	key     uint64
+	prev    keyState
+	changed bool
+}
+
+// apply performs e's effect on the state and returns how to revert it.
+func apply(e Event, state map[uint64]keyState) undo {
+	u := undo{key: e.Key, prev: state[e.Key]}
 	switch e.Type {
 	case Insert:
 		if e.Ok {
-			state[e.Key] = forward
+			state[e.Key] = keyState{present: true, val: e.Val}
+			u.changed = true
 		}
 	case Delete:
 		if e.Ok {
-			state[e.Key] = !forward
+			state[e.Key] = keyState{}
+			u.changed = true
 		}
+	case Store:
+		state[e.Key] = keyState{present: true, val: e.Val}
+		u.changed = true
+	case LoadOrStore:
+		if !e.Ok { // stored rather than loaded
+			state[e.Key] = keyState{present: true, val: e.Val}
+			u.changed = true
+		}
+	}
+	return u
+}
+
+// revert undoes an applied event.
+func revert(u undo, state map[uint64]keyState) {
+	if u.changed {
+		state[u.key] = u.prev
 	}
 }
 
@@ -176,14 +291,24 @@ type Recorder struct {
 // Invoke stamps an operation's invocation and returns the timestamp.
 func (r *Recorder) Invoke() int64 { return r.clock.Add(1) }
 
-// Record completes an operation: stamps its return and appends the event.
+// Record completes a set operation: stamps its return and appends the
+// event.
 func (r *Recorder) Record(t OpType, key uint64, ok bool, res uint64, invoke int64) {
-	ret := r.clock.Add(1)
+	r.append(Event{Type: t, Key: key, Ok: ok, Res: res, Invoke: invoke})
+}
+
+// RecordValue completes a value-carrying operation. For Store pass
+// ok=true and rval=0; for Load, ok is the found result and rval the
+// loaded value; for LoadOrStore, ok is the loaded result, val the
+// argument and rval the actual value returned.
+func (r *Recorder) RecordValue(t OpType, key uint64, ok bool, val, rval uint64, invoke int64) {
+	r.append(Event{Type: t, Key: key, Ok: ok, Val: val, RVal: rval, Invoke: invoke})
+}
+
+func (r *Recorder) append(e Event) {
+	e.Return = r.clock.Add(1)
 	r.mu.Lock()
-	r.events = append(r.events, Event{
-		Type: t, Key: key, Ok: ok, Res: res,
-		Invoke: invoke, Return: ret,
-	})
+	r.events = append(r.events, e)
 	r.mu.Unlock()
 }
 

@@ -1,0 +1,236 @@
+package linearize
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"skiptrie"
+)
+
+func vev(t OpType, key, val uint64, ok bool, rval uint64, inv, ret int64) Event {
+	return Event{Type: t, Key: key, Val: val, Ok: ok, RVal: rval, Invoke: inv, Return: ret}
+}
+
+func TestStoreLoadSequential(t *testing.T) {
+	h := []Event{
+		vev(Store, 5, 10, true, 0, 1, 2),
+		vev(Load, 5, 0, true, 10, 3, 4),
+		vev(Store, 5, 20, true, 0, 5, 6),
+		vev(Load, 5, 0, true, 20, 7, 8),
+		vev(Delete, 5, 0, true, 0, 9, 10),
+		vev(Load, 5, 0, false, 0, 11, 12),
+	}
+	if ok, err := Check(h); err != nil || !ok {
+		t.Fatalf("valid store/load history rejected: %v, %v", ok, err)
+	}
+	// A load returning a stale value must be rejected.
+	bad := append([]Event(nil), h...)
+	bad[3] = vev(Load, 5, 0, true, 10, 7, 8) // after Store(5,20)
+	if ok, _ := Check(bad); ok {
+		t.Fatal("stale load accepted")
+	}
+	// A load returning a never-written value must be rejected.
+	bad[3] = vev(Load, 5, 0, true, 99, 7, 8)
+	if ok, _ := Check(bad); ok {
+		t.Fatal("phantom value accepted")
+	}
+}
+
+func TestLoadOrStoreSequential(t *testing.T) {
+	h := []Event{
+		vev(LoadOrStore, 7, 11, false, 11, 1, 2), // stored
+		vev(LoadOrStore, 7, 22, true, 11, 3, 4),  // loaded the first value
+		vev(Load, 7, 0, true, 11, 5, 6),
+		vev(Delete, 7, 0, true, 0, 7, 8),
+		vev(LoadOrStore, 7, 33, false, 33, 9, 10), // stored again
+		vev(Load, 7, 0, true, 33, 11, 12),
+	}
+	if ok, err := Check(h); err != nil || !ok {
+		t.Fatalf("valid load-or-store history rejected: %v, %v", ok, err)
+	}
+	// loaded=true with the argument value (not the stored one) is wrong.
+	bad := append([]Event(nil), h...)
+	bad[1] = vev(LoadOrStore, 7, 22, true, 22, 3, 4)
+	if ok, _ := Check(bad); ok {
+		t.Fatal("load-or-store returning its own argument on a hit accepted")
+	}
+	// loaded=false when the key is present is wrong.
+	bad[1] = vev(LoadOrStore, 7, 22, false, 22, 3, 4)
+	if ok, _ := Check(bad); ok {
+		t.Fatal("load-or-store storing over a present key accepted")
+	}
+}
+
+func TestInsertCarriesValue(t *testing.T) {
+	h := []Event{
+		vev(Insert, 3, 77, true, 0, 1, 2),
+		vev(Load, 3, 0, true, 77, 3, 4),
+	}
+	if ok, err := Check(h); err != nil || !ok {
+		t.Fatalf("insert-then-load rejected: %v, %v", ok, err)
+	}
+}
+
+// TestConcurrentStoreWindow: a load overlapping two stores of different
+// values may observe either, but nothing else.
+func TestConcurrentStoreWindow(t *testing.T) {
+	base := []Event{
+		vev(Store, 5, 1, true, 0, 1, 10),
+		vev(Store, 5, 2, true, 0, 2, 11),
+	}
+	for _, seen := range []uint64{1, 2} {
+		h := append(append([]Event(nil), base...), vev(Load, 5, 0, true, seen, 3, 4))
+		if ok, err := Check(h); err != nil || !ok {
+			t.Fatalf("load=%d within store window rejected: %v, %v", seen, ok, err)
+		}
+	}
+	h := append(append([]Event(nil), base...), vev(Load, 5, 0, true, 3, 3, 4))
+	if ok, _ := Check(h); ok {
+		t.Fatal("impossible value accepted")
+	}
+}
+
+// TestOrderDependentStores pins memo soundness: with two overlapping
+// stores, the state after linearizing both depends on their order, so a
+// checker that memoizes on the linearized subset alone would
+// wrongly treat "store 1 last" and "store 2 last" as the same search
+// state. Both loads below are satisfiable, each forcing a different
+// internal order of the same subset.
+func TestOrderDependentStores(t *testing.T) {
+	for _, last := range []uint64{1, 2} {
+		h := []Event{
+			vev(Store, 5, 1, true, 0, 1, 10),
+			vev(Store, 5, 2, true, 0, 2, 11),
+			vev(Load, 5, 0, true, last, 12, 13),
+			vev(Load, 5, 0, true, last, 14, 15),
+		}
+		if ok, err := Check(h); err != nil || !ok {
+			t.Fatalf("order with %d stored last rejected: %v, %v", last, ok, err)
+		}
+	}
+	// Two sequential loads seeing the two different values, with both
+	// stores complete before either load, is NOT linearizable.
+	h := []Event{
+		vev(Store, 5, 1, true, 0, 1, 10),
+		vev(Store, 5, 2, true, 0, 2, 11),
+		vev(Load, 5, 0, true, 1, 12, 13),
+		vev(Load, 5, 0, true, 2, 14, 15),
+	}
+	if ok, _ := Check(h); ok {
+		t.Fatal("loads observing both store orders accepted")
+	}
+}
+
+// TestMapHistoriesLinearizable drives many small concurrent runs against
+// the real Map[uint64] — store, load, load-or-store, delete on a
+// handful of keys — and checks every recorded history against the
+// value-aware checker.
+func TestMapHistoriesLinearizable(t *testing.T) {
+	const (
+		runs    = 40
+		workers = 3
+		perG    = 5
+		keys    = 3
+	)
+	for run := 0; run < runs; run++ {
+		m := skiptrie.NewMap[uint64](skiptrie.WithWidth(8), skiptrie.WithSeed(uint64(run+1)))
+		rec := &Recorder{}
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func(gid int, seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < perG; i++ {
+					k := uint64(rng.Intn(keys)) * 16
+					// Values unique per (goroutine, step) so a stale read
+					// cannot alias a fresh one.
+					v := uint64(gid*1000 + i + 1)
+					inv := rec.Invoke()
+					switch rng.Intn(4) {
+					case 0:
+						m.Store(k, v)
+						rec.RecordValue(Store, k, true, v, 0, inv)
+					case 1:
+						got, ok := m.Load(k)
+						rec.RecordValue(Load, k, ok, 0, got, inv)
+					case 2:
+						actual, loaded := m.LoadOrStore(k, v)
+						rec.RecordValue(LoadOrStore, k, loaded, v, actual, inv)
+					default:
+						ok := m.Delete(k)
+						rec.Record(Delete, k, ok, 0, inv)
+					}
+				}
+			}(g, int64(run*131+g))
+		}
+		wg.Wait()
+		h := rec.History()
+		ok, err := Check(h)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if !ok {
+			for _, e := range h {
+				t.Logf("  %v", e)
+			}
+			t.Fatalf("run %d: Map history not linearizable", run)
+		}
+	}
+}
+
+// TestShardedHistoriesLinearizable repeats the recording against the
+// sharded map. Only point operations are recorded: they route to a
+// single shard and must keep Map's linearizability. Cross-shard
+// ordered queries are documented as weakly consistent and would be
+// wrong to hold to this checker.
+func TestShardedHistoriesLinearizable(t *testing.T) {
+	const runs = 30
+	for run := 0; run < runs; run++ {
+		m := skiptrie.NewSharded[uint64](
+			skiptrie.WithWidth(8), skiptrie.WithShards(4), skiptrie.WithSeed(uint64(run+7)))
+		rec := &Recorder{}
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(gid int, seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 5; i++ {
+					// Keys straddle shard boundaries (sub-universe width 6:
+					// shard edges at multiples of 64).
+					k := uint64(rng.Intn(4)) * 63
+					v := uint64(gid*1000 + i + 1)
+					inv := rec.Invoke()
+					switch rng.Intn(4) {
+					case 0:
+						m.Store(k, v)
+						rec.RecordValue(Store, k, true, v, 0, inv)
+					case 1:
+						got, ok := m.Load(k)
+						rec.RecordValue(Load, k, ok, 0, got, inv)
+					case 2:
+						actual, loaded := m.LoadOrStore(k, v)
+						rec.RecordValue(LoadOrStore, k, loaded, v, actual, inv)
+					default:
+						ok := m.Delete(k)
+						rec.Record(Delete, k, ok, 0, inv)
+					}
+				}
+			}(g, int64(run*977+g))
+		}
+		wg.Wait()
+		h := rec.History()
+		ok, err := Check(h)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if !ok {
+			for _, e := range h {
+				t.Logf("  %v", e)
+			}
+			t.Fatalf("run %d: sharded history not linearizable", run)
+		}
+	}
+}

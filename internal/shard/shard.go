@@ -1,0 +1,397 @@
+// Package shard partitions the SkipTrie's key universe by the top s bits
+// into 2^s independent core.SkipTrie sub-universes. Point operations
+// route to their home shard in O(1) by prefix; ordered operations
+// (predecessor, successor, min/max, iteration) answer from the home
+// shard and stitch across shard boundaries by probing neighbor shards'
+// extrema.
+//
+// Each shard is a full SkipTrie over the sub-universe
+// [i*2^(W-s), (i+1)*2^(W-s)), configured via core.Config.Base, so every
+// shard keeps the paper's O(log log u) depth for its own, smaller u —
+// sharding never deepens a search, it only narrows the universe each
+// search runs in. What sharding buys is independence: updates in
+// different shards touch disjoint skiplists, x-fast tries and hash
+// tables, so the contention term c of Theorem 4.3 (and all cache
+// traffic) is divided across shards for any workload that spreads over
+// the key space.
+//
+// # Consistency
+//
+// Point operations (Insert, Store, LoadOrStore, Delete, Contains,
+// Find) touch exactly one shard and inherit that shard's
+// linearizability unchanged. An ordered query answered entirely by its
+// home shard is likewise linearizable. A query that stitches across
+// shard boundaries is not one atomic action: it observes each probed
+// shard at a different instant, so under concurrent cross-shard
+// movement (a delete in one shard racing an insert in another) it may
+// return a key farther from x than the true extremum, or not-found —
+// the same weakly-consistent contract Range already has. Every key it
+// does return was present, with the returned value, at the moment its
+// shard was probed.
+package shard
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+
+	"skiptrie/internal/core"
+	"skiptrie/internal/skiplist"
+	"skiptrie/internal/stats"
+)
+
+// MaxShardBits caps the shard count at 2^MaxShardBits.
+const MaxShardBits = 12
+
+// Config configures a sharded trie.
+type Config struct {
+	// Width is the full universe width W = log u, in [1, 64]. The
+	// default (0) means 64.
+	Width uint8
+	// Shards is the desired shard count. It is rounded up to a power of
+	// two and clamped so each shard keeps a universe of at least one
+	// bit (and to at most 2^MaxShardBits). The default (0) selects
+	// GOMAXPROCS rounded up to a power of two.
+	Shards int
+	// DisableDCSS, Repair and Seed configure every shard as in
+	// core.Config; shard i is seeded Seed+i so shard shapes are
+	// reproducible yet statistically independent.
+	DisableDCSS bool
+	Repair      skiplist.RepairMode
+	Seed        uint64
+}
+
+// Trie is a sharded SkipTrie over [0, 2^Width): 2^s independent
+// core.SkipTrie shards, each owning the keys that share one value of
+// the top s bits. All operations have the same semantics (and the same
+// lock-freedom caveats) as the corresponding core.SkipTrie operations.
+type Trie[V any] struct {
+	shards []*core.SkipTrie[V]
+	width  uint8
+	subW   uint8 // per-shard universe width, Width - log2(len(shards))
+}
+
+// resolveShards applies Config.Shards's default, rounding and clamps,
+// returning the shard count as a power of two 2^s with s <= width-1.
+func resolveShards(n int, width uint8) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > 1 {
+		n = 1 << bits.Len(uint(n-1)) // round up to a power of two
+	}
+	if n > 1<<MaxShardBits {
+		n = 1 << MaxShardBits
+	}
+	// Each shard must keep at least a 1-bit universe: s <= width-1.
+	if s := bits.TrailingZeros(uint(n)); s > int(width)-1 {
+		n = 1 << (width - 1)
+	}
+	return n
+}
+
+// New returns an empty sharded trie.
+func New[V any](cfg Config) *Trie[V] {
+	w := cfg.Width
+	if w == 0 || w > 64 {
+		w = 64
+	}
+	n := resolveShards(cfg.Shards, w)
+	s := uint8(bits.TrailingZeros(uint(n)))
+	subW := w - s
+	shards := make([]*core.SkipTrie[V], n)
+	for i := range shards {
+		shards[i] = core.New[V](core.Config{
+			Width:       subW,
+			Base:        uint64(i) << subW,
+			DisableDCSS: cfg.DisableDCSS,
+			Repair:      cfg.Repair,
+			Seed:        cfg.Seed + uint64(i),
+		})
+	}
+	return &Trie[V]{shards: shards, width: w, subW: subW}
+}
+
+// Shards returns the shard count (a power of two).
+func (t *Trie[V]) Shards() int { return len(t.shards) }
+
+// Width returns the full universe width W = log u.
+func (t *Trie[V]) Width() uint8 { return t.width }
+
+// SubWidth returns each shard's universe width, W - log2(Shards()).
+func (t *Trie[V]) SubWidth() uint8 { return t.subW }
+
+// MaxKey returns the largest key of the universe, 2^Width - 1.
+func (t *Trie[V]) MaxKey() uint64 { return ^uint64(0) >> (64 - t.width) }
+
+// inUniverse reports whether key fits the full universe.
+func (t *Trie[V]) inUniverse(key uint64) bool {
+	return t.width == 64 || key < 1<<t.width
+}
+
+// home returns the shard index owning key (key's top s bits). Only
+// valid for in-universe keys.
+func (t *Trie[V]) home(key uint64) int {
+	if t.subW == 64 {
+		return 0 // single shard over the full 64-bit universe
+	}
+	return int(key >> t.subW)
+}
+
+// Shard returns the shard owning key, for tests and diagnostics. The
+// key must be inside the universe; out-of-universe keys have no owning
+// shard and panic.
+func (t *Trie[V]) Shard(key uint64) *core.SkipTrie[V] {
+	if !t.inUniverse(key) {
+		panic("shard: Shard called with an out-of-universe key")
+	}
+	return t.shards[t.home(key)]
+}
+
+// --- point operations: O(1) routing by prefix ---
+
+// Insert adds key with its value, reporting whether the key was absent.
+func (t *Trie[V]) Insert(key uint64, val V, c *stats.Op) bool {
+	if !t.inUniverse(key) {
+		return false
+	}
+	return t.shards[t.home(key)].Insert(key, val, c)
+}
+
+// Add is Insert with the zero value of V: the set-form operation.
+func (t *Trie[V]) Add(key uint64, c *stats.Op) bool {
+	var zero V
+	return t.Insert(key, zero, c)
+}
+
+// Store sets the value for key, inserting it if absent; it reports
+// whether the key was inserted.
+func (t *Trie[V]) Store(key uint64, val V, c *stats.Op) bool {
+	if !t.inUniverse(key) {
+		return false
+	}
+	return t.shards[t.home(key)].Store(key, val, c)
+}
+
+// LoadOrStore returns the existing value for key if present; otherwise
+// it stores val. loaded reports whether the value was loaded.
+func (t *Trie[V]) LoadOrStore(key uint64, val V, c *stats.Op) (actual V, loaded bool) {
+	if !t.inUniverse(key) {
+		return val, false
+	}
+	return t.shards[t.home(key)].LoadOrStore(key, val, c)
+}
+
+// Delete removes key, reporting whether this call removed it.
+func (t *Trie[V]) Delete(key uint64, c *stats.Op) bool {
+	if !t.inUniverse(key) {
+		return false
+	}
+	return t.shards[t.home(key)].Delete(key, c)
+}
+
+// Contains reports whether key is present.
+func (t *Trie[V]) Contains(key uint64, c *stats.Op) bool {
+	if !t.inUniverse(key) {
+		return false
+	}
+	return t.shards[t.home(key)].Contains(key, c)
+}
+
+// Find returns the value associated with key.
+func (t *Trie[V]) Find(key uint64, c *stats.Op) (V, bool) {
+	if !t.inUniverse(key) {
+		var zero V
+		return zero, false
+	}
+	return t.shards[t.home(key)].Find(key, c)
+}
+
+// --- ordered operations: home shard first, then boundary stitching ---
+
+// predStitch answers a (strict) predecessor query: ask x's home shard
+// first, then walk lower shards probing their maxima. When x is above
+// the universe every shard's maximum qualifies, so the walk starts at
+// the last shard with no home query.
+func (t *Trie[V]) predStitch(x uint64, strict bool, c *stats.Op) (uint64, V, bool) {
+	h := len(t.shards) - 1
+	if t.inUniverse(x) {
+		h = t.home(x)
+		home := t.shards[h]
+		var k uint64
+		var v V
+		var ok bool
+		if strict {
+			k, v, ok = home.StrictPredecessor(x, c)
+		} else {
+			k, v, ok = home.Predecessor(x, c)
+		}
+		if ok {
+			return k, v, ok
+		}
+		h--
+	}
+	for ; h >= 0; h-- {
+		if k, v, ok := t.shards[h].Max(c); ok {
+			return k, v, ok
+		}
+	}
+	var zero V
+	return 0, zero, false
+}
+
+// Predecessor returns the largest key <= x and its value. The home
+// shard answers when it holds any key <= x; otherwise the answer is the
+// maximum of the nearest lower non-empty shard (weakly consistent when
+// the answer crosses shards — see the package comment).
+func (t *Trie[V]) Predecessor(x uint64, c *stats.Op) (uint64, V, bool) {
+	return t.predStitch(x, false, c)
+}
+
+// StrictPredecessor returns the largest key < x and its value.
+func (t *Trie[V]) StrictPredecessor(x uint64, c *stats.Op) (uint64, V, bool) {
+	return t.predStitch(x, true, c)
+}
+
+// Successor returns the smallest key >= x and its value. The home shard
+// answers when it holds any key >= x; otherwise the answer is the
+// minimum of the nearest higher non-empty shard (weakly consistent when
+// the answer crosses shards — see the package comment).
+func (t *Trie[V]) Successor(x uint64, c *stats.Op) (uint64, V, bool) {
+	var zero V
+	if !t.inUniverse(x) {
+		return 0, zero, false
+	}
+	h := t.home(x)
+	if k, v, ok := t.shards[h].Successor(x, c); ok {
+		return k, v, ok
+	}
+	for h++; h < len(t.shards); h++ {
+		if k, v, ok := t.shards[h].Min(c); ok {
+			return k, v, ok
+		}
+	}
+	return 0, zero, false
+}
+
+// StrictSuccessor returns the smallest key > x and its value.
+func (t *Trie[V]) StrictSuccessor(x uint64, c *stats.Op) (uint64, V, bool) {
+	if x >= t.MaxKey() {
+		var zero V
+		return 0, zero, false
+	}
+	return t.Successor(x+1, c)
+}
+
+// Min returns the smallest key and its value.
+func (t *Trie[V]) Min(c *stats.Op) (uint64, V, bool) {
+	for _, s := range t.shards {
+		if k, v, ok := s.Min(c); ok {
+			return k, v, ok
+		}
+	}
+	var zero V
+	return 0, zero, false
+}
+
+// Max returns the largest key and its value.
+func (t *Trie[V]) Max(c *stats.Op) (uint64, V, bool) {
+	for i := len(t.shards) - 1; i >= 0; i-- {
+		if k, v, ok := t.shards[i].Max(c); ok {
+			return k, v, ok
+		}
+	}
+	var zero V
+	return 0, zero, false
+}
+
+// Range calls fn for keys >= from in ascending order until fn returns
+// false, walking shards in index order; each shard clamps from to its
+// own base. Iteration is weakly consistent, per shard, exactly as in
+// core.SkipTrie.Range.
+func (t *Trie[V]) Range(from uint64, fn func(key uint64, val V) bool, c *stats.Op) {
+	if !t.inUniverse(from) {
+		return
+	}
+	alive := true
+	wrapped := func(k uint64, v V) bool {
+		alive = fn(k, v)
+		return alive
+	}
+	for i := t.home(from); i < len(t.shards) && alive; i++ {
+		t.shards[i].Range(from, wrapped, c)
+	}
+}
+
+// Descend calls fn for keys <= from in descending order until fn
+// returns false, walking shards in reverse index order; each shard
+// clamps from to its own maximum.
+func (t *Trie[V]) Descend(from uint64, fn func(key uint64, val V) bool, c *stats.Op) {
+	h := len(t.shards) - 1
+	if t.inUniverse(from) {
+		h = t.home(from)
+	}
+	alive := true
+	wrapped := func(k uint64, v V) bool {
+		alive = fn(k, v)
+		return alive
+	}
+	for ; h >= 0 && alive; h-- {
+		t.shards[h].Descend(from, wrapped, c)
+	}
+}
+
+// Len returns the number of keys across all shards (approximate under
+// concurrent mutation).
+func (t *Trie[V]) Len() int {
+	n := 0
+	for _, s := range t.shards {
+		n += s.Len()
+	}
+	return n
+}
+
+// ShardLens returns each shard's key count, for balance diagnostics.
+func (t *Trie[V]) ShardLens() []int {
+	out := make([]int, len(t.shards))
+	for i, s := range t.shards {
+		out[i] = s.Len()
+	}
+	return out
+}
+
+// Space returns aggregate space statistics across shards.
+func (t *Trie[V]) Space() core.SpaceStats {
+	var sp core.SpaceStats
+	for _, s := range t.shards {
+		ss := s.Space()
+		sp.Keys += ss.Keys
+		sp.TowerNodes += ss.TowerNodes
+		sp.TriePrefix += ss.TriePrefix
+		sp.HashBuckets += ss.HashBuckets
+	}
+	return sp
+}
+
+// Validate checks every shard's invariants plus the partition invariant:
+// every key a shard holds routes back to that shard. Only call at
+// quiescence.
+func (t *Trie[V]) Validate() error {
+	for i, s := range t.shards {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		var stray error
+		s.Range(0, func(k uint64, _ V) bool {
+			if t.home(k) != i {
+				stray = fmt.Errorf("shard: key %#x found in shard %d, routes to shard %d", k, i, t.home(k))
+				return false
+			}
+			return true
+		}, nil)
+		if stray != nil {
+			return stray
+		}
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"skiptrie/internal/core"
+)
+
+func TestResolveShards(t *testing.T) {
+	cases := []struct {
+		n     int
+		width uint8
+		want  int
+	}{
+		{1, 64, 1},
+		{2, 64, 2},
+		{3, 64, 4},
+		{5, 64, 8},
+		{16, 64, 16},
+		{1 << 13, 64, 1 << MaxShardBits}, // capped
+		{16, 4, 8},                       // clamped: s <= width-1
+		{16, 2, 2},
+		{4, 1, 1},
+	}
+	for _, tc := range cases {
+		if got := resolveShards(tc.n, tc.width); got != tc.want {
+			t.Errorf("resolveShards(%d, w=%d) = %d, want %d", tc.n, tc.width, got, tc.want)
+		}
+	}
+	// Default: GOMAXPROCS-rounded, so just a power of two >= 1.
+	got := resolveShards(0, 64)
+	if got < 1 || got&(got-1) != 0 {
+		t.Errorf("resolveShards(0, 64) = %d, want a power of two", got)
+	}
+}
+
+func TestShardRoutingAndBounds(t *testing.T) {
+	tr := New[int](Config{Width: 16, Shards: 8, Seed: 1})
+	if tr.Shards() != 8 || tr.SubWidth() != 13 {
+		t.Fatalf("Shards=%d SubWidth=%d, want 8, 13", tr.Shards(), tr.SubWidth())
+	}
+	step := uint64(1) << tr.SubWidth()
+	for i := 0; i < tr.Shards(); i++ {
+		base := uint64(i) * step
+		for _, k := range []uint64{base, base + 1, base + step - 1} {
+			if tr.home(k) != i {
+				t.Fatalf("home(%#x) = %d, want %d", k, tr.home(k), i)
+			}
+			if got := tr.Shard(k).Base(); got != base {
+				t.Fatalf("Shard(%#x).Base() = %#x, want %#x", k, got, base)
+			}
+		}
+	}
+	if tr.MaxKey() != 1<<16-1 {
+		t.Fatalf("MaxKey = %#x", tr.MaxKey())
+	}
+}
+
+func TestSingleShardFullWidth(t *testing.T) {
+	tr := New[struct{}](Config{Width: 64, Shards: 1, Seed: 1})
+	if tr.Shards() != 1 || tr.SubWidth() != 64 {
+		t.Fatalf("Shards=%d SubWidth=%d", tr.Shards(), tr.SubWidth())
+	}
+	if !tr.Add(^uint64(0), nil) || !tr.Add(0, nil) {
+		t.Fatal("Add extrema failed")
+	}
+	if k, _, ok := tr.Max(nil); !ok || k != ^uint64(0) {
+		t.Fatalf("Max = %#x,%v", k, ok)
+	}
+	if k, _, ok := tr.Min(nil); !ok || k != 0 {
+		t.Fatalf("Min = %#x,%v", k, ok)
+	}
+}
+
+// TestDifferentialVsCore drives identical random op streams through a
+// sharded trie and a single core.SkipTrie over the same universe and
+// requires identical results everywhere, including ordered queries that
+// cross shard boundaries.
+func TestDifferentialVsCore(t *testing.T) {
+	const w = 12
+	for _, shards := range []int{2, 4, 16} {
+		tr := New[uint64](Config{Width: w, Shards: shards, Seed: 42})
+		ref := core.New[uint64](core.Config{Width: w, Seed: 99})
+		rng := rand.New(rand.NewSource(int64(shards)))
+		for i := 0; i < 6000; i++ {
+			k := rng.Uint64() >> (64 - w)
+			v := rng.Uint64()
+			switch rng.Intn(8) {
+			case 0, 1:
+				if got, want := tr.Insert(k, v, nil), ref.Insert(k, v, nil); got != want {
+					t.Fatalf("shards=%d Insert(%d) = %v, want %v", shards, k, got, want)
+				}
+			case 2:
+				if got, want := tr.Store(k, v, nil), ref.Store(k, v, nil); got != want {
+					t.Fatalf("shards=%d Store(%d) = %v, want %v", shards, k, got, want)
+				}
+			case 3:
+				if got, want := tr.Delete(k, nil), ref.Delete(k, nil); got != want {
+					t.Fatalf("shards=%d Delete(%d) = %v, want %v", shards, k, got, want)
+				}
+			case 4:
+				gv, gok := tr.Find(k, nil)
+				wv, wok := ref.Find(k, nil)
+				if gok != wok || (gok && gv != wv) {
+					t.Fatalf("shards=%d Find(%d) = %d,%v want %d,%v", shards, k, gv, gok, wv, wok)
+				}
+			case 5:
+				gk, gv, gok := tr.Predecessor(k, nil)
+				wk, wv, wok := ref.Predecessor(k, nil)
+				if gok != wok || (gok && (gk != wk || gv != wv)) {
+					t.Fatalf("shards=%d Predecessor(%d) = %d,%v want %d,%v", shards, k, gk, gok, wk, wok)
+				}
+			case 6:
+				gk, gv, gok := tr.Successor(k, nil)
+				wk, wv, wok := ref.Successor(k, nil)
+				if gok != wok || (gok && (gk != wk || gv != wv)) {
+					t.Fatalf("shards=%d Successor(%d) = %d,%v want %d,%v", shards, k, gk, gok, wk, wok)
+				}
+			default:
+				gk, _, gok := tr.StrictPredecessor(k, nil)
+				wk, _, wok := ref.StrictPredecessor(k, nil)
+				if gok != wok || (gok && gk != wk) {
+					t.Fatalf("shards=%d StrictPredecessor(%d) = %d,%v want %d,%v", shards, k, gk, gok, wk, wok)
+				}
+			}
+		}
+		if tr.Len() != ref.Len() {
+			t.Fatalf("shards=%d Len = %d, want %d", shards, tr.Len(), ref.Len())
+		}
+		var got, want []uint64
+		tr.Range(0, func(k uint64, _ uint64) bool { got = append(got, k); return true }, nil)
+		ref.Range(0, func(k uint64, _ uint64) bool { want = append(want, k); return true }, nil)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d Range lengths differ: %d vs %d", shards, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d Range[%d] = %d, want %d", shards, i, got[i], want[i])
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("shards=%d Validate: %v", shards, err)
+		}
+	}
+}
+
+// TestStitchingAcrossEmptyShards plants keys only in the outermost
+// shards: every ordered query between them must skip all the empty
+// middle shards.
+func TestStitchingAcrossEmptyShards(t *testing.T) {
+	const (
+		w      = 16
+		shards = 16
+	)
+	tr := New[string](Config{Width: w, Shards: shards, Seed: 5})
+	step := uint64(1) << tr.SubWidth()
+	lo, hi := uint64(3), (uint64(shards)-1)*step+7 // shard 0 and shard 15
+	tr.Insert(lo, "lo", nil)
+	tr.Insert(hi, "hi", nil)
+
+	mid := step * uint64(shards) / 2 // middle of the universe, far from both
+	if k, v, ok := tr.Predecessor(mid, nil); !ok || k != lo || v != "lo" {
+		t.Fatalf("Predecessor(mid) = %d,%q,%v want lo", k, v, ok)
+	}
+	if k, v, ok := tr.Successor(mid, nil); !ok || k != hi || v != "hi" {
+		t.Fatalf("Successor(mid) = %d,%q,%v want hi", k, v, ok)
+	}
+	if k, _, ok := tr.StrictPredecessor(hi, nil); !ok || k != lo {
+		t.Fatalf("StrictPredecessor(hi) = %d,%v want lo", k, ok)
+	}
+	if k, _, ok := tr.StrictSuccessor(lo, nil); !ok || k != hi {
+		t.Fatalf("StrictSuccessor(lo) = %d,%v want hi", k, ok)
+	}
+	if k, _, ok := tr.Min(nil); !ok || k != lo {
+		t.Fatalf("Min = %d,%v", k, ok)
+	}
+	if k, _, ok := tr.Max(nil); !ok || k != hi {
+		t.Fatalf("Max = %d,%v", k, ok)
+	}
+	var up, down []uint64
+	tr.Range(0, func(k uint64, _ string) bool { up = append(up, k); return true }, nil)
+	tr.Descend(tr.MaxKey(), func(k uint64, _ string) bool { down = append(down, k); return true }, nil)
+	if len(up) != 2 || up[0] != lo || up[1] != hi {
+		t.Fatalf("Range = %v", up)
+	}
+	if len(down) != 2 || down[0] != hi || down[1] != lo {
+		t.Fatalf("Descend = %v", down)
+	}
+
+	// Early-terminating iteration must not spill into further shards.
+	calls := 0
+	tr.Range(0, func(uint64, string) bool { calls++; return false }, nil)
+	if calls != 1 {
+		t.Fatalf("Range after early stop visited %d keys", calls)
+	}
+	calls = 0
+	tr.Descend(tr.MaxKey(), func(uint64, string) bool { calls++; return false }, nil)
+	if calls != 1 {
+		t.Fatalf("Descend after early stop visited %d keys", calls)
+	}
+
+	// Empty structure: every query misses.
+	empty := New[string](Config{Width: w, Shards: shards})
+	if _, _, ok := empty.Predecessor(mid, nil); ok {
+		t.Fatal("Predecessor on empty trie found a key")
+	}
+	if _, _, ok := empty.Min(nil); ok {
+		t.Fatal("Min on empty trie found a key")
+	}
+}
+
+func TestShardLensAndSpace(t *testing.T) {
+	tr := New[struct{}](Config{Width: 8, Shards: 4, Seed: 2})
+	step := uint64(1) << tr.SubWidth()
+	for i := uint64(0); i < 4; i++ {
+		for j := uint64(0); j <= i; j++ {
+			tr.Add(i*step+j, nil)
+		}
+	}
+	lens := tr.ShardLens()
+	for i, n := range lens {
+		if n != i+1 {
+			t.Fatalf("ShardLens[%d] = %d, want %d", i, n, i+1)
+		}
+	}
+	sp := tr.Space()
+	if sp.Keys != tr.Len() || sp.TowerNodes < sp.Keys {
+		t.Fatalf("Space = %+v, Len = %d", sp, tr.Len())
+	}
+}

@@ -490,7 +490,14 @@ func (l *Topology) makeReadyChain(node *Node, c *stats.Op) {
 type DeleteResult struct {
 	Deleted bool
 	Root    *Node // the level-0 node this call logically deleted
-	Top     *Node // the top-level tower node, if the tower reached the top
+	// Top is the top-level tower node, if the tower reached the top. It
+	// can be set even when Deleted is false: with two racing deleters,
+	// the one that marks and unlinks the top node may lose the root-mark
+	// race, and by then the winner's top-level scan no longer sees the
+	// node — so the loser is the only caller that can hand the node to
+	// the x-fast trie disconnect. Callers must process Top regardless of
+	// Deleted.
+	Top *Node
 }
 
 // Delete removes key from the list, starting the descent from start (nil
@@ -558,7 +565,11 @@ func (l *Topology) Delete(key uint64, start *Node, c *stats.Op) DeleteResult {
 		}
 	}
 	if !won {
-		return DeleteResult{}
+		// Another delete's CAS linearized the removal, but this call may
+		// be the only one that saw (and marked) the top-level node — the
+		// winner's scan misses it once it is unlinked. Report it so the
+		// trie disconnect still happens exactly where it is owed.
+		return DeleteResult{Top: topNode}
 	}
 	l.length.Add(-1)
 	l.nodes.Add(-1)

@@ -251,6 +251,16 @@ func (t *Trie) InsertWalk(node *skiplist.Node, c *stats.Op) {
 				ntn.pointers.Store(Pair{}.With(d, node))
 				c.Probe()
 				if t.prefixes.Insert(p.Encode(), ntn) {
+					// Re-check the mark now that the level is visible: a
+					// deleter that marked node between the loop's check
+					// and our insert has a shortest-first walk that may
+					// already be past this prefix, which would leave it
+					// stale forever. Disconnecting it ourselves is safe
+					// either way — deleteLevel is a no-op once the
+					// pointer no longer targets node.
+					if node.Marked() {
+						t.deleteLevel(key, node, nil, l, c)
+					}
 					break // crossed this level
 				}
 				continue // lost the race; retry the level
@@ -305,66 +315,76 @@ func (t *Trie) swing(tn *treeNode, w dcss.Witness[Pair], newPair Pair,
 func (t *Trie) DeleteWalk(key uint64, node *skiplist.Node, hint *skiplist.Node, c *stats.Op) {
 	left := hint
 	for l := 0; l < int(t.width); l++ {
-		p := uintbits.PrefixOf(key, uint8(l), t.width)
-		d := uintbits.Bit(key, uint8(l), t.width)
-		c.TrieLevel()
-		tn, ok := t.lookup(p, c)
-		if !ok {
-			continue
-		}
-		pair, w := tn.pointers.Load()
-		for pair.Get(d) == node {
-			br := t.list.SearchTop(key, left, c)
-			left = br.Left
-			child := p.Child(d)
-			if d == 0 {
-				// New candidate for "largest in the 0-subtree" is the
-				// deleted key's left neighbour.
-				if br.Left.IsData() && child.IsPrefixOfKey(br.Left.Key(), t.width) {
-					t.swing(tn, w, pair.With(0, br.Left), br.Left, br.LeftW, c)
-				} else {
-					// The bracket proves the 0-subtree emptied (DESIGN.md):
-					// null the pointer (paper line 20).
-					c.IncCAS()
-					tn.pointers.CompareAndSwap(w, pair.With(0, nil))
-				}
+		left = t.deleteLevel(key, node, left, l, c)
+	}
+}
+
+// deleteLevel disconnects node from the trie level holding the length-l
+// prefix of key: one iteration of DeleteWalk, also used by InsertWalk to
+// clean up a level it created for a concurrently deleted node. left
+// seeds the top-level searches (nil for the head); the updated hint is
+// returned.
+func (t *Trie) deleteLevel(key uint64, node *skiplist.Node, left *skiplist.Node, l int, c *stats.Op) *skiplist.Node {
+	p := uintbits.PrefixOf(key, uint8(l), t.width)
+	d := uintbits.Bit(key, uint8(l), t.width)
+	c.TrieLevel()
+	tn, ok := t.lookup(p, c)
+	if !ok {
+		return left
+	}
+	pair, w := tn.pointers.Load()
+	for pair.Get(d) == node {
+		br := t.list.SearchTop(key, left, c)
+		left = br.Left
+		child := p.Child(d)
+		if d == 0 {
+			// New candidate for "largest in the 0-subtree" is the
+			// deleted key's left neighbour.
+			if br.Left.IsData() && child.IsPrefixOfKey(br.Left.Key(), t.width) {
+				t.swing(tn, w, pair.With(0, br.Left), br.Left, br.LeftW, c)
 			} else {
-				// New candidate for "smallest in the 1-subtree" is the
-				// deleted key's right neighbour.
-				if br.Right.IsData() && child.IsPrefixOfKey(br.Right.Key(), t.width) {
-					// Paper's makeDone(left, right): complete the
-					// successor's backward link before publishing it.
-					t.list.FixPrev(br.Left, br.Right, c)
-					t.swing(tn, w, pair.With(1, br.Right), br.Right, br.RightW, c)
-				} else {
-					c.IncCAS()
-					tn.pointers.CompareAndSwap(w, pair.With(1, nil))
-				}
-			}
-			pair, w = tn.pointers.Load()
-		}
-		// Even if another operation moved the pointer first, help null a
-		// pointer that escaped its subtree (paper line 19-20 applies to the
-		// current value, not only to ours).
-		if cur := pair.Get(d); cur != nil {
-			stale := !cur.IsData() || !p.Child(d).IsPrefixOfKey(cur.Key(), t.width)
-			if stale {
+				// The bracket proves the 0-subtree emptied (DESIGN.md):
+				// null the pointer (paper line 20).
 				c.IncCAS()
-				if nw, ok := tn.pointers.CompareAndSwap(w, pair.With(d, nil)); ok {
-					pair, w = pair.With(d, nil), nw
-				} else {
-					pair, w = tn.pointers.Load()
-				}
+				tn.pointers.CompareAndSwap(w, pair.With(0, nil))
+			}
+		} else {
+			// New candidate for "smallest in the 1-subtree" is the
+			// deleted key's right neighbour.
+			if br.Right.IsData() && child.IsPrefixOfKey(br.Right.Key(), t.width) {
+				// Paper's makeDone(left, right): complete the
+				// successor's backward link before publishing it.
+				t.list.FixPrev(br.Left, br.Right, c)
+				t.swing(tn, w, pair.With(1, br.Right), br.Right, br.RightW, c)
+			} else {
+				c.IncCAS()
+				tn.pointers.CompareAndSwap(w, pair.With(1, nil))
 			}
 		}
-		if pair.IsTombstone() {
-			// The whole prefix emptied: remove its node from the table
-			// (paper lines 21-22), keyed on identity so a newer incarnation
-			// is never harmed.
-			c.Probe()
-			t.prefixes.CompareAndDelete(p.Encode(), tn)
+		pair, w = tn.pointers.Load()
+	}
+	// Even if another operation moved the pointer first, help null a
+	// pointer that escaped its subtree (paper line 19-20 applies to the
+	// current value, not only to ours).
+	if cur := pair.Get(d); cur != nil {
+		stale := !cur.IsData() || !p.Child(d).IsPrefixOfKey(cur.Key(), t.width)
+		if stale {
+			c.IncCAS()
+			if nw, ok := tn.pointers.CompareAndSwap(w, pair.With(d, nil)); ok {
+				pair, w = pair.With(d, nil), nw
+			} else {
+				pair, w = tn.pointers.Load()
+			}
 		}
 	}
+	if pair.IsTombstone() {
+		// The whole prefix emptied: remove its node from the table
+		// (paper lines 21-22), keyed on identity so a newer incarnation
+		// is never harmed.
+		c.Probe()
+		t.prefixes.CompareAndDelete(p.Encode(), tn)
+	}
+	return left
 }
 
 // Validate sweeps the quiescent trie and verifies it exactly mirrors the
@@ -416,7 +436,15 @@ func (t *Trie) Validate() error {
 	t.prefixes.Range(func(enc uint64, tn *treeNode) bool {
 		b, ok := want[enc]
 		if !ok {
-			err = fmt.Errorf("trie holds stale prefix %x", enc)
+			pair := tn.pointers.Value()
+			desc := func(n *skiplist.Node) string {
+				if n == nil {
+					return "nil"
+				}
+				return fmt.Sprintf("key=%d marked=%v", n.Key(), n.Marked())
+			}
+			err = fmt.Errorf("trie holds stale prefix %x (zero: %s, one: %s)",
+				enc, desc(pair.Zero), desc(pair.One))
 			return false
 		}
 		seen++

@@ -96,6 +96,38 @@ func TestMapStoreUpdateNoAllocs(t *testing.T) {
 	}
 }
 
+// TestKeysSingleAlloc locks in Keys()'s preallocation: with the result
+// slice sized from Len() up front, a full snapshot costs exactly one
+// allocation (the slice itself) no matter how many keys it copies —
+// growing from nil would cost O(log n) progressively larger ones.
+func TestKeysSingleAlloc(t *testing.T) {
+	st := New(WithWidth(32))
+	for i := uint64(0); i < 4096; i++ {
+		st.Insert(i * 1_048_583)
+	}
+	n := st.Len()
+	if avg := testing.AllocsPerRun(20, func() {
+		if got := st.Keys(); len(got) != n {
+			t.Fatalf("Keys returned %d keys, want %d", len(got), n)
+		}
+	}); avg > 1 {
+		t.Fatalf("Keys allocates %.2f objects/run, want 1", avg)
+	}
+	// The sharded snapshot gets the same guarantee.
+	sh := NewSharded[struct{}](WithWidth(32), WithShards(4))
+	for i := uint64(0); i < 1024; i++ {
+		sh.Store(i*4_194_301, struct{}{})
+	}
+	n = sh.Len()
+	if avg := testing.AllocsPerRun(20, func() {
+		if got := sh.Keys(); len(got) != n {
+			t.Fatalf("Sharded.Keys returned %d keys, want %d", len(got), n)
+		}
+	}); avg > 1 {
+		t.Fatalf("Sharded.Keys allocates %.2f objects/run, want 1", avg)
+	}
+}
+
 // TestMapConcurrentStoreDeleteLoadOrStore races Store, Delete, LoadOrStore
 // and Load over a small hot key set with multi-word values. Run under
 // -race this checks the value slot's synchronization; the assertion checks

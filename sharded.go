@@ -1,0 +1,177 @@
+package skiptrie
+
+import (
+	"skiptrie/internal/shard"
+	"skiptrie/internal/stats"
+)
+
+// Sharded is a concurrent ordered map that partitions the key universe
+// by the top bits into independent SkipTrie shards. It offers the Map
+// API with identical sequential semantics; what changes is scaling
+// behaviour: point operations route to their home shard in O(1), so
+// updates in different shards contend on nothing — no shared skiplist
+// towers, x-fast trie nodes, hash buckets or cache lines. Ordered
+// queries answer from the home shard and stitch across shard boundaries
+// by probing neighbor shards' extrema, preserving global key order.
+//
+// Point operations (Store, Load, LoadOrStore, Delete) and ordered
+// queries answered inside one shard keep Map's linearizability. An
+// ordered query whose answer crosses a shard boundary observes each
+// shard at a different instant and is therefore weakly consistent,
+// like Range and Descend already are on Map: under concurrent
+// cross-shard movement it may return a key farther from x than the
+// true extremum, or miss, but any key it returns was present with that
+// value when its shard was probed.
+//
+// Use Sharded over Map when the structure is written from many
+// goroutines and keys spread across the universe; use Map when the
+// workload is read-mostly, fits one goroutine, or needs the absolute
+// minimum cost per ordered query (each empty shard between two keys
+// adds one extremum probe to a stitched query).
+//
+// Create one with NewSharded; the zero value is not usable.
+type Sharded[V any] struct {
+	t *shard.Trie[V]
+	m *Metrics
+}
+
+// WithShards sets the shard count for NewSharded. The count is rounded
+// up to a power of two and clamped so every shard keeps at least a
+// 1-bit sub-universe. The default (0) is GOMAXPROCS rounded up to a
+// power of two. New and NewMap ignore this option.
+func WithShards(n int) Option {
+	return func(o *options) { o.shards = n }
+}
+
+// NewSharded returns an empty sharded ordered map. It accepts the same
+// options as New plus WithShards; WithSeed seeds shard i with seed+i so
+// shard shapes stay reproducible yet independent.
+func NewSharded[V any](opts ...Option) *Sharded[V] {
+	o := buildOptions(opts)
+	return &Sharded[V]{
+		t: shard.New[V](shard.Config{
+			Width:       o.width,
+			Shards:      o.shards,
+			DisableDCSS: o.disableDCSS,
+			Repair:      o.repair,
+			Seed:        o.seed,
+		}),
+		m: o.metrics,
+	}
+}
+
+func (s *Sharded[V]) op() *stats.Op {
+	if s.m == nil {
+		return nil
+	}
+	return new(stats.Op)
+}
+
+// Shards returns the shard count (a power of two).
+func (s *Sharded[V]) Shards() int { return s.t.Shards() }
+
+// Store sets the value for key, inserting it if absent. Keys outside
+// the universe [0, 2^W) are rejected: nothing is stored.
+func (s *Sharded[V]) Store(key uint64, val V) {
+	c := s.op()
+	s.t.Store(key, val, c)
+	s.m.record(OpInsert, key, c)
+}
+
+// Load returns the value stored under key.
+func (s *Sharded[V]) Load(key uint64) (V, bool) {
+	c := s.op()
+	v, ok := s.t.Find(key, c)
+	s.m.record(OpContains, key, c)
+	return v, ok
+}
+
+// LoadOrStore returns the existing value for key if present; otherwise
+// it stores val. The loaded result reports whether the value was
+// loaded. Keys outside the universe are rejected, as in Map.
+func (s *Sharded[V]) LoadOrStore(key uint64, val V) (actual V, loaded bool) {
+	c := s.op()
+	actual, loaded = s.t.LoadOrStore(key, val, c)
+	s.m.record(OpInsert, key, c)
+	return actual, loaded
+}
+
+// Delete removes key and reports whether this call removed it.
+func (s *Sharded[V]) Delete(key uint64) bool {
+	c := s.op()
+	ok := s.t.Delete(key, c)
+	s.m.record(OpDelete, key, c)
+	return ok
+}
+
+// Predecessor returns the largest key <= x and its value.
+func (s *Sharded[V]) Predecessor(x uint64) (uint64, V, bool) {
+	c := s.op()
+	k, v, ok := s.t.Predecessor(x, c)
+	s.m.record(OpPredecessor, x, c)
+	return k, v, ok
+}
+
+// Successor returns the smallest key >= x and its value.
+func (s *Sharded[V]) Successor(x uint64) (uint64, V, bool) {
+	c := s.op()
+	k, v, ok := s.t.Successor(x, c)
+	s.m.record(OpSuccessor, x, c)
+	return k, v, ok
+}
+
+// StrictPredecessor returns the largest key < x and its value.
+func (s *Sharded[V]) StrictPredecessor(x uint64) (uint64, V, bool) {
+	c := s.op()
+	k, v, ok := s.t.StrictPredecessor(x, c)
+	s.m.record(OpPredecessor, x, c)
+	return k, v, ok
+}
+
+// StrictSuccessor returns the smallest key > x and its value.
+func (s *Sharded[V]) StrictSuccessor(x uint64) (uint64, V, bool) {
+	c := s.op()
+	k, v, ok := s.t.StrictSuccessor(x, c)
+	s.m.record(OpSuccessor, x, c)
+	return k, v, ok
+}
+
+// Min returns the smallest key and its value.
+func (s *Sharded[V]) Min() (uint64, V, bool) {
+	return s.t.Min(nil)
+}
+
+// Max returns the largest key and its value.
+func (s *Sharded[V]) Max() (uint64, V, bool) {
+	return s.t.Max(nil)
+}
+
+// Len returns the number of keys across all shards (approximate under
+// concurrent mutation).
+func (s *Sharded[V]) Len() int { return s.t.Len() }
+
+// Range calls fn on each key/value with key >= from in ascending order
+// until fn returns false. Iteration is weakly consistent per shard.
+func (s *Sharded[V]) Range(from uint64, fn func(key uint64, val V) bool) {
+	s.t.Range(from, fn, nil)
+}
+
+// Descend calls fn on each key/value with key <= from in descending
+// order until fn returns false.
+func (s *Sharded[V]) Descend(from uint64, fn func(key uint64, val V) bool) {
+	s.t.Descend(from, fn, nil)
+}
+
+// Keys returns all keys in ascending order (a weakly consistent
+// snapshot), preallocated from Len.
+func (s *Sharded[V]) Keys() []uint64 {
+	keys := make([]uint64, 0, s.Len())
+	s.Range(0, func(k uint64, _ V) bool {
+		keys = append(keys, k)
+		return true
+	})
+	return keys
+}
+
+// Validate checks every shard's invariants at quiescence.
+func (s *Sharded[V]) Validate() error { return s.t.Validate() }

@@ -1,0 +1,157 @@
+package skiptrie
+
+import (
+	"testing"
+)
+
+// FuzzShardedVsMap interprets the fuzz input as a program of map
+// operations and replays it against three implementations — Sharded[V],
+// Map[V], and a plain sequential model — failing on any divergence in a
+// result or in the final Range contents. Sharded and Map share no code
+// above internal/core and Sharded additionally exercises the
+// sub-universe translation and boundary stitching, so agreement here is
+// the differential argument that sharding preserved Map's semantics.
+//
+// Run with `go test -fuzz=FuzzShardedVsMap` for continuous fuzzing; the
+// seed corpus runs in normal test mode (and in CI's fuzz smoke stage).
+func FuzzShardedVsMap(f *testing.F) {
+	// Seeds: boundary-heavy churn, ordered probes, plain mixes.
+	f.Add([]byte{0x01, 0xFF, 0x21, 0xFF, 0x41, 0xFF, 0x81, 0xFF})
+	f.Add([]byte{0x1F, 0xFF, 0x20, 0x00, 0x3F, 0xFF, 0x40, 0x00, 0x9F, 0xFF, 0xA0, 0x00})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09})
+	f.Add([]byte{0xE0, 0x00, 0xC0, 0x00, 0xA5, 0x5A, 0x5A, 0xA5})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) > 4096 {
+			t.Skip("program too long")
+		}
+		const w = 13 // matches the key fold below: 5+8 bits of key material
+		sh := NewSharded[uint64](WithWidth(w), WithShards(8), WithSeed(2))
+		mp := NewMap[uint64](WithWidth(w), WithSeed(5))
+		model := map[uint64]uint64{}
+
+		// Sequential reference for ordered queries over the model.
+		pred := func(x uint64, strict bool) (uint64, bool) {
+			var best uint64
+			found := false
+			for k := range model {
+				if (k < x || (!strict && k == x)) && (!found || k > best) {
+					best, found = k, true
+				}
+			}
+			return best, found
+		}
+		succ := func(x uint64, strict bool) (uint64, bool) {
+			var best uint64
+			found := false
+			for k := range model {
+				if (k > x || (!strict && k == x)) && (!found || k < best) {
+					best, found = k, true
+				}
+			}
+			return best, found
+		}
+
+		for i := 0; i+1 < len(program); i += 2 {
+			op := program[i] >> 5
+			key := uint64(program[i]&0x1F)<<8 | uint64(program[i+1])
+			val := uint64(i)*2654435761 + key // deterministic, varies per step
+			switch op {
+			case 0, 1: // Store — double weight so structures fill up
+				sh.Store(key, val)
+				mp.Store(key, val)
+				model[key] = val
+			case 2: // Delete
+				sOk := sh.Delete(key)
+				mOk := mp.Delete(key)
+				_, wOk := model[key]
+				if sOk != wOk || mOk != wOk {
+					t.Fatalf("step %d: Delete(%d) sharded=%v map=%v model=%v", i, key, sOk, mOk, wOk)
+				}
+				delete(model, key)
+			case 3: // Load
+				sv, sOk := sh.Load(key)
+				mv, mOk := mp.Load(key)
+				wv, wOk := model[key]
+				if sOk != wOk || mOk != wOk || (wOk && (sv != wv || mv != wv)) {
+					t.Fatalf("step %d: Load(%d) sharded=%d,%v map=%d,%v model=%d,%v",
+						i, key, sv, sOk, mv, mOk, wv, wOk)
+				}
+			case 4: // LoadOrStore
+				sv, sL := sh.LoadOrStore(key, val)
+				mv, mL := mp.LoadOrStore(key, val)
+				wv, wL := model[key]
+				if !wL {
+					model[key] = val
+					wv = val
+				}
+				if sL != wL || mL != wL || sv != wv || mv != wv {
+					t.Fatalf("step %d: LoadOrStore(%d) sharded=%d,%v map=%d,%v model=%d,%v",
+						i, key, sv, sL, mv, mL, wv, wL)
+				}
+			case 5: // Predecessor
+				sk, sv, sOk := sh.Predecessor(key)
+				mk, mv, mOk := mp.Predecessor(key)
+				wk, wOk := pred(key, false)
+				if sOk != wOk || mOk != wOk ||
+					(wOk && (sk != wk || mk != wk || sv != model[wk] || mv != model[wk])) {
+					t.Fatalf("step %d: Predecessor(%d) sharded=%d,%v map=%d,%v model=%d,%v",
+						i, key, sk, sOk, mk, mOk, wk, wOk)
+				}
+			case 6: // Successor
+				sk, sv, sOk := sh.Successor(key)
+				mk, mv, mOk := mp.Successor(key)
+				wk, wOk := succ(key, false)
+				if sOk != wOk || mOk != wOk ||
+					(wOk && (sk != wk || mk != wk || sv != model[wk] || mv != model[wk])) {
+					t.Fatalf("step %d: Successor(%d) sharded=%d,%v map=%d,%v model=%d,%v",
+						i, key, sk, sOk, mk, mOk, wk, wOk)
+				}
+			default: // strict variants, alternating by key parity
+				if key&1 == 0 {
+					sk, _, sOk := sh.StrictPredecessor(key)
+					mk, _, mOk := mp.StrictPredecessor(key)
+					wk, wOk := pred(key, true)
+					if sOk != wOk || mOk != wOk || (wOk && (sk != wk || mk != wk)) {
+						t.Fatalf("step %d: StrictPredecessor(%d) sharded=%d,%v map=%d,%v model=%d,%v",
+							i, key, sk, sOk, mk, mOk, wk, wOk)
+					}
+				} else {
+					sk, _, sOk := sh.StrictSuccessor(key)
+					mk, _, mOk := mp.StrictSuccessor(key)
+					wk, wOk := succ(key, true)
+					if sOk != wOk || mOk != wOk || (wOk && (sk != wk || mk != wk)) {
+						t.Fatalf("step %d: StrictSuccessor(%d) sharded=%d,%v map=%d,%v model=%d,%v",
+							i, key, sk, sOk, mk, mOk, wk, wOk)
+					}
+				}
+			}
+		}
+
+		// Final contents: all three must hold the same key/value pairs, in
+		// order, and both structures must still satisfy their invariants.
+		if sh.Len() != len(model) || mp.Len() != len(model) {
+			t.Fatalf("Len: sharded=%d map=%d model=%d", sh.Len(), mp.Len(), len(model))
+		}
+		type kv struct{ k, v uint64 }
+		var shAll, mpAll []kv
+		sh.Range(0, func(k uint64, v uint64) bool { shAll = append(shAll, kv{k, v}); return true })
+		mp.Range(0, func(k uint64, v uint64) bool { mpAll = append(mpAll, kv{k, v}); return true })
+		if len(shAll) != len(mpAll) || len(shAll) != len(model) {
+			t.Fatalf("Range lengths: sharded=%d map=%d model=%d", len(shAll), len(mpAll), len(model))
+		}
+		for i := range shAll {
+			if shAll[i] != mpAll[i] {
+				t.Fatalf("Range[%d]: sharded=%+v map=%+v", i, shAll[i], mpAll[i])
+			}
+			if wv, ok := model[shAll[i].k]; !ok || wv != shAll[i].v {
+				t.Fatalf("Range[%d]: %+v not in model (want %d,%v)", i, shAll[i], wv, ok)
+			}
+		}
+		if err := sh.Validate(); err != nil {
+			t.Fatalf("sharded invariants: %v", err)
+		}
+		if err := mp.Validate(); err != nil {
+			t.Fatalf("map invariants: %v", err)
+		}
+	})
+}

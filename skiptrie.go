@@ -41,6 +41,7 @@ type SkipTrie struct {
 
 type options struct {
 	width       uint8
+	shards      int
 	disableDCSS bool
 	repair      skiplist.RepairMode
 	seed        uint64
