@@ -363,42 +363,27 @@ func (s *SkipTrie[V]) Max(c *stats.Op) (uint64, V, bool) {
 
 // Range calls fn for keys >= from in ascending order until fn returns
 // false. The iteration is weakly consistent: it reflects some interleaving
-// of concurrent updates.
+// of concurrent updates. It is a thin loop over Iter — the one traversal
+// code path.
 func (s *SkipTrie[V]) Range(from uint64, fn func(key uint64, val V) bool, c *stats.Op) {
-	if from < s.base {
-		from = s.base
-	}
-	k := from - s.base
-	if s.width < 64 && k > s.localMax() {
-		return
-	}
-	start := s.trie.Pred(k, true, c)
-	br := s.list.PredecessorBracket(k, start, c)
-	n := br.Right
-	for n.IsData() {
-		sc, _ := n.LoadSucc()
-		if !sc.Marked {
-			if !fn(s.base+n.Key(), s.valueAt(n)) {
-				return
-			}
+	it := s.MakeIter(c)
+	for ok := it.Seek(from); ok; ok = it.Next() {
+		if !fn(it.Key(), it.Value()) {
+			return
 		}
-		n = sc.Next
 	}
 }
 
 // Descend calls fn for keys <= from in descending order until fn returns
 // false. Each step is a strict-predecessor query (O(log log u)), since the
-// level-0 list is singly linked; the iteration is weakly consistent.
+// level-0 list is singly linked; the iteration is weakly consistent. Like
+// Range it is a thin loop over Iter.
 func (s *SkipTrie[V]) Descend(from uint64, fn func(key uint64, val V) bool, c *stats.Op) {
-	k, v, ok := s.Predecessor(from, c)
-	for ok {
-		if !fn(k, v) {
+	it := s.MakeIter(c)
+	for ok := it.SeekLE(from); ok; ok = it.Prev() {
+		if !fn(it.Key(), it.Value()) {
 			return
 		}
-		if k == 0 {
-			return
-		}
-		k, v, ok = s.StrictPredecessor(k, c)
 	}
 }
 

@@ -8,10 +8,14 @@ import (
 
 	"skiptrie/internal/skiplist"
 	"skiptrie/internal/stats"
+	"skiptrie/internal/testenv"
 )
 
+// newTrie builds the tests' default trie. The DisableDCSS knob comes
+// from the environment (see internal/testenv): CI re-runs this whole
+// suite in the CAS-fallback mode under -race.
 func newTrie(w uint8) *SkipTrie[uint64] {
-	return New[uint64](Config{Width: w, Seed: 13})
+	return New[uint64](Config{Width: w, Seed: 13, DisableDCSS: testenv.DisableDCSS()})
 }
 
 func TestEmpty(t *testing.T) {

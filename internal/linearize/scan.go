@@ -1,0 +1,178 @@
+package linearize
+
+import "fmt"
+
+// Scan records one iteration window: the keys a scan yielded, in yield
+// order, plus the window's invoke/return timestamps drawn from the same
+// Recorder clock as the update events it ran against.
+type Scan struct {
+	// Keys are the yielded keys in yield order.
+	Keys []uint64
+	// From is the scan's start bound: ascending scans yield keys >=
+	// From, descending scans keys <= From.
+	From uint64
+	// Desc marks a descending scan.
+	Desc bool
+	// Invoke and Return bracket the whole scan in Recorder time.
+	Invoke, Return int64
+}
+
+// CheckScan validates one weakly-consistent iteration window against a
+// concurrent update history, per the contract Range/Iter document:
+//
+//  1. Order: yielded keys are strictly monotone in the scan's
+//     direction and on the correct side of From. (This also rules out
+//     duplicates.)
+//  2. Liveness: every yielded key was plausibly present at some
+//     instant inside [Invoke, Return] — there is a presence-creating
+//     operation (effectual insert, store, storing load-or-store) whose
+//     possible-presence interval intersects the window. A yielded key
+//     with no presence-creating operation anywhere in the history is
+//     the "yielded but absent forever" corruption.
+//  3. Completeness: a key that was definitely present for the entire
+//     window — made present by an operation that returned before the
+//     scan began, with no successful delete that could conceivably
+//     linearize after that operation and before the scan ended — and
+//     that lies in the scanned range must have been yielded. Weak
+//     consistency permits missing churning keys, never stable ones.
+//
+// The liveness and completeness rules are deliberately conservative in
+// opposite directions (liveness accepts anything schedulable,
+// completeness demands only what every schedule guarantees), so a
+// failure of either is a real bug, not checker pessimism. The checker
+// is linear in history size per key, unlike Check's exponential
+// search, so it handles arbitrarily long torture histories.
+//
+// The completeness rule assumes the scan ran to exhaustion; for a scan
+// its consumer truncated, record only rules 1 and 2 apply (set no
+// expectations by passing a history without pre-scan makers, or check
+// the truncated scan against order and liveness by clearing Desc-side
+// stable keys from the history).
+func CheckScan(s Scan, history []Event) error {
+	if err := checkScanOrder(s); err != nil {
+		return err
+	}
+
+	// Index the history by key: presence-creating events and successful
+	// deletes.
+	makers := map[uint64][]Event{}
+	deletes := map[uint64][]Event{}
+	for _, e := range history {
+		switch {
+		case e.Type == Store,
+			e.Type == Insert && e.Ok,
+			e.Type == LoadOrStore && !e.Ok: // stored rather than loaded
+			makers[e.Key] = append(makers[e.Key], e)
+		case e.Type == Delete && e.Ok:
+			deletes[e.Key] = append(deletes[e.Key], e)
+		}
+	}
+
+	// 2. Liveness of every yielded key.
+	for _, k := range s.Keys {
+		mk := makers[k]
+		if len(mk) == 0 {
+			return fmt.Errorf("linearize: scan yielded key %#x which no operation ever made present", k)
+		}
+		if !plausiblyLive(s, mk, deletes[k]) {
+			return fmt.Errorf("linearize: scan [%d,%d] yielded key %#x outside any possible presence interval", s.Invoke, s.Return, k)
+		}
+	}
+
+	// 3. Completeness for keys stable across the whole window.
+	yielded := make(map[uint64]bool, len(s.Keys))
+	for _, k := range s.Keys {
+		yielded[k] = true
+	}
+	for k, mk := range makers {
+		if yielded[k] || !inScanRange(s, k) {
+			continue
+		}
+		if definitelyPresentThroughout(s, mk, deletes[k]) {
+			return fmt.Errorf("linearize: scan [%d,%d] missed key %#x, present for the entire window", s.Invoke, s.Return, k)
+		}
+	}
+	return nil
+}
+
+// checkScanOrder enforces rule 1: strict monotonicity in the scan's
+// direction and the From bound.
+func checkScanOrder(s Scan) error {
+	for i, k := range s.Keys {
+		if !inScanRange(s, k) {
+			return fmt.Errorf("linearize: scan from %#x yielded out-of-range key %#x", s.From, k)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := s.Keys[i-1]
+		if s.Desc && k >= prev {
+			return fmt.Errorf("linearize: descending scan yielded %#x after %#x", k, prev)
+		}
+		if !s.Desc && k <= prev {
+			return fmt.Errorf("linearize: ascending scan yielded %#x after %#x", k, prev)
+		}
+	}
+	return nil
+}
+
+// inScanRange reports whether k is on the scanned side of From.
+func inScanRange(s Scan, k uint64) bool {
+	if s.Desc {
+		return k <= s.From
+	}
+	return k >= s.From
+}
+
+// plausiblyLive reports whether some maker event of the key admits a
+// schedule in which the key is present at an instant inside the scan
+// window. A maker e can linearize as early as e.Invoke; its presence
+// then certainly survives until the first successful delete that
+// cannot be ordered before it (d.Invoke > e.Return), and is dead by
+// that delete's Return. So the possible-presence interval is
+// [e.Invoke, min d.Return over deletes with d.Invoke > e.Return], and
+// the key is plausibly live in the window iff some interval intersects
+// [s.Invoke, s.Return].
+func plausiblyLive(s Scan, makers, dels []Event) bool {
+	for _, e := range makers {
+		if e.Invoke > s.Return {
+			continue // cannot have linearized before the scan ended
+		}
+		end := int64(-1) // -1: no delete bounds this presence
+		for _, d := range dels {
+			if d.Invoke > e.Return && (end < 0 || d.Return < end) {
+				end = d.Return
+			}
+		}
+		if end < 0 || end >= s.Invoke {
+			return true
+		}
+	}
+	return false
+}
+
+// definitelyPresentThroughout reports whether the key must be present
+// for the whole scan window in every schedule: some maker returned
+// before the scan began, and no successful delete could linearize both
+// after that maker and before the scan ended (every delete either
+// returned before the maker was invoked — so it linearized first — or
+// was invoked after the scan returned — so it linearized afterwards).
+func definitelyPresentThroughout(s Scan, makers, dels []Event) bool {
+	for _, e := range makers {
+		if e.Return > s.Invoke {
+			continue // may not have linearized before the scan began
+		}
+		safe := true
+		for _, d := range dels {
+			if d.Return < e.Invoke || d.Invoke > s.Return {
+				continue
+			}
+			safe = false
+			break
+		}
+		if safe {
+			return true
+		}
+	}
+	return false
+}

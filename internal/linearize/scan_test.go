@@ -1,0 +1,151 @@
+package linearize
+
+import (
+	"strings"
+	"testing"
+)
+
+// mk builds a maker (store) event, del a successful delete, with the
+// given invoke/return stamps.
+func mk(key uint64, inv, ret int64) Event {
+	return Event{Type: Store, Key: key, Val: key, Invoke: inv, Return: ret}
+}
+
+func del(key uint64, inv, ret int64) Event {
+	return Event{Type: Delete, Key: key, Ok: true, Invoke: inv, Return: ret}
+}
+
+func TestCheckScanAccepts(t *testing.T) {
+	for name, tc := range map[string]struct {
+		scan Scan
+		hist []Event
+	}{
+		"empty scan, empty history": {
+			scan: Scan{Invoke: 10, Return: 20},
+		},
+		"stable keys all yielded": {
+			scan: Scan{Keys: []uint64{1, 2, 3}, Invoke: 10, Return: 20},
+			hist: []Event{mk(1, 1, 2), mk(2, 3, 4), mk(3, 5, 6)},
+		},
+		"descending": {
+			scan: Scan{Keys: []uint64{3, 2, 1}, From: 5, Desc: true, Invoke: 10, Return: 20},
+			hist: []Event{mk(1, 1, 2), mk(2, 3, 4), mk(3, 5, 6)},
+		},
+		"key deleted mid-scan may be yielded": {
+			scan: Scan{Keys: []uint64{1, 2}, Invoke: 10, Return: 20},
+			hist: []Event{mk(1, 1, 2), mk(2, 3, 4), del(2, 12, 14)},
+		},
+		"key deleted mid-scan may be missed": {
+			scan: Scan{Keys: []uint64{1}, Invoke: 10, Return: 20},
+			hist: []Event{mk(1, 1, 2), mk(2, 3, 4), del(2, 12, 14)},
+		},
+		"key inserted mid-scan may be yielded": {
+			scan: Scan{Keys: []uint64{1, 2}, Invoke: 10, Return: 20},
+			hist: []Event{mk(1, 1, 2), mk(2, 11, 13)},
+		},
+		"key inserted mid-scan may be missed": {
+			scan: Scan{Keys: []uint64{1}, Invoke: 10, Return: 20},
+			hist: []Event{mk(1, 1, 2), mk(2, 11, 13)},
+		},
+		"insert overlapping scan start may be missed": {
+			// The maker returned after the scan began, so it may have
+			// linearized mid-scan, behind the cursor.
+			scan: Scan{Keys: []uint64{5}, Invoke: 10, Return: 20},
+			hist: []Event{mk(5, 1, 2), mk(3, 9, 11)},
+		},
+		"delete overlapping maker frees the scan to miss it": {
+			// The delete could linearize after the maker even though
+			// their intervals overlap.
+			scan: Scan{Keys: nil, Invoke: 10, Return: 20},
+			hist: []Event{mk(1, 1, 5), del(1, 4, 8)},
+		},
+		"deleted then re-made key must be yielded via revival": {
+			scan: Scan{Keys: []uint64{1}, Invoke: 10, Return: 20},
+			hist: []Event{mk(1, 1, 2), del(1, 3, 4), mk(1, 5, 6)},
+		},
+		"keys below From excluded from completeness": {
+			scan: Scan{Keys: []uint64{7}, From: 6, Invoke: 10, Return: 20},
+			hist: []Event{mk(2, 1, 2), mk(7, 3, 4)},
+		},
+	} {
+		if err := CheckScan(tc.scan, tc.hist); err != nil {
+			t.Errorf("%s: unexpected error: %v", name, err)
+		}
+	}
+}
+
+func TestCheckScanRejects(t *testing.T) {
+	for name, tc := range map[string]struct {
+		scan Scan
+		hist []Event
+		want string
+	}{
+		"order violation ascending": {
+			scan: Scan{Keys: []uint64{2, 1}, Invoke: 10, Return: 20},
+			hist: []Event{mk(1, 1, 2), mk(2, 3, 4)},
+			want: "ascending scan yielded",
+		},
+		"duplicate key": {
+			scan: Scan{Keys: []uint64{1, 1}, Invoke: 10, Return: 20},
+			hist: []Event{mk(1, 1, 2)},
+			want: "ascending scan yielded",
+		},
+		"order violation descending": {
+			scan: Scan{Keys: []uint64{1, 2}, From: 5, Desc: true, Invoke: 10, Return: 20},
+			hist: []Event{mk(1, 1, 2), mk(2, 3, 4)},
+			want: "descending scan yielded",
+		},
+		"out of range": {
+			scan: Scan{Keys: []uint64{1}, From: 6, Invoke: 10, Return: 20},
+			hist: []Event{mk(1, 1, 2)},
+			want: "out-of-range",
+		},
+		"yielded but absent forever": {
+			scan: Scan{Keys: []uint64{9}, Invoke: 10, Return: 20},
+			hist: []Event{mk(1, 1, 2)},
+			want: "no operation ever made present",
+		},
+		"yielded long after its only presence ended": {
+			scan: Scan{Keys: []uint64{1}, Invoke: 10, Return: 20},
+			hist: []Event{mk(1, 1, 2), del(1, 3, 4)},
+			want: "outside any possible presence interval",
+		},
+		"yielded before it could exist": {
+			scan: Scan{Keys: []uint64{1}, Invoke: 10, Return: 20},
+			hist: []Event{mk(1, 25, 26)},
+			want: "outside any possible presence interval",
+		},
+		"missed a stable key": {
+			scan: Scan{Keys: []uint64{1, 3}, Invoke: 10, Return: 20},
+			hist: []Event{mk(1, 1, 2), mk(2, 3, 4), mk(3, 5, 6)},
+			want: "missed key",
+		},
+		"missed a stable key descending": {
+			scan: Scan{Keys: []uint64{3, 1}, From: 5, Desc: true, Invoke: 10, Return: 20},
+			hist: []Event{mk(1, 1, 2), mk(2, 3, 4), mk(3, 5, 6)},
+			want: "missed key",
+		},
+	} {
+		err := CheckScan(tc.scan, tc.hist)
+		if err == nil {
+			t.Errorf("%s: CheckScan accepted a bad scan", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+// TestCheckScanLoadOrStore pins that a storing load-or-store counts as
+// a maker and a loading one does not.
+func TestCheckScanLoadOrStore(t *testing.T) {
+	stored := Event{Type: LoadOrStore, Key: 4, Val: 4, RVal: 4, Ok: false, Invoke: 1, Return: 2}
+	if err := CheckScan(Scan{Keys: []uint64{4}, Invoke: 10, Return: 20}, []Event{stored}); err != nil {
+		t.Errorf("storing load-or-store not treated as maker: %v", err)
+	}
+	loaded := Event{Type: LoadOrStore, Key: 4, Val: 4, RVal: 4, Ok: true, Invoke: 1, Return: 2}
+	if err := CheckScan(Scan{Keys: []uint64{4}, Invoke: 10, Return: 20}, []Event{loaded}); err == nil {
+		t.Error("loading load-or-store treated as maker")
+	}
+}

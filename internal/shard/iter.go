@@ -1,0 +1,346 @@
+package shard
+
+import (
+	"skiptrie/internal/core"
+	"skiptrie/internal/stats"
+)
+
+// Iter is a pull-based cursor over the sharded trie: a loser-tree k-way
+// merge over one core.Iter per shard. Each step is one advance of the
+// winning shard's cursor plus an O(log k) replay of the tournament,
+// instead of the per-boundary neighbor-extrema re-probing the stitched
+// scan used to do.
+//
+// Shard cursors are seeded lazily. A seek excludes shards entirely on
+// the wrong side of the key arithmetically and enters the rest as
+// *pending* leaves whose comparison key is an optimistic bound (the
+// shard's first possible key in scan direction); a pending leaf is
+// materialized — its cursor actually seeked, one O(log log u) descent
+// — only when it wins the tournament. Materializing can only move a
+// leaf's key toward scan order (the bound is extremal), so no key is
+// ever yielded out of order, and a scan that stops after a few keys
+// descends only into the shards it touched, like the old stitched code
+// but through the one merge path. Because shards own disjoint key
+// ranges the merge degenerates to concatenation today, but the tree
+// does not rely on that: it stays correct for overlapping cursors,
+// which is what dynamic resharding (a ROADMAP item) will produce
+// mid-split.
+//
+// The cursor inherits each shard's weak consistency (see core.Iter) and
+// adds the cross-shard window Sharded ordered queries already have:
+// every shard is observed at its own instants, so keys moving between
+// shards mid-scan may be seen in neither or both shards' passes.
+// Yielded keys remain strictly monotone. Reversing direction mid-scan
+// re-seeks (lazily) from the current key. Not safe for concurrent use;
+// create one per scanner.
+type Iter[V any] struct {
+	t    *Trie[V]
+	subs []core.Iter[V] // one cursor per shard, indexed by shard slot
+	// st packs the per-slot tournament state and the loser tree into
+	// one allocation: st[s].key/ok/pend are slot s's cached comparison
+	// key (real when materialized, optimistic bound while pending),
+	// liveness, and materialization flag; st[i].loser is internal tree
+	// node i's stored loser (children 2i and 2i+1, leaves at indices
+	// k..2k-1 standing for slots 0..k-1, i in 1..k-1). The overall
+	// winner lives in cur. k is a power of two, so the tree is perfect,
+	// and replay compares cached words instead of chasing cursor
+	// internals.
+	st  []slot
+	cur int
+	// thr caches the best challenger key on the winner's leaf-to-root
+	// path (valid when hasThr): while the winner's key stays strictly
+	// on the scan side of thr, advancing it cannot change the
+	// tournament, so sequential runs inside one shard skip the tree
+	// replay entirely — one comparison per step.
+	thr      uint64
+	hasThr   bool
+	thrStale bool // a replay/rebuild moved the tree since thr was cached
+
+	from uint64 // seek bound pending slots materialize against
+	dir  int8   // +1 ascending, -1 descending, 0 unpositioned
+	dead bool   // exhausted by stepping past the universe edge
+}
+
+// slot is one shard's tournament state plus one loser-tree node (the
+// two index spaces have the same size, so they share a slice).
+type slot struct {
+	key   uint64
+	loser int32
+	ok    bool
+	pend  bool
+}
+
+// MakeIter returns an unpositioned value cursor over the sharded trie.
+func (t *Trie[V]) MakeIter(c *stats.Op) Iter[V] {
+	k := len(t.shards)
+	it := Iter[V]{
+		t:    t,
+		subs: make([]core.Iter[V], k),
+		st:   make([]slot, k),
+	}
+	for i := range it.subs {
+		it.subs[i] = t.shards[i].MakeIter(c)
+	}
+	return it
+}
+
+// NewIter returns an unpositioned cursor over the sharded trie.
+func (t *Trie[V]) NewIter(c *stats.Op) *Iter[V] {
+	it := t.MakeIter(c)
+	return &it
+}
+
+// Valid reports whether the cursor rests on a key.
+func (m *Iter[V]) Valid() bool {
+	return m.dir != 0 && !m.dead && m.st[m.cur].ok && !m.st[m.cur].pend
+}
+
+// Key returns the key under the cursor. Only meaningful when Valid.
+func (m *Iter[V]) Key() uint64 { return m.st[m.cur].key }
+
+// Value returns the value under the cursor. Only meaningful when Valid.
+func (m *Iter[V]) Value() V { return m.subs[m.cur].Value() }
+
+// Seek positions the cursor on the smallest key >= from across all
+// shards and reports whether such a key exists. Shards below from's
+// home are excluded arithmetically; the rest enter the tournament as
+// pending leaves bounded by their base and are descended into only
+// when the scan reaches them.
+func (m *Iter[V]) Seek(from uint64) bool {
+	m.dir, m.dead, m.from = +1, false, from
+	if !m.t.inUniverse(from) {
+		m.dead = true
+		return false
+	}
+	h := m.t.home(from)
+	for i := range m.subs {
+		if i < h {
+			m.st[i].ok, m.st[i].pend = false, false
+			continue
+		}
+		// Optimistic bound: the smallest key shard i could yield.
+		b := uint64(i) << m.t.subW
+		if b < from {
+			b = from
+		}
+		m.st[i].key, m.st[i].ok, m.st[i].pend = b, true, true
+	}
+	m.cur = m.rebuild(1)
+	m.thrStale = true
+	m.settle()
+	return m.Valid()
+}
+
+// SeekLE positions the cursor on the largest key <= from across all
+// shards, reporting whether such a key exists. A from above the
+// universe clamps to its maximum.
+func (m *Iter[V]) SeekLE(from uint64) bool {
+	m.dir, m.dead, m.from = -1, false, from
+	h := len(m.subs) - 1
+	if m.t.inUniverse(from) {
+		h = m.t.home(from)
+	}
+	for i := range m.subs {
+		if i > h {
+			m.st[i].ok, m.st[i].pend = false, false
+			continue
+		}
+		// Optimistic bound: the largest key shard i could yield.
+		b := m.t.shards[i].MaxKey()
+		if b > from {
+			b = from
+		}
+		m.st[i].key, m.st[i].ok, m.st[i].pend = b, true, true
+	}
+	m.cur = m.rebuild(1)
+	m.thrStale = true
+	m.settle()
+	return m.Valid()
+}
+
+// First positions the cursor on the smallest key.
+func (m *Iter[V]) First() bool { return m.Seek(0) }
+
+// Last positions the cursor on the largest key.
+func (m *Iter[V]) Last() bool { return m.SeekLE(m.t.MaxKey()) }
+
+// Next advances to the next larger key, reporting whether one exists:
+// one step of the winning shard's cursor plus an O(log k) tree replay.
+// On a fresh cursor Next is First; on a descending cursor it reverses
+// direction by re-seeking strictly above the current key.
+func (m *Iter[V]) Next() bool {
+	switch {
+	case m.dir == 0:
+		return m.First()
+	case !m.Valid():
+		return false
+	case m.dir < 0:
+		k := m.Key()
+		if k >= m.t.MaxKey() {
+			m.dead = true
+			return false
+		}
+		return m.Seek(k + 1)
+	}
+	m.step(m.cur)
+	m.settle()
+	return m.Valid()
+}
+
+// Prev retreats to the next smaller key, reporting whether one exists.
+// On a fresh cursor Prev is Last; on an ascending cursor it reverses
+// direction by re-seeking strictly below the current key.
+func (m *Iter[V]) Prev() bool {
+	switch {
+	case m.dir == 0:
+		return m.Last()
+	case !m.Valid():
+		return false
+	case m.dir > 0:
+		k := m.Key()
+		if k == 0 {
+			m.dead = true
+			return false
+		}
+		return m.SeekLE(k - 1)
+	}
+	m.step(m.cur)
+	m.settle()
+	return m.Valid()
+}
+
+// step advances slot w's (materialized) cursor one key in the current
+// direction and refreshes its cached tournament key. While the new key
+// stays strictly on the scan side of the challenger threshold the
+// tournament cannot have changed and the replay is skipped; otherwise
+// (threshold reached, or the cursor exhausted) the tree replays. The
+// caller (Next/Prev) always follows with settle, which recomputes the
+// threshold whenever the tree was touched.
+func (m *Iter[V]) step(w int) {
+	var alive bool
+	if m.dir > 0 {
+		alive = m.subs[w].Next()
+	} else {
+		alive = m.subs[w].Prev()
+	}
+	m.st[w].ok = alive
+	if alive {
+		k := m.subs[w].Key()
+		m.st[w].key = k
+		if !m.hasThr || (m.dir > 0 && k < m.thr) || (m.dir < 0 && k > m.thr) {
+			return
+		}
+	}
+	m.replay(w)
+}
+
+// settle materializes pending winners until the tournament is won by a
+// real key (or every slot is exhausted): the winning pending slot's
+// cursor is seeked against the scan bound, its cached key switches
+// from the optimistic bound to the real position, and the tournament
+// replays. The bound is extremal for its shard, so materializing only
+// moves the leaf's key in scan direction — order is preserved.
+func (m *Iter[V]) settle() {
+	for m.st[m.cur].ok && m.st[m.cur].pend {
+		w := m.cur
+		m.st[w].pend = false
+		var alive bool
+		if m.dir > 0 {
+			alive = m.subs[w].Seek(m.from)
+		} else {
+			alive = m.subs[w].SeekLE(m.from)
+		}
+		m.st[w].ok = alive
+		if alive {
+			m.st[w].key = m.subs[w].Key()
+		}
+		m.replay(w)
+	}
+	if m.thrStale {
+		m.computeThr()
+		m.thrStale = false
+	}
+}
+
+// computeThr walks the current winner's leaf-to-root path and caches
+// the best live challenger key (pending bounds included — the winner
+// crossing a pending bound must trigger a replay so the shard behind
+// it materializes). Every positioning path ends in settle, which
+// refreshes the cache iff a replay or rebuild moved the tree — a step
+// that took the fast path leaves both the tree and the threshold
+// untouched, so sequential runs really do cost one comparison per
+// step.
+func (m *Iter[V]) computeThr() {
+	k := len(m.subs)
+	m.hasThr = false
+	for i := (m.cur + k) / 2; i >= 1; i /= 2 {
+		l := int(m.st[i].loser)
+		if !m.st[l].ok {
+			continue
+		}
+		lk := m.st[l].key
+		if !m.hasThr || (m.dir > 0 && lk < m.thr) || (m.dir < 0 && lk > m.thr) {
+			m.thr, m.hasThr = lk, true
+		}
+	}
+}
+
+// beats reports whether slot a wins over slot b in the current
+// direction: a live slot beats an exhausted one; between two live
+// slots the smaller key wins ascending, the larger descending; ties
+// (possible only between a pending bound and a real key, since shards
+// are disjoint) break toward the lower slot ascending and the higher
+// slot descending, keeping the winner in scan order.
+func (m *Iter[V]) beats(a, b int) bool {
+	sa, sb := &m.st[a], &m.st[b]
+	if !sa.ok || !sb.ok {
+		if sa.ok != sb.ok {
+			return sa.ok
+		}
+		return a < b
+	}
+	if sa.key != sb.key {
+		if m.dir < 0 {
+			return sa.key > sb.key
+		}
+		return sa.key < sb.key
+	}
+	if m.dir < 0 {
+		return a > b
+	}
+	return a < b
+}
+
+// rebuild plays the whole tournament below internal node i, storing
+// each match's loser at the node and returning its winner. Called with
+// i = 1 after a seek; leaves (i >= k) stand for shard slots.
+func (m *Iter[V]) rebuild(i int) int {
+	k := len(m.subs)
+	if i >= k {
+		return i - k
+	}
+	lw := m.rebuild(2 * i)
+	rw := m.rebuild(2*i + 1)
+	if m.beats(lw, rw) {
+		m.st[i].loser = int32(rw)
+		return lw
+	}
+	m.st[i].loser = int32(lw)
+	return rw
+}
+
+// replay re-runs the tournament after slot w's key changed: walking
+// leaf-to-root, the rising candidate plays only the stored loser at
+// each level — one comparison per level, the loser-tree advantage over
+// a winner tree's two.
+func (m *Iter[V]) replay(w int) {
+	k := len(m.subs)
+	for i := (w + k) / 2; i >= 1; i /= 2 {
+		if l := int(m.st[i].loser); m.beats(l, w) {
+			m.st[i].loser = int32(w)
+			w = l
+		}
+	}
+	m.cur = w
+	m.thrStale = true
+}

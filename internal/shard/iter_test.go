@@ -1,0 +1,179 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// iterTrie builds a 16-bit, 8-shard trie (sub-universe width 13).
+func iterTrie(t *testing.T, keys []uint64) *Trie[uint64] {
+	t.Helper()
+	tr := New[uint64](Config{Width: 16, Shards: 8, Seed: 21})
+	for _, k := range keys {
+		if !tr.Insert(k, k+1, nil) {
+			t.Fatalf("Insert(%#x) failed", k)
+		}
+	}
+	return tr
+}
+
+func TestMergeIterAcrossShards(t *testing.T) {
+	// Keys spread over shards 0, 2, 5, 7 — shards 1, 3, 4, 6 empty in
+	// the middle of the merge.
+	keys := []uint64{0x0001, 0x0ABC, 0x4001, 0x5FFF, 0xA000, 0xBFFF, 0xE000, 0xFFFF}
+	tr := iterTrie(t, keys)
+	it := tr.NewIter(nil)
+
+	var fwd []uint64
+	for ok := it.First(); ok; ok = it.Next() {
+		fwd = append(fwd, it.Key())
+		if it.Value() != it.Key()+1 {
+			t.Fatalf("value at %#x = %d", it.Key(), it.Value())
+		}
+	}
+	if len(fwd) != len(keys) {
+		t.Fatalf("forward merge = %#x, want %#x", fwd, keys)
+	}
+	for i := range keys {
+		if fwd[i] != keys[i] {
+			t.Fatalf("forward merge = %#x, want %#x", fwd, keys)
+		}
+	}
+
+	var back []uint64
+	for ok := it.Last(); ok; ok = it.Prev() {
+		back = append(back, it.Key())
+	}
+	for i := range keys {
+		if back[len(keys)-1-i] != keys[i] {
+			t.Fatalf("backward merge = %#x", back)
+		}
+	}
+}
+
+func TestMergeIterSeekBoundaries(t *testing.T) {
+	// Exact shard-boundary keys: each shard owns 0x2000 keys.
+	keys := []uint64{0x1FFF, 0x2000, 0x3FFF, 0x4000, 0xDFFF, 0xE000}
+	tr := iterTrie(t, keys)
+	it := tr.NewIter(nil)
+	for _, tc := range []struct {
+		seek uint64
+		want uint64
+		ok   bool
+	}{
+		{0, 0x1FFF, true},
+		{0x1FFF, 0x1FFF, true},
+		{0x2000, 0x2000, true},
+		{0x2001, 0x3FFF, true},
+		{0xE001, 0, false},
+	} {
+		ok := it.Seek(tc.seek)
+		if ok != tc.ok {
+			t.Fatalf("Seek(%#x) = %v, want %v", tc.seek, ok, tc.ok)
+		}
+		if ok && it.Key() != tc.want {
+			t.Fatalf("Seek(%#x) landed on %#x, want %#x", tc.seek, it.Key(), tc.want)
+		}
+	}
+	for _, tc := range []struct {
+		seek uint64
+		want uint64
+		ok   bool
+	}{
+		{0xFFFF, 0xE000, true},
+		{0xE000, 0xE000, true},
+		{0xDFFE, 0x4000, true},
+		{0x1FFE, 0, false},
+	} {
+		ok := it.SeekLE(tc.seek)
+		if ok != tc.ok {
+			t.Fatalf("SeekLE(%#x) = %v, want %v", tc.seek, ok, tc.ok)
+		}
+		if ok && it.Key() != tc.want {
+			t.Fatalf("SeekLE(%#x) landed on %#x, want %#x", tc.seek, it.Key(), tc.want)
+		}
+	}
+}
+
+func TestMergeIterDirectionReversal(t *testing.T) {
+	keys := []uint64{0x1FFF, 0x2000, 0x8000, 0xE000}
+	tr := iterTrie(t, keys)
+	it := tr.NewIter(nil)
+	// Ascend across the first shard boundary, reverse back over it,
+	// run off the bottom, re-seek, and reverse again near the top.
+	if !it.Seek(0) || it.Key() != 0x1FFF {
+		t.Fatal("Seek(0)")
+	}
+	if !it.Next() || it.Key() != 0x2000 {
+		t.Fatal("Next to 0x2000")
+	}
+	if !it.Prev() || it.Key() != 0x1FFF {
+		t.Fatal("Prev back across the boundary")
+	}
+	if it.Prev() {
+		t.Fatalf("Prev below the smallest key yielded %#x", it.Key())
+	}
+	if it.Valid() || it.Next() {
+		t.Fatal("exhausted cursor moved without a re-seek")
+	}
+	if !it.Seek(0x8000) || it.Key() != 0x8000 {
+		t.Fatal("re-seek after exhaustion")
+	}
+	if !it.Next() || it.Key() != 0xE000 {
+		t.Fatal("Next to 0xE000")
+	}
+	if it.Next() {
+		t.Fatal("Next above the largest key")
+	}
+	// Reversal off the top edge: SeekLE then forward.
+	if !it.SeekLE(0xFFFF) || it.Key() != 0xE000 {
+		t.Fatal("SeekLE(0xFFFF)")
+	}
+	if !it.Prev() || it.Key() != 0x8000 {
+		t.Fatal("Prev to 0x8000")
+	}
+	if !it.Next() || it.Key() != 0xE000 {
+		t.Fatal("Next after reversal to 0xE000")
+	}
+}
+
+func TestMergeIterEmpty(t *testing.T) {
+	tr := New[uint64](Config{Width: 16, Shards: 8, Seed: 3})
+	it := tr.NewIter(nil)
+	if it.First() || it.Last() || it.Next() || it.Prev() || it.Valid() {
+		t.Fatal("cursor over an empty trie claims a key")
+	}
+	if it.Seek(0x8000) || it.SeekLE(0x8000) {
+		t.Fatal("seek over an empty trie claims a key")
+	}
+}
+
+// TestMergeIterVsPerShard cross-checks the merge against concatenating
+// each shard's own cursor output, on a random quiesced population.
+func TestMergeIterVsPerShard(t *testing.T) {
+	tr := New[uint64](Config{Width: 16, Shards: 16, Seed: 9})
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 5000; i++ {
+		tr.Insert(uint64(rng.Intn(1<<16)), uint64(i), nil)
+		if i%4 == 0 {
+			tr.Delete(uint64(rng.Intn(1<<16)), nil)
+		}
+	}
+	var want []uint64
+	for _, s := range tr.shards {
+		s.Range(0, func(k uint64, _ uint64) bool { want = append(want, k); return true }, nil)
+	}
+	var got []uint64
+	it := tr.NewIter(nil)
+	for ok := it.First(); ok; ok = it.Next() {
+		got = append(got, it.Key())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merge yielded %d keys, per-shard %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("divergence at %d: merge %#x, per-shard %#x", i, got[i], want[i])
+		}
+	}
+}

@@ -306,38 +306,28 @@ func (t *Trie[V]) Max(c *stats.Op) (uint64, V, bool) {
 }
 
 // Range calls fn for keys >= from in ascending order until fn returns
-// false, walking shards in index order; each shard clamps from to its
-// own base. Iteration is weakly consistent, per shard, exactly as in
-// core.SkipTrie.Range.
+// false, running the k-way merge iterator over all shards (see Iter):
+// one seeding pass positions every shard's cursor, then each step
+// advances the winning cursor. Iteration is weakly consistent, per
+// shard, exactly as in core.SkipTrie.Range.
 func (t *Trie[V]) Range(from uint64, fn func(key uint64, val V) bool, c *stats.Op) {
-	if !t.inUniverse(from) {
-		return
-	}
-	alive := true
-	wrapped := func(k uint64, v V) bool {
-		alive = fn(k, v)
-		return alive
-	}
-	for i := t.home(from); i < len(t.shards) && alive; i++ {
-		t.shards[i].Range(from, wrapped, c)
+	it := t.MakeIter(c)
+	for ok := it.Seek(from); ok; ok = it.Next() {
+		if !fn(it.Key(), it.Value()) {
+			return
+		}
 	}
 }
 
 // Descend calls fn for keys <= from in descending order until fn
-// returns false, walking shards in reverse index order; each shard
-// clamps from to its own maximum.
+// returns false, running the k-way merge iterator in reverse; each
+// shard clamps from to its own maximum.
 func (t *Trie[V]) Descend(from uint64, fn func(key uint64, val V) bool, c *stats.Op) {
-	h := len(t.shards) - 1
-	if t.inUniverse(from) {
-		h = t.home(from)
-	}
-	alive := true
-	wrapped := func(k uint64, v V) bool {
-		alive = fn(k, v)
-		return alive
-	}
-	for ; h >= 0 && alive; h-- {
-		t.shards[h].Descend(from, wrapped, c)
+	it := t.MakeIter(c)
+	for ok := it.SeekLE(from); ok; ok = it.Prev() {
+		if !fn(it.Key(), it.Value()) {
+			return
+		}
 	}
 }
 

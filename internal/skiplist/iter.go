@@ -1,0 +1,141 @@
+package skiplist
+
+import "skiptrie/internal/stats"
+
+// Iter is a pull-based cursor over the bottom (level-0) list: the single
+// traversal primitive every ordered scan in the repository is built on.
+// Seeks descend the skiplist exactly like point queries (and accept a
+// top-level anchor so callers can start them from the x-fast trie);
+// forward steps follow level-0 succ pointers, skipping logically deleted
+// nodes; backward steps re-run a predecessor descent, since the bottom
+// list is singly linked.
+//
+// # Consistency
+//
+// The cursor is weakly consistent, the same contract Range has always
+// had: it holds no snapshot and observes each node at the instant it
+// steps onto it. Concretely:
+//
+//   - Every key it yields was present (unmarked) at the moment the
+//     cursor positioned on it.
+//   - Yielded keys are strictly monotone: next pointers only ever move
+//     forward, so no key is yielded twice and order never reverses.
+//   - A key deleted mid-scan may or may not be yielded, depending on
+//     whether the cursor passed it first.
+//   - A key inserted mid-scan ahead of the cursor may or may not be
+//     yielded; one inserted behind is never seen.
+//
+// The cursor survives deletion of the node it rests on: a marked node's
+// succ word is frozen at mark time (unlinking rewrites the predecessor,
+// never the marked node), so stepping forward from a deleted — even
+// fully unlinked — node follows its frozen successor chain back into
+// the live list, and every node on that chain carried a strictly larger
+// key when the pointer was written. Backward steps ignore the resting
+// node's liveness entirely: they re-search by key. Nodes are reclaimed
+// by the garbage collector only once unreachable, so a parked cursor
+// can never observe reused memory.
+type Iter[V any] struct {
+	l   *List[V]
+	cur *Node // level-0 data node; nil when unpositioned or exhausted
+}
+
+// MakeIter returns an unpositioned cursor. Position it with SeekGE,
+// SeekLE or SeekLast before reading.
+func (l *List[V]) MakeIter() Iter[V] { return Iter[V]{l: l} }
+
+// Valid reports whether the cursor rests on a key.
+func (it *Iter[V]) Valid() bool { return it.cur != nil }
+
+// Reset returns the cursor to the unpositioned state.
+func (it *Iter[V]) Reset() { it.cur = nil }
+
+// Key returns the key under the cursor. Only meaningful when Valid.
+func (it *Iter[V]) Key() uint64 {
+	return it.cur.key
+}
+
+// Value returns the value under the cursor. Only meaningful when Valid.
+func (it *Iter[V]) Value() V {
+	return it.l.ValueOf(it.cur)
+}
+
+// Node returns the level-0 node under the cursor, for callers (and
+// tests) that need the raw topology.
+func (it *Iter[V]) Node() *Node { return it.cur }
+
+// SeekGE positions the cursor on the smallest key >= key, descending
+// from start (a top-level anchor at or before key, or nil for the
+// head), and reports whether such a key exists.
+func (it *Iter[V]) SeekGE(key uint64, start *Node, c *stats.Op) bool {
+	br := it.l.PredecessorBracket(key, start, c)
+	return it.settle(br.Right, c)
+}
+
+// SeekLE positions the cursor on the largest key <= key, descending
+// from start, and reports whether such a key exists.
+func (it *Iter[V]) SeekLE(key uint64, start *Node, c *stats.Op) bool {
+	br := it.l.PredecessorBracket(key, start, c)
+	if br.Right.at(target{key: key}) {
+		it.cur = br.Right
+		return true
+	}
+	return it.settleBack(br.Left)
+}
+
+// SeekLast positions the cursor on the largest key in the list.
+func (it *Iter[V]) SeekLast(start *Node, c *stats.Op) bool {
+	br := it.l.LastBracket(start, c)
+	return it.settleBack(br.Left)
+}
+
+// Next advances to the next larger key, reporting whether one exists.
+// The cursor must be positioned; after Next returns false it is
+// exhausted and only a Seek repositions it.
+func (it *Iter[V]) Next(c *stats.Op) bool {
+	if it.cur == nil {
+		return false
+	}
+	s, _ := it.cur.succ.Load()
+	return it.settle(s.Next, c)
+}
+
+// Prev retreats to the next smaller key via a predecessor descent from
+// start (a top-level anchor strictly before the current key, or nil),
+// reporting whether one exists. It searches by key, so it works even if
+// the resting node has been deleted.
+func (it *Iter[V]) Prev(start *Node, c *stats.Op) bool {
+	if it.cur == nil {
+		return false
+	}
+	br := it.l.PredecessorBracket(it.cur.key, start, c)
+	return it.settleBack(br.Left)
+}
+
+// settle walks forward from n to the first unmarked data node and rests
+// there; hitting the tail exhausts the cursor.
+func (it *Iter[V]) settle(n *Node, c *stats.Op) bool {
+	for {
+		if n.kind == kindTail {
+			it.cur = nil
+			return false
+		}
+		s, _ := n.succ.Load()
+		if !s.Marked {
+			it.cur = n
+			return true
+		}
+		c.Hop()
+		n = s.Next
+	}
+}
+
+// settleBack rests on n when it is a data node (a bracket's Left is
+// unmarked at witness time); the head sentinel exhausts the cursor.
+func (it *Iter[V]) settleBack(n *Node) bool {
+	if n.kind != kindData {
+		it.cur = nil
+		return false
+	}
+	it.cur = n
+	return true
+}

@@ -113,7 +113,11 @@ func TestKeysSingleAlloc(t *testing.T) {
 	}); avg > 1 {
 		t.Fatalf("Keys allocates %.2f objects/run, want 1", avg)
 	}
-	// The sharded snapshot gets the same guarantee.
+	// The sharded snapshot keeps the same shape guarantee — the keys
+	// slice is the only thing sized by key count — plus exactly two
+	// fixed allocations for the k-way merge cursor (its per-shard cursor
+	// slice and loser tree), which are O(1) per snapshot regardless of
+	// how many keys it copies.
 	sh := NewSharded[struct{}](WithWidth(32), WithShards(4))
 	for i := uint64(0); i < 1024; i++ {
 		sh.Store(i*4_194_301, struct{}{})
@@ -123,8 +127,8 @@ func TestKeysSingleAlloc(t *testing.T) {
 		if got := sh.Keys(); len(got) != n {
 			t.Fatalf("Sharded.Keys returned %d keys, want %d", len(got), n)
 		}
-	}); avg > 1 {
-		t.Fatalf("Sharded.Keys allocates %.2f objects/run, want 1", avg)
+	}); avg > 3 {
+		t.Fatalf("Sharded.Keys allocates %.2f objects/run, want <= 3 (keys slice + 2 fixed merge-cursor allocations)", avg)
 	}
 }
 
@@ -137,7 +141,7 @@ func TestMapConcurrentStoreDeleteLoadOrStore(t *testing.T) {
 	mk := func(x uint64) wide { return wide{x, x ^ 0xABCD, x * 3, x + 7} }
 	valid := func(w wide) bool { return w == mk(w[0]) }
 
-	m := NewMap[wide](WithWidth(16))
+	m := NewMap[wide](tortureOpts(WithWidth(16))...)
 	const (
 		workers = 8
 		keys    = 16

@@ -261,7 +261,7 @@ func TestOpKindString(t *testing.T) {
 }
 
 func TestConcurrentPublicAPI(t *testing.T) {
-	st := New(WithWidth(32), WithSeed(7))
+	st := New(tortureOpts(WithWidth(32), WithSeed(7))...)
 	var wg sync.WaitGroup
 	const workers = 8
 	const perG = 1000

@@ -1,0 +1,15 @@
+package skiptrie
+
+import "skiptrie/internal/testenv"
+
+// tortureOpts appends the environment-selected degraded-mode options to
+// a concurrency test's construction options: with SKIPTRIE_TEST_NODCSS
+// set (CI's DisableDCSS race stage) every torture test that builds
+// through this helper re-runs in the CAS-fallback mode, auditing the
+// guard-free path for windows analogous to the PR 2 stale-prefix races.
+func tortureOpts(opts ...Option) []Option {
+	if testenv.DisableDCSS() {
+		opts = append(opts, WithoutDCSS())
+	}
+	return opts
+}
