@@ -170,3 +170,60 @@ func TestBaseConfigPanics(t *testing.T) {
 	mustPanic("base with default (64) width", Config{Base: 1 << 60})
 	mustPanic("base+2^w overflows", Config{Width: 8, Base: ^uint64(0) - 100})
 }
+
+// TestBaseHalfUniverseHandoff pins the sub-universe handoff shape a
+// shard split performs: a parent trie over [base, base+2^w) drained
+// through its cursor into two half-universe children over
+// [base, base+2^(w-1)) and [base+2^(w-1), base+2^w), which together
+// must answer every point and ordered query exactly as the parent did.
+func TestBaseHalfUniverseHandoff(t *testing.T) {
+	const (
+		w    = uint8(10)
+		base = uint64(0x2400)
+	)
+	parent := New[uint64](Config{Width: w, Base: base, Seed: 4})
+	for i := uint64(0); i < 600; i++ {
+		parent.Store(base+(i*37)%(1<<w), i, nil)
+	}
+	mid := base + 1<<(w-1)
+	left := New[uint64](Config{Width: w - 1, Base: base, Seed: 5})
+	right := New[uint64](Config{Width: w - 1, Base: mid, Seed: 6})
+	it := parent.MakeIter(nil)
+	for ok := it.First(); ok; ok = it.Next() {
+		dst := left
+		if it.Key() >= mid {
+			dst = right
+		}
+		if !dst.Store(it.Key(), it.Value(), nil) {
+			t.Fatalf("handoff Store(%#x) found the key already present", it.Key())
+		}
+	}
+	if left.Len()+right.Len() != parent.Len() {
+		t.Fatalf("children hold %d+%d keys, parent %d", left.Len(), right.Len(), parent.Len())
+	}
+	if err := left.Validate(); err != nil {
+		t.Fatalf("left child: %v", err)
+	}
+	if err := right.Validate(); err != nil {
+		t.Fatalf("right child: %v", err)
+	}
+	for x := base; x <= parent.MaxKey(); x++ {
+		pv, pok := parent.Find(x, nil)
+		child := left
+		if x >= mid {
+			child = right
+		}
+		cv, cok := child.Find(x, nil)
+		if pok != cok || pv != cv {
+			t.Fatalf("Find(%#x): parent %d,%v child %d,%v", x, pv, pok, cv, cok)
+		}
+		pk, _, pfound := parent.Predecessor(x, nil)
+		ck, _, cfound := left.Predecessor(x, nil)
+		if k2, _, ok2 := right.Predecessor(x, nil); ok2 {
+			ck, cfound = k2, true
+		}
+		if pfound != cfound || (pfound && pk != ck) {
+			t.Fatalf("Predecessor(%#x): parent %#x,%v stitched %#x,%v", x, pk, pfound, ck, cfound)
+		}
+	}
+}

@@ -128,6 +128,7 @@ func TestExperimentsProduceRows(t *testing.T) {
 		{"T7", T7DCSSvsCAS},
 		{"T8", T8PrevRepair},
 		{"S1", S1ShardedScaling},
+		{"S2", S2HotRangeResharding},
 	} {
 		res := tc.run(sc)
 		if len(res.Rows) == 0 {
@@ -147,5 +148,27 @@ func TestT7ReportsValidation(t *testing.T) {
 		if row[len(row)-1] != "ok" {
 			t.Fatalf("T7 validation failed: %v", row)
 		}
+	}
+}
+
+// TestS2AutoReshardReducesSkew is the S2 acceptance: on the hot-range
+// workload the auto-resharded cell must end with a finer partition and
+// strictly lower max/mean shard-length skew than the static cell. The
+// cell duration is stretched beyond tinyScale so the balancer gets a
+// meaningful number of sampling intervals even on a slow runner.
+func TestS2AutoReshardReducesSkew(t *testing.T) {
+	sc := tinyScale()
+	sc.Duration = 300 * time.Millisecond
+	threads := 2
+	_, staticShards, staticSkew, _, _ := s2Cell(sc, threads, false)
+	_, autoShards, autoSkew, splits, _ := s2Cell(sc, threads, true)
+	if splits == 0 || autoShards <= staticShards {
+		t.Fatalf("auto cell never split: %d shards (static %d), %d splits", autoShards, staticShards, splits)
+	}
+	if autoSkew >= staticSkew {
+		t.Fatalf("auto skew %.2f not below static skew %.2f", autoSkew, staticSkew)
+	}
+	if staticSkew < 1.5 {
+		t.Fatalf("static cell skew %.2f too low — the hot range never concentrated; workload broken?", staticSkew)
 	}
 }

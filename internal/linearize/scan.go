@@ -8,6 +8,13 @@ import "fmt"
 type Scan struct {
 	// Keys are the yielded keys in yield order.
 	Keys []uint64
+	// Vals optionally records the value yielded with each key, parallel
+	// to Keys. When non-nil, CheckScan additionally enforces rule 4
+	// (value plausibility): each yielded value must come from a write
+	// that could still be the key's latest write at some instant inside
+	// the window. Leave nil for set-form histories, whose events carry
+	// no values.
+	Vals []uint64
 	// From is the scan's start bound: ascending scans yield keys >=
 	// From, descending scans keys <= From.
 	From uint64
@@ -23,12 +30,14 @@ type Scan struct {
 //  1. Order: yielded keys are strictly monotone in the scan's
 //     direction and on the correct side of From. (This also rules out
 //     duplicates.)
+//
 //  2. Liveness: every yielded key was plausibly present at some
 //     instant inside [Invoke, Return] — there is a presence-creating
 //     operation (effectual insert, store, storing load-or-store) whose
 //     possible-presence interval intersects the window. A yielded key
 //     with no presence-creating operation anywhere in the history is
 //     the "yielded but absent forever" corruption.
+//
 //  3. Completeness: a key that was definitely present for the entire
 //     window — made present by an operation that returned before the
 //     scan began, with no successful delete that could conceivably
@@ -36,12 +45,23 @@ type Scan struct {
 //     that lies in the scanned range must have been yielded. Weak
 //     consistency permits missing churning keys, never stable ones.
 //
+//  4. Value plausibility (only when s.Vals is recorded): the value
+//     yielded with each key must come from some write of that exact
+//     value to that key that could still be the key's latest write at
+//     an instant inside the window — the write could have linearized
+//     before the scan ended, and it is not certainly superseded before
+//     the scan began by a strictly later write or delete. A value no
+//     operation ever wrote, or one provably overwritten before the
+//     window opened, is the "yielded a value from another epoch"
+//     corruption a torn migration or resurrected node would produce.
+//
 // The liveness and completeness rules are deliberately conservative in
 // opposite directions (liveness accepts anything schedulable,
-// completeness demands only what every schedule guarantees), so a
-// failure of either is a real bug, not checker pessimism. The checker
-// is linear in history size per key, unlike Check's exponential
-// search, so it handles arbitrarily long torture histories.
+// completeness demands only what every schedule guarantees), and the
+// value rule accepts any schedulable write, so a failure of any rule is
+// a real bug, not checker pessimism. The checker is linear in history
+// size per key, unlike Check's exponential search, so it handles
+// arbitrarily long torture histories.
 //
 // The completeness rule assumes the scan ran to exhaustion; for a scan
 // its consumer truncated, record only rules 1 and 2 apply (set no
@@ -76,6 +96,19 @@ func CheckScan(s Scan, history []Event) error {
 		}
 		if !plausiblyLive(s, mk, deletes[k]) {
 			return fmt.Errorf("linearize: scan [%d,%d] yielded key %#x outside any possible presence interval", s.Invoke, s.Return, k)
+		}
+	}
+
+	// 4. Value plausibility of every yielded pair.
+	if s.Vals != nil {
+		if len(s.Vals) != len(s.Keys) {
+			return fmt.Errorf("linearize: scan recorded %d values for %d keys", len(s.Vals), len(s.Keys))
+		}
+		for i, k := range s.Keys {
+			if !valuePlausible(s, s.Vals[i], makers[k], deletes[k]) {
+				return fmt.Errorf("linearize: scan [%d,%d] yielded key %#x with value %#x, which no schedulable write could have left there",
+					s.Invoke, s.Return, k, s.Vals[i])
+			}
 		}
 	}
 
@@ -145,6 +178,47 @@ func plausiblyLive(s Scan, makers, dels []Event) bool {
 			}
 		}
 		if end < 0 || end >= s.Invoke {
+			return true
+		}
+	}
+	return false
+}
+
+// valuePlausible reports whether some maker event writing exactly val
+// admits a schedule in which it is still the key's latest write at an
+// instant inside the scan window. Such a maker e must have been able to
+// linearize before the scan ended (e.Invoke <= s.Return), and must not
+// be certainly superseded before the window: a superseder is any other
+// write to the key or successful delete of it that strictly follows e
+// in real time (Invoke > e.Return) and certainly completes before the
+// window opens (Return < s.Invoke) — in every schedule it linearizes
+// after e and before the scan, so e's value cannot be current anywhere
+// inside the window. (A superseder that re-wrote the same value is its
+// own candidate maker.) This accepts any schedulable write, so a
+// failure is a definite violation, not checker pessimism.
+func valuePlausible(s Scan, val uint64, makers, dels []Event) bool {
+	// A maker e is certainly superseded iff some write/delete o has
+	// o.Invoke > e.Return and o.Return < s.Invoke. Only o's invocation
+	// matters per candidate, so one pass computing the latest
+	// invocation among events that certainly completed before the
+	// window reduces the test to a comparison per maker — keeping the
+	// checker linear per key, as documented.
+	bound := int64(-1) // max o.Invoke over events with o.Return < s.Invoke
+	for _, o := range makers {
+		if o.Return < s.Invoke && o.Invoke > bound {
+			bound = o.Invoke
+		}
+	}
+	for _, d := range dels {
+		if d.Return < s.Invoke && d.Invoke > bound {
+			bound = d.Invoke
+		}
+	}
+	for _, e := range makers {
+		if e.Val != val || e.Invoke > s.Return {
+			continue
+		}
+		if bound <= e.Return { // no superseder strictly follows e
 			return true
 		}
 	}

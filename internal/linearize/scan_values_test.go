@@ -1,0 +1,126 @@
+package linearize
+
+import (
+	"strings"
+	"testing"
+)
+
+// sev builds a value-carrying event with explicit timestamps.
+func sev(t OpType, key, val uint64, ok bool, invoke, ret int64) Event {
+	return Event{Type: t, Key: key, Val: val, Ok: ok, Invoke: invoke, Return: ret}
+}
+
+func TestScanValuePlausibility(t *testing.T) {
+	cases := []struct {
+		name    string
+		history []Event
+		scan    Scan
+		wantErr string // substring, "" = pass
+	}{
+		{
+			name:    "value matches the only write",
+			history: []Event{sev(Store, 5, 100, true, 1, 2)},
+			scan:    Scan{Keys: []uint64{5}, Vals: []uint64{100}, Invoke: 3, Return: 4},
+		},
+		{
+			name:    "value never written anywhere",
+			history: []Event{sev(Store, 5, 100, true, 1, 2)},
+			scan:    Scan{Keys: []uint64{5}, Vals: []uint64{101}, Invoke: 3, Return: 4},
+			wantErr: "no schedulable write",
+		},
+		{
+			name: "stale value certainly overwritten before the window",
+			history: []Event{
+				sev(Store, 5, 100, true, 1, 2),
+				sev(Store, 5, 200, true, 3, 4),
+			},
+			scan:    Scan{Keys: []uint64{5}, Vals: []uint64{100}, Invoke: 5, Return: 6},
+			wantErr: "no schedulable write",
+		},
+		{
+			name: "old value acceptable when the overwrite overlaps the window",
+			history: []Event{
+				sev(Store, 5, 100, true, 1, 2),
+				sev(Store, 5, 200, true, 3, 6), // still in flight when the scan starts
+			},
+			scan: Scan{Keys: []uint64{5}, Vals: []uint64{100}, Invoke: 4, Return: 5},
+		},
+		{
+			name: "old value acceptable when the overwrite races the first write",
+			history: []Event{
+				sev(Store, 5, 100, true, 1, 4),
+				sev(Store, 5, 200, true, 2, 3), // concurrent with the first: either order
+			},
+			scan: Scan{Keys: []uint64{5}, Vals: []uint64{100}, Invoke: 5, Return: 6},
+		},
+		{
+			name: "value re-written by a second writer stays plausible",
+			history: []Event{
+				sev(Store, 5, 100, true, 1, 2),
+				sev(Store, 5, 200, true, 3, 4),
+				sev(Store, 5, 100, true, 5, 6), // same value again, fresh epoch
+			},
+			scan: Scan{Keys: []uint64{5}, Vals: []uint64{100}, Invoke: 7, Return: 8},
+		},
+		{
+			name: "stale value resurrected across a delete",
+			history: []Event{
+				sev(Store, 5, 100, true, 1, 2),
+				sev(Delete, 5, 0, true, 3, 4),
+				sev(Store, 5, 200, true, 5, 6),
+			},
+			scan:    Scan{Keys: []uint64{5}, Vals: []uint64{100}, Invoke: 7, Return: 8},
+			wantErr: "no schedulable write",
+		},
+		{
+			name: "write starting after the scan cannot be the source",
+			history: []Event{
+				sev(Store, 5, 100, true, 1, 2),
+				sev(Store, 5, 200, true, 7, 8),
+			},
+			scan:    Scan{Keys: []uint64{5}, Vals: []uint64{200}, Invoke: 3, Return: 4},
+			wantErr: "no schedulable write",
+		},
+		{
+			name: "storing load-or-store is a value source",
+			history: []Event{
+				sev(LoadOrStore, 5, 300, false, 1, 2), // Ok=false: stored
+			},
+			scan: Scan{Keys: []uint64{5}, Vals: []uint64{300}, Invoke: 3, Return: 4},
+		},
+		{
+			name: "loading load-or-store is not a value source",
+			history: []Event{
+				sev(Store, 5, 100, true, 1, 2),
+				sev(LoadOrStore, 5, 300, true, 3, 4), // Ok=true: loaded, wrote nothing
+			},
+			scan:    Scan{Keys: []uint64{5}, Vals: []uint64{300}, Invoke: 5, Return: 6},
+			wantErr: "no schedulable write",
+		},
+		{
+			name:    "vals length mismatch",
+			history: []Event{sev(Store, 5, 100, true, 1, 2)},
+			scan:    Scan{Keys: []uint64{5}, Vals: []uint64{100, 100}, Invoke: 3, Return: 4},
+			wantErr: "values for",
+		},
+		{
+			name:    "nil vals skips the rule",
+			history: []Event{sev(Store, 5, 100, true, 1, 2)},
+			scan:    Scan{Keys: []uint64{5}, Invoke: 3, Return: 4},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckScan(tc.scan, tc.history)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("CheckScan: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("CheckScan = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,333 @@
+// Package reshard drives online shard splits and merges from observed
+// load: a background balancer samples each shard's operation counters
+// and resident-key counts on a fixed interval, computes the partition's
+// skew, and — when one shard absorbs a disproportionate share of the
+// write traffic or the resident keys — splits it into two
+// half-universe children, or merges two cold buddy shards back
+// together. This is the distribution-adaptivity answer to hot-range
+// workloads (a Zipf or time-ordered key stream parked in one prefix
+// region), which defeat any static prefix partition by serializing in
+// one shard.
+//
+// The balancer is deliberately separated from the shard structure: it
+// talks to a small Target interface, so the decision logic is testable
+// against a fake and the shard layer carries no policy. ForTrie adapts
+// a *shard.Trie. All decisions are relative — a shard is hot when its
+// share of the sampled delta exceeds a multiple of the fair share
+// 1/n — so the policy needs no absolute throughput calibration.
+package reshard
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SkewOf returns the max/mean residency skew of a partition's shard
+// lengths — the balance gauge the balancer samples, the metrics layer
+// reports, and the S2 experiment compares (1.0 = perfectly even; 0 for
+// an empty or shardless partition).
+func SkewOf(lens []int) float64 {
+	total, maxLen := 0, 0
+	for _, n := range lens {
+		total += n
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(maxLen) * float64(len(lens)) / float64(total)
+}
+
+// ShardStat is one shard's sample: its range identity and cumulative
+// load counters.
+type ShardStat struct {
+	Lo   uint64 // smallest owned key (with Bits, identifies the shard)
+	Bits uint8  // prefix length
+	Len  int    // resident keys
+	Ops  uint64 // cumulative ops routed to the shard since its creation
+}
+
+// Target is the surface the balancer drives. Split and Merge act on
+// the shard containing the given key and may fail (depth limits, buddy
+// split finer, lost races with manual resharding); failures are
+// counted and retried naturally on later ticks.
+type Target interface {
+	Width() uint8
+	Stats() []ShardStat
+	Split(lo uint64) error
+	Merge(lo uint64) error
+}
+
+// Policy tunes the balancer. The zero value selects the defaults
+// documented per field.
+type Policy struct {
+	// Interval is the sampling period (default 50ms).
+	Interval time.Duration
+	// MaxShards stops splitting at this shard count (default 1024; the
+	// target may impose a lower depth limit of its own).
+	MaxShards int
+	// MinShards stops merging at this shard count (default 1).
+	MinShards int
+	// HotFactor is the split trigger: a shard is hot when its share of
+	// the sampled op delta (or of the resident keys) exceeds
+	// HotFactor/n, capped at 0.9 so a single overloaded shard still
+	// qualifies (default 2.0).
+	HotFactor float64
+	// MinOps gates op-driven splits: a shard must absorb at least this
+	// many ops in one interval to be considered hot (default 256), so
+	// an idle structure is never resharded by noise.
+	MinOps uint64
+	// MinLen gates len-driven splits: a shard must hold at least this
+	// many keys to be split for residency skew (default 1024), so tiny
+	// populations are never subdivided.
+	MinLen int
+	// ColdFactor is the merge trigger: two buddy shards merge when each
+	// one's op-delta share is below ColdFactor/n and each holds fewer
+	// than the mean number of keys (default 0.5).
+	ColdFactor float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Interval <= 0 {
+		p.Interval = 50 * time.Millisecond
+	}
+	if p.MaxShards <= 0 {
+		p.MaxShards = 1024
+	}
+	if p.MinShards <= 0 {
+		p.MinShards = 1
+	}
+	if p.HotFactor <= 0 {
+		p.HotFactor = 2.0
+	}
+	if p.MinOps == 0 {
+		p.MinOps = 256
+	}
+	if p.MinLen == 0 {
+		p.MinLen = 1024
+	}
+	if p.ColdFactor <= 0 {
+		p.ColdFactor = 0.5
+	}
+	return p
+}
+
+// Stats is a point-in-time view of the balancer's work.
+type Stats struct {
+	Samples  uint64  // ticks taken
+	Splits   uint64  // successful splits issued
+	Merges   uint64  // successful merges issued
+	Failures uint64  // split/merge attempts the target rejected
+	LastSkew float64 // most recent max/mean resident-key skew
+	PeakSkew float64 // largest skew ever sampled
+}
+
+// Balancer samples a Target on an interval and issues splits and
+// merges per its Policy. Create with New, drive with Start/Stop (or
+// Tick directly, for deterministic tests). At most one split or merge
+// is issued per tick, so the partition changes gently even under
+// violent load shifts.
+type Balancer struct {
+	tgt Target
+	pol Policy
+
+	// mu serializes Tick (the background loop and any direct callers)
+	// and guards prev.
+	mu   sync.Mutex
+	prev map[shardID]uint64 // last sample's cumulative ops per shard
+
+	samples, splits, merges, failures atomic.Uint64
+	lastSkew, peakSkew                atomic.Uint64 // float64 bits
+
+	startOnce, stopOnce sync.Once
+	stop                chan struct{}
+	done                chan struct{}
+}
+
+// shardID identifies a shard across samples; any split or merge
+// changes the identity of the shards it touches, so stale deltas are
+// never attributed to new shards.
+type shardID struct {
+	lo   uint64
+	bits uint8
+}
+
+// New returns a balancer over tgt. It takes no action until Start (or
+// Tick) is called.
+func New(tgt Target, pol Policy) *Balancer {
+	return &Balancer{
+		tgt:  tgt,
+		pol:  pol.withDefaults(),
+		prev: map[shardID]uint64{},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// Start launches the sampling goroutine. Idempotent.
+func (b *Balancer) Start() {
+	b.startOnce.Do(func() { go b.run() })
+}
+
+// Stop halts the sampling goroutine and waits for it to exit.
+// Idempotent; safe to call even if Start never ran.
+func (b *Balancer) Stop() {
+	b.stopOnce.Do(func() { close(b.stop) })
+	b.startOnce.Do(func() { close(b.done) }) // never started: unblock the wait
+	<-b.done
+}
+
+func (b *Balancer) run() {
+	defer close(b.done)
+	t := time.NewTicker(b.pol.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-t.C:
+			b.Tick()
+		}
+	}
+}
+
+// Stats returns the balancer's counters and skew gauges.
+func (b *Balancer) Stats() Stats {
+	return Stats{
+		Samples:  b.samples.Load(),
+		Splits:   b.splits.Load(),
+		Merges:   b.merges.Load(),
+		Failures: b.failures.Load(),
+		LastSkew: math.Float64frombits(b.lastSkew.Load()),
+		PeakSkew: math.Float64frombits(b.peakSkew.Load()),
+	}
+}
+
+// Tick takes one sample and issues at most one split or merge.
+// Exported so tests (and callers without a background goroutine) can
+// drive the balancer deterministically.
+func (b *Balancer) Tick() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	stats := b.tgt.Stats()
+	n := len(stats)
+	if n == 0 {
+		return
+	}
+	b.samples.Add(1)
+
+	// Per-shard op deltas since the last tick. A shard created since
+	// then has no previous sample; its cumulative count is its delta,
+	// which is exactly the ops it absorbed since it appeared. A shard
+	// can also be *recreated* under the same (lo, bits) identity with a
+	// reset counter — a split immediately un-done by a merge, e.g.
+	// manual resharding racing the balancer — so a counter that went
+	// backwards is a fresh shard, not a negative delta.
+	next := make(map[shardID]uint64, n)
+	deltas := make([]uint64, n)
+	lens := make([]int, n)
+	var totalDelta uint64
+	totalLen := 0
+	for i, s := range stats {
+		id := shardID{s.Lo, s.Bits}
+		d := s.Ops
+		if p := b.prev[id]; p <= s.Ops {
+			d = s.Ops - p
+		}
+		next[id] = s.Ops
+		deltas[i] = d
+		totalDelta += d
+		lens[i] = s.Len
+		totalLen += s.Len
+	}
+	b.prev = next
+
+	skew := SkewOf(lens)
+	b.lastSkew.Store(math.Float64bits(skew))
+	if skew > math.Float64frombits(b.peakSkew.Load()) {
+		b.peakSkew.Store(math.Float64bits(skew))
+	}
+
+	// Split the hottest splittable offender: qualifying shards are
+	// tried in descending hotness until one split succeeds, so a
+	// hottest shard pinned at the target's depth limit cannot starve a
+	// cooler-but-still-hot shard forever. Attempts per tick are bounded
+	// to keep ticks cheap.
+	hotShare := b.pol.HotFactor / float64(n)
+	if hotShare > 0.9 {
+		hotShare = 0.9
+	}
+	var hotIdx []int
+	for i, s := range stats {
+		hotOps := deltas[i] >= b.pol.MinOps &&
+			float64(deltas[i]) >= hotShare*float64(totalDelta)
+		hotLen := s.Len >= b.pol.MinLen &&
+			float64(s.Len) >= hotShare*float64(totalLen)
+		if hotOps || hotLen {
+			hotIdx = append(hotIdx, i)
+		}
+	}
+	sort.Slice(hotIdx, func(a, c int) bool {
+		i, j := hotIdx[a], hotIdx[c]
+		if deltas[i] != deltas[j] {
+			return deltas[i] > deltas[j]
+		}
+		return stats[i].Len > stats[j].Len
+	})
+	if len(hotIdx) > 4 {
+		hotIdx = hotIdx[:4]
+	}
+	if n < b.pol.MaxShards {
+		for _, i := range hotIdx {
+			if b.tgt.Split(stats[i].Lo) == nil {
+				b.splits.Add(1)
+				break
+			}
+			b.failures.Add(1)
+		}
+		// Fall through to the merge scan: isolating a hot range
+		// necessarily manufactures cold siblings along the split
+		// lineage, and folding one back per tick keeps the shard count
+		// proportional to where the load actually is. The pair merged
+		// below existed before this tick's split, so the two actions
+		// never see each other's shards (a just-split shard cannot
+		// qualify as cold).
+	}
+
+	// Merge the first cold buddy pair: adjacent shards with the same
+	// prefix length whose ranges share a parent, each absorbing almost
+	// no traffic and holding fewer than the mean number of keys (so the
+	// merged shard does not immediately re-qualify for a split).
+	if n <= b.pol.MinShards {
+		return
+	}
+	w := uint(b.tgt.Width())
+	coldShare := b.pol.ColdFactor / float64(n)
+	cold := func(i int) bool {
+		return float64(deltas[i]) <= coldShare*float64(totalDelta) &&
+			stats[i].Len*n <= totalLen
+	}
+	for i := 0; i+1 < n; i++ {
+		a, c := stats[i], stats[i+1]
+		if a.Bits != c.Bits || a.Bits == 0 {
+			continue
+		}
+		shift := w - uint(a.Bits)
+		if (a.Lo>>shift)^1 != c.Lo>>shift {
+			continue // not buddies: merging them would misalign the partition
+		}
+		if cold(i) && cold(i+1) {
+			if b.tgt.Merge(a.Lo) == nil {
+				b.merges.Add(1)
+			} else {
+				b.failures.Add(1)
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package reshard
+
+import "skiptrie/internal/shard"
+
+// ForTrie adapts a sharded trie to the balancer's Target surface,
+// translating the trie's partition info into samples and key-addressed
+// splits/merges.
+func ForTrie[V any](t *shard.Trie[V]) Target { return trieTarget[V]{t} }
+
+type trieTarget[V any] struct{ t *shard.Trie[V] }
+
+func (a trieTarget[V]) Width() uint8 { return a.t.Width() }
+
+func (a trieTarget[V]) Stats() []ShardStat {
+	infos := a.t.Buckets()
+	out := make([]ShardStat, len(infos))
+	for i, in := range infos {
+		out[i] = ShardStat{Lo: in.Lo, Bits: in.Bits, Len: in.Len, Ops: in.Ops}
+	}
+	return out
+}
+
+func (a trieTarget[V]) Split(lo uint64) error {
+	_, err := a.t.Split(lo)
+	return err
+}
+
+func (a trieTarget[V]) Merge(lo uint64) error {
+	_, err := a.t.Merge(lo)
+	return err
+}

@@ -1,15 +1,34 @@
 package shard
 
 import (
+	"runtime"
+	"sync"
+
 	"skiptrie/internal/core"
 	"skiptrie/internal/stats"
 )
+
+// parallelSeedMin is the shard count at which eager seeding (SeekAll)
+// fans the per-shard descents out across goroutines: below it the
+// coordination costs more than the k sequential O(log log u) descents
+// it hides.
+const parallelSeedMin = 8
 
 // Iter is a pull-based cursor over the sharded trie: a loser-tree k-way
 // merge over one core.Iter per shard. Each step is one advance of the
 // winning shard's cursor plus an O(log k) replay of the tournament,
 // instead of the per-boundary neighbor-extrema re-probing the stitched
 // scan used to do.
+//
+// The cursor works over one table snapshot at a time: every positioning
+// call (Seek, SeekLE, First, Last, SeekAll, SeekAllLE) re-reads the
+// current routing table and re-seeds onto it if a Split or Merge has
+// republished it, while Next/Prev keep the snapshot so a running scan
+// stays strictly monotone. A scan running over a retired snapshot reads
+// the retired shards' frozen contents — within the weak-consistency
+// window ordered scans already have (each shard observed at its own
+// instants), since every frozen key was live when the shard was sealed,
+// inside the scan's window.
 //
 // Shard cursors are seeded lazily. A seek excludes shards entirely on
 // the wrong side of the key arithmetically and enters the rest as
@@ -19,12 +38,12 @@ import (
 // — only when it wins the tournament. Materializing can only move a
 // leaf's key toward scan order (the bound is extremal), so no key is
 // ever yielded out of order, and a scan that stops after a few keys
-// descends only into the shards it touched, like the old stitched code
-// but through the one merge path. Because shards own disjoint key
-// ranges the merge degenerates to concatenation today, but the tree
+// descends only into the shards it touched. SeekAll/SeekAllLE instead
+// materialize every cursor up front — in parallel goroutines for wide
+// tables — which a full-universe scan amortizes. Shards own disjoint
+// key ranges so the merge degenerates to concatenation, but the tree
 // does not rely on that: it stays correct for overlapping cursors,
-// which is what dynamic resharding (a ROADMAP item) will produce
-// mid-split.
+// which is exactly what a scan spanning a mid-split snapshot produces.
 //
 // The cursor inherits each shard's weak consistency (see core.Iter) and
 // adds the cross-shard window Sharded ordered queries already have:
@@ -35,16 +54,19 @@ import (
 // create one per scanner.
 type Iter[V any] struct {
 	t    *Trie[V]
-	subs []core.Iter[V] // one cursor per shard, indexed by shard slot
+	tab  *table[V]      // routing snapshot the cursor is seeded on
+	c    *stats.Op      // step counter shared by the sub-cursors
+	subs []core.Iter[V] // one cursor per bucket, indexed by bucket slot
 	// st packs the per-slot tournament state and the loser tree into
 	// one allocation: st[s].key/ok/pend are slot s's cached comparison
 	// key (real when materialized, optimistic bound while pending),
 	// liveness, and materialization flag; st[i].loser is internal tree
 	// node i's stored loser (children 2i and 2i+1, leaves at indices
 	// k..2k-1 standing for slots 0..k-1, i in 1..k-1). The overall
-	// winner lives in cur. k is a power of two, so the tree is perfect,
-	// and replay compares cached words instead of chasing cursor
-	// internals.
+	// winner lives in cur. k is len(st), the bucket count padded up to a
+	// power of two (padding slots are permanently dead), so the tree is
+	// perfect and replay compares cached words instead of chasing
+	// cursor internals.
 	st  []slot
 	cur int
 	// thr caches the best challenger key on the winner's leaf-to-root
@@ -70,17 +92,19 @@ type slot struct {
 	pend  bool
 }
 
+// ceilPow2 returns the smallest power of two >= n (n >= 1).
+func ceilPow2(n int) int {
+	k := 1
+	for k < n {
+		k <<= 1
+	}
+	return k
+}
+
 // MakeIter returns an unpositioned value cursor over the sharded trie.
 func (t *Trie[V]) MakeIter(c *stats.Op) Iter[V] {
-	k := len(t.shards)
-	it := Iter[V]{
-		t:    t,
-		subs: make([]core.Iter[V], k),
-		st:   make([]slot, k),
-	}
-	for i := range it.subs {
-		it.subs[i] = t.shards[i].MakeIter(c)
-	}
+	it := Iter[V]{t: t, c: c}
+	it.build(t.tab.Load())
 	return it
 }
 
@@ -88,6 +112,26 @@ func (t *Trie[V]) MakeIter(c *stats.Op) Iter[V] {
 func (t *Trie[V]) NewIter(c *stats.Op) *Iter[V] {
 	it := t.MakeIter(c)
 	return &it
+}
+
+// build (re)creates the per-shard cursors and tournament slots for a
+// routing snapshot.
+func (m *Iter[V]) build(tab *table[V]) {
+	m.tab = tab
+	k := len(tab.buckets)
+	m.subs = make([]core.Iter[V], k)
+	for i, b := range tab.buckets {
+		m.subs[i] = b.trie.MakeIter(m.c)
+	}
+	m.st = make([]slot, ceilPow2(k))
+}
+
+// refresh re-seeds the cursor onto the current routing table if a
+// reshard has republished it since the cursor was built.
+func (m *Iter[V]) refresh() {
+	if tab := m.t.tab.Load(); tab != m.tab {
+		m.build(tab)
+	}
 }
 
 // Valid reports whether the cursor rests on a key.
@@ -102,24 +146,25 @@ func (m *Iter[V]) Key() uint64 { return m.st[m.cur].key }
 func (m *Iter[V]) Value() V { return m.subs[m.cur].Value() }
 
 // Seek positions the cursor on the smallest key >= from across all
-// shards and reports whether such a key exists. Shards below from's
-// home are excluded arithmetically; the rest enter the tournament as
-// pending leaves bounded by their base and are descended into only
-// when the scan reaches them.
+// shards and reports whether such a key exists. Shards entirely below
+// from are excluded arithmetically; the rest enter the tournament as
+// pending leaves bounded by their lowest possible key and are descended
+// into only when the scan reaches them.
 func (m *Iter[V]) Seek(from uint64) bool {
+	m.refresh()
 	m.dir, m.dead, m.from = +1, false, from
 	if !m.t.inUniverse(from) {
 		m.dead = true
 		return false
 	}
-	h := m.t.home(from)
-	for i := range m.subs {
-		if i < h {
+	bs := m.tab.buckets
+	for i := range m.st {
+		if i >= len(bs) || bs[i].hi < from {
 			m.st[i].ok, m.st[i].pend = false, false
 			continue
 		}
 		// Optimistic bound: the smallest key shard i could yield.
-		b := uint64(i) << m.t.subW
+		b := bs[i].lo
 		if b < from {
 			b = from
 		}
@@ -135,18 +180,16 @@ func (m *Iter[V]) Seek(from uint64) bool {
 // shards, reporting whether such a key exists. A from above the
 // universe clamps to its maximum.
 func (m *Iter[V]) SeekLE(from uint64) bool {
+	m.refresh()
 	m.dir, m.dead, m.from = -1, false, from
-	h := len(m.subs) - 1
-	if m.t.inUniverse(from) {
-		h = m.t.home(from)
-	}
-	for i := range m.subs {
-		if i > h {
+	bs := m.tab.buckets
+	for i := range m.st {
+		if i >= len(bs) || bs[i].lo > from {
 			m.st[i].ok, m.st[i].pend = false, false
 			continue
 		}
 		// Optimistic bound: the largest key shard i could yield.
-		b := m.t.shards[i].MaxKey()
+		b := bs[i].hi
 		if b > from {
 			b = from
 		}
@@ -163,6 +206,88 @@ func (m *Iter[V]) First() bool { return m.Seek(0) }
 
 // Last positions the cursor on the largest key.
 func (m *Iter[V]) Last() bool { return m.SeekLE(m.t.MaxKey()) }
+
+// SeekAll positions like Seek but materializes every shard cursor
+// eagerly instead of lazily — in parallel goroutines when at least
+// parallelSeedMin shards participate and no step counter is attached
+// (a shared *stats.Op cannot be updated from several goroutines). Use
+// it for scans known to visit most of the key space, where every
+// shard's descent is needed anyway and fanning them out hides their
+// latency; short or early-terminated scans are better served by Seek's
+// lazy materialization.
+func (m *Iter[V]) SeekAll(from uint64) bool { return m.seekEager(from, +1) }
+
+// SeekAllLE positions like SeekLE but materializes every shard cursor
+// eagerly, like SeekAll.
+func (m *Iter[V]) SeekAllLE(from uint64) bool { return m.seekEager(from, -1) }
+
+func (m *Iter[V]) seekEager(from uint64, dir int8) bool {
+	m.refresh()
+	m.dir, m.dead, m.from = dir, false, from
+	if dir > 0 && !m.t.inUniverse(from) {
+		m.dead = true
+		return false
+	}
+	bs := m.tab.buckets
+	live := 0
+	for i := range m.st {
+		m.st[i].ok, m.st[i].pend = false, false
+		if i >= len(bs) {
+			continue
+		}
+		if dir > 0 && bs[i].hi < from || dir < 0 && bs[i].lo > from {
+			continue
+		}
+		m.st[i].pend = true // marks "needs seeding" within this call
+		live++
+	}
+	if m.c == nil && live >= parallelSeedMin {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > live {
+			workers = live
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Strided partition: goroutines touch disjoint slots.
+				for i := w; i < len(bs); i += workers {
+					if m.st[i].pend {
+						m.seedOne(i, dir, from)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	} else {
+		for i := range bs {
+			if m.st[i].pend {
+				m.seedOne(i, dir, from)
+			}
+		}
+	}
+	m.cur = m.rebuild(1)
+	m.computeThr()
+	m.thrStale = false
+	return m.Valid()
+}
+
+// seedOne materializes slot i's cursor against the seek bound and
+// publishes its tournament key. Distinct slots may be seeded from
+// distinct goroutines.
+func (m *Iter[V]) seedOne(i int, dir int8, from uint64) {
+	var ok bool
+	if dir > 0 {
+		ok = m.subs[i].Seek(from)
+	} else {
+		ok = m.subs[i].SeekLE(from)
+	}
+	m.st[i].ok, m.st[i].pend = ok, false
+	if ok {
+		m.st[i].key = m.subs[i].Key()
+	}
+}
 
 // Next advances to the next larger key, reporting whether one exists:
 // one step of the winning shard's cursor plus an O(log k) tree replay.
@@ -271,7 +396,7 @@ func (m *Iter[V]) settle() {
 // untouched, so sequential runs really do cost one comparison per
 // step.
 func (m *Iter[V]) computeThr() {
-	k := len(m.subs)
+	k := len(m.st)
 	m.hasThr = false
 	for i := (m.cur + k) / 2; i >= 1; i /= 2 {
 		l := int(m.st[i].loser)
@@ -315,7 +440,7 @@ func (m *Iter[V]) beats(a, b int) bool {
 // each match's loser at the node and returning its winner. Called with
 // i = 1 after a seek; leaves (i >= k) stand for shard slots.
 func (m *Iter[V]) rebuild(i int) int {
-	k := len(m.subs)
+	k := len(m.st)
 	if i >= k {
 		return i - k
 	}
@@ -334,7 +459,7 @@ func (m *Iter[V]) rebuild(i int) int {
 // each level — one comparison per level, the loser-tree advantage over
 // a winner tree's two.
 func (m *Iter[V]) replay(w int) {
-	k := len(m.subs)
+	k := len(m.st)
 	for i := (w + k) / 2; i >= 1; i /= 2 {
 		if l := int(m.st[i].loser); m.beats(l, w) {
 			m.st[i].loser = int32(w)

@@ -160,8 +160,8 @@ func TestMergeIterVsPerShard(t *testing.T) {
 		}
 	}
 	var want []uint64
-	for _, s := range tr.shards {
-		s.Range(0, func(k uint64, _ uint64) bool { want = append(want, k); return true }, nil)
+	for _, b := range tr.tab.Load().buckets {
+		b.trie.Range(0, func(k uint64, _ uint64) bool { want = append(want, k); return true }, nil)
 	}
 	var got []uint64
 	it := tr.NewIter(nil)
@@ -175,5 +175,101 @@ func TestMergeIterVsPerShard(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("divergence at %d: merge %#x, per-shard %#x", i, got[i], want[i])
 		}
+	}
+}
+
+// TestSeekAllMatchesSeek pins eager (parallel-seeded) positioning to
+// the lazy path's output: both full traversals and mid-universe seeks
+// must agree in both directions. 16 shards crosses the
+// parallelSeedMin gate, so with nil stats this exercises the
+// goroutine-fanned seeding.
+func TestSeekAllMatchesSeek(t *testing.T) {
+	tr := New[uint64](Config{Width: 16, Shards: 16, Seed: 21})
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 4000; i++ {
+		tr.Insert(uint64(rng.Intn(1<<16)), uint64(i), nil)
+	}
+	collect := func(seek func(*Iter[uint64]) bool, step func(*Iter[uint64]) bool) []uint64 {
+		var out []uint64
+		it := tr.NewIter(nil)
+		for ok := seek(it); ok; ok = step(it) {
+			out = append(out, it.Key())
+		}
+		return out
+	}
+	for _, from := range []uint64{0, 1, 0x7FFF, 0x8000, 0xFFFF} {
+		lazyUp := collect(func(it *Iter[uint64]) bool { return it.Seek(from) }, (*Iter[uint64]).Next)
+		eagerUp := collect(func(it *Iter[uint64]) bool { return it.SeekAll(from) }, (*Iter[uint64]).Next)
+		if len(lazyUp) != len(eagerUp) {
+			t.Fatalf("from %#x: SeekAll yielded %d keys, Seek %d", from, len(eagerUp), len(lazyUp))
+		}
+		for i := range lazyUp {
+			if lazyUp[i] != eagerUp[i] {
+				t.Fatalf("from %#x: divergence at %d: SeekAll %#x, Seek %#x", from, i, eagerUp[i], lazyUp[i])
+			}
+		}
+		lazyDown := collect(func(it *Iter[uint64]) bool { return it.SeekLE(from) }, (*Iter[uint64]).Prev)
+		eagerDown := collect(func(it *Iter[uint64]) bool { return it.SeekAllLE(from) }, (*Iter[uint64]).Prev)
+		if len(lazyDown) != len(eagerDown) {
+			t.Fatalf("from %#x: SeekAllLE yielded %d keys, SeekLE %d", from, len(eagerDown), len(lazyDown))
+		}
+		for i := range lazyDown {
+			if lazyDown[i] != eagerDown[i] {
+				t.Fatalf("from %#x: divergence at %d: SeekAllLE %#x, SeekLE %#x", from, i, eagerDown[i], lazyDown[i])
+			}
+		}
+	}
+	// Direction changes after an eager seek reuse the normal stepping
+	// paths.
+	it := tr.NewIter(nil)
+	if !it.SeekAll(0x4000) || !it.Next() || !it.Prev() || !it.Prev() {
+		t.Fatal("eager cursor cannot reverse")
+	}
+}
+
+// TestIterReseedsAcrossReshard pins the re-seeding contract: a cursor
+// built on one partition keeps scanning its snapshot coherently after
+// a Split republishes the table, and the next positioning call adopts
+// the new partition.
+func TestIterReseedsAcrossReshard(t *testing.T) {
+	tr := New[uint64](Config{Width: 16, Shards: 2, MaxShards: 16, Seed: 3})
+	for k := uint64(0); k < 1<<16; k += 256 {
+		tr.Store(k, k, nil)
+	}
+	it := tr.NewIter(nil)
+	if !it.First() {
+		t.Fatal("First on populated trie failed")
+	}
+	gen0 := it.tab.gen
+	var got []uint64
+	got = append(got, it.Key())
+	for i := 0; i < 10 && it.Next(); i++ {
+		got = append(got, it.Key())
+	}
+	if _, err := tr.Split(0); err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	// Mid-scan steps stay on the old snapshot, strictly monotone.
+	last := got[len(got)-1]
+	for i := 0; i < 10 && it.Next(); i++ {
+		if it.Key() <= last {
+			t.Fatalf("post-split step went backward: %#x after %#x", it.Key(), last)
+		}
+		last = it.Key()
+	}
+	if it.tab.gen != gen0 {
+		t.Fatal("mid-scan step re-seeded the cursor")
+	}
+	// A fresh positioning call adopts the new table and still yields
+	// the full population.
+	n := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		n++
+	}
+	if it.tab.gen == gen0 {
+		t.Fatal("Seek did not re-seed onto the republished table")
+	}
+	if want := tr.Len(); n != want {
+		t.Fatalf("re-seeded scan yielded %d keys, want %d", n, want)
 	}
 }

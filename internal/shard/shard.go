@@ -1,13 +1,13 @@
-// Package shard partitions the SkipTrie's key universe by the top s bits
-// into 2^s independent core.SkipTrie sub-universes. Point operations
-// route to their home shard in O(1) by prefix; ordered operations
-// (predecessor, successor, min/max, iteration) answer from the home
-// shard and stitch across shard boundaries by probing neighbor shards'
-// extrema.
+// Package shard partitions the SkipTrie's key universe by key prefix
+// into independent core.SkipTrie sub-universes. Point operations route
+// to their home shard in O(1) through an atomically-published immutable
+// routing trie (a prefix→shard directory, see table.go); ordered
+// operations (predecessor, successor, min/max, iteration) answer from
+// the home shard and stitch across shard boundaries.
 //
-// Each shard is a full SkipTrie over the sub-universe
-// [i*2^(W-s), (i+1)*2^(W-s)), configured via core.Config.Base, so every
-// shard keeps the paper's O(log log u) depth for its own, smaller u —
+// Each shard is a full SkipTrie over an aligned sub-universe
+// [lo, lo+2^(W-b)) configured via core.Config.Base, so every shard
+// keeps the paper's O(log log u) depth for its own, smaller u —
 // sharding never deepens a search, it only narrows the universe each
 // search runs in. What sharding buys is independence: updates in
 // different shards touch disjoint skiplists, x-fast tries and hash
@@ -15,15 +15,29 @@
 // traffic) is divided across shards for any workload that spreads over
 // the key space.
 //
+// # Dynamic resharding
+//
+// The partition is not fixed: Split divides a shard into two
+// half-universe children and Merge rejoins two buddy siblings — online,
+// while readers and writers keep running (see migrate.go for the
+// protocol and its linearizability argument). This is what defends the
+// structure against hot-range workloads (a Zipf or time-ordered key
+// stream parked in one prefix region) that defeat any static prefix
+// partition; internal/reshard drives Split/Merge automatically from
+// observed load.
+//
 // # Consistency
 //
 // Point operations (Insert, Store, LoadOrStore, Delete, Contains,
-// Find) touch exactly one shard and inherit that shard's
-// linearizability unchanged. An ordered query answered entirely by its
-// home shard is likewise linearizable. A query that stitches across
-// shard boundaries is not one atomic action: it observes each probed
-// shard at a different instant, so under concurrent cross-shard
-// movement (a delete in one shard racing an insert in another) it may
+// Find) touch exactly one shard and stay linearizable across reshards:
+// reads are lock-free (a read routed to a retired shard observes its
+// frozen final contents and linearizes before the table swap); writes
+// hold the home shard's write latch in shared mode, which never blocks
+// except for the two pointer-flip instants of a reshard draining that
+// exact shard. An ordered query answered entirely by its home shard is
+// likewise linearizable. A query that stitches across shard boundaries
+// is not one atomic action: it observes each probed shard at a
+// different instant, so under concurrent cross-shard movement it may
 // return a key farther from x than the true extremum, or not-found —
 // the same weakly-consistent contract Range already has. Every key it
 // does return was present, with the returned value, at the moment its
@@ -34,13 +48,16 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"skiptrie/internal/core"
 	"skiptrie/internal/skiplist"
 	"skiptrie/internal/stats"
 )
 
-// MaxShardBits caps the shard count at 2^MaxShardBits.
+// MaxShardBits caps the shard count (and split depth) at 2^MaxShardBits.
 const MaxShardBits = 12
 
 // Config configures a sharded trie.
@@ -48,27 +65,44 @@ type Config struct {
 	// Width is the full universe width W = log u, in [1, 64]. The
 	// default (0) means 64.
 	Width uint8
-	// Shards is the desired shard count. It is rounded up to a power of
-	// two and clamped so each shard keeps a universe of at least one
-	// bit (and to at most 2^MaxShardBits). The default (0) selects
-	// GOMAXPROCS rounded up to a power of two.
+	// Shards is the desired initial shard count. It is rounded up to a
+	// power of two and clamped so each shard keeps a universe of at
+	// least one bit (and to at most 2^MaxShardBits). The default (0)
+	// selects GOMAXPROCS rounded up to a power of two.
 	Shards int
+	// MaxShards caps how far Split may subdivide the universe. It is
+	// rounded and clamped like Shards and floored at the initial shard
+	// count. The default (0) allows the full 2^MaxShardBits.
+	MaxShards int
 	// DisableDCSS, Repair and Seed configure every shard as in
-	// core.Config; shard i is seeded Seed+i so shard shapes are
-	// reproducible yet statistically independent.
+	// core.Config; the i'th shard ever created is seeded Seed+i so
+	// shard shapes are reproducible yet statistically independent.
 	DisableDCSS bool
 	Repair      skiplist.RepairMode
 	Seed        uint64
 }
 
-// Trie is a sharded SkipTrie over [0, 2^Width): 2^s independent
-// core.SkipTrie shards, each owning the keys that share one value of
-// the top s bits. All operations have the same semantics (and the same
-// lock-freedom caveats) as the corresponding core.SkipTrie operations.
+// Trie is a sharded SkipTrie over [0, 2^Width): independent
+// core.SkipTrie shards, each owning an aligned power-of-two key range,
+// behind an atomically-published routing table. All operations have the
+// same semantics (and the same lock-freedom caveats) as the
+// corresponding core.SkipTrie operations; Split and Merge change the
+// partition online.
 type Trie[V any] struct {
-	shards []*core.SkipTrie[V]
-	width  uint8
-	subW   uint8 // per-shard universe width, Width - log2(len(shards))
+	tab      atomic.Pointer[table[V]]
+	width    uint8
+	initBits uint8 // log2 of the initial shard count
+	maxBits  uint8 // split depth limit
+	cfg      Config
+	seedCtr  atomic.Uint64
+
+	// reshardMu serializes Split and Merge (one migration at a time);
+	// it is never taken by reads or writes.
+	reshardMu sync.Mutex
+
+	// Cumulative reshard counters, for diagnostics and metrics.
+	splits, merges, movedKeys atomic.Uint64
+	migrateNanos              atomic.Int64
 }
 
 // resolveShards applies Config.Shards's default, rounding and clamps,
@@ -98,28 +132,40 @@ func New[V any](cfg Config) *Trie[V] {
 	}
 	n := resolveShards(cfg.Shards, w)
 	s := uint8(bits.TrailingZeros(uint(n)))
-	subW := w - s
-	shards := make([]*core.SkipTrie[V], n)
-	for i := range shards {
-		shards[i] = core.New[V](core.Config{
-			Width:       subW,
-			Base:        uint64(i) << subW,
-			DisableDCSS: cfg.DisableDCSS,
-			Repair:      cfg.Repair,
-			Seed:        cfg.Seed + uint64(i),
-		})
+	maxN := 1 << MaxShardBits
+	if cfg.MaxShards > 0 {
+		maxN = resolveShards(cfg.MaxShards, w)
 	}
-	return &Trie[V]{shards: shards, width: w, subW: subW}
+	if maxN < n {
+		maxN = n
+	}
+	maxBits := uint8(bits.TrailingZeros(uint(maxN)))
+	if maxBits > w-1 {
+		maxBits = w - 1
+	}
+	t := &Trie[V]{width: w, initBits: s, maxBits: maxBits, cfg: cfg}
+	bs := make([]*bucket[V], n)
+	for i := range bs {
+		bs[i] = t.newBucket(uint64(i)<<(w-s), s)
+	}
+	t.tab.Store(buildTable(w, bs, 0))
+	return t
 }
 
-// Shards returns the shard count (a power of two).
-func (t *Trie[V]) Shards() int { return len(t.shards) }
+// Shards returns the current shard count.
+func (t *Trie[V]) Shards() int { return len(t.tab.Load().buckets) }
 
 // Width returns the full universe width W = log u.
 func (t *Trie[V]) Width() uint8 { return t.width }
 
-// SubWidth returns each shard's universe width, W - log2(Shards()).
-func (t *Trie[V]) SubWidth() uint8 { return t.subW }
+// SubWidth returns the initial per-shard universe width,
+// W - log2(initial shards). After a Split or Merge individual shards
+// own narrower or wider ranges; see Buckets for the live partition.
+func (t *Trie[V]) SubWidth() uint8 { return t.width - t.initBits }
+
+// MaxBits returns the split depth limit: Split refuses to subdivide a
+// shard that already has MaxBits prefix bits.
+func (t *Trie[V]) MaxBits() uint8 { return t.maxBits }
 
 // MaxKey returns the largest key of the universe, 2^Width - 1.
 func (t *Trie[V]) MaxKey() uint64 { return ^uint64(0) >> (64 - t.width) }
@@ -129,33 +175,63 @@ func (t *Trie[V]) inUniverse(key uint64) bool {
 	return t.width == 64 || key < 1<<t.width
 }
 
-// home returns the shard index owning key (key's top s bits). Only
-// valid for in-universe keys.
+// home returns the index of the bucket owning key in the current
+// table's ordered bucket list. Only valid for in-universe keys.
 func (t *Trie[V]) home(key uint64) int {
-	if t.subW == 64 {
-		return 0 // single shard over the full 64-bit universe
-	}
-	return int(key >> t.subW)
+	_, i := t.tab.Load().routeIdx(key)
+	return i
 }
 
-// Shard returns the shard owning key, for tests and diagnostics. The
-// key must be inside the universe; out-of-universe keys have no owning
-// shard and panic.
+// Shard returns the shard trie owning key, for tests and diagnostics.
+// The key must be inside the universe; out-of-universe keys have no
+// owning shard and panic.
 func (t *Trie[V]) Shard(key uint64) *core.SkipTrie[V] {
 	if !t.inUniverse(key) {
 		panic("shard: Shard called with an out-of-universe key")
 	}
-	return t.shards[t.home(key)]
+	return t.tab.Load().route(key).trie
 }
 
 // --- point operations: O(1) routing by prefix ---
+
+// acquire routes key to its bucket and takes the bucket's write latch
+// in shared mode, retrying through fresh tables while the bucket is
+// sealed (a reshard is publishing its replacement). On return the
+// bucket is writable — active or migrating — and stays so until the
+// caller releases.
+func (t *Trie[V]) acquire(key uint64) *bucket[V] {
+	for {
+		b := t.tab.Load().route(key)
+		b.mu.RLock()
+		if b.state != bucketSealed {
+			return b
+		}
+		b.mu.RUnlock()
+		// The replacement table is being published; yield and re-route.
+		runtime.Gosched()
+	}
+}
+
+// release files key in the bucket's dirty set when a migration is
+// draining it (so the sealed resync replays this write), then drops the
+// latch and counts the op.
+func (b *bucket[V]) release(key uint64) {
+	if b.state == bucketMigrating {
+		b.mig.mark(key)
+	}
+	b.mu.RUnlock()
+	b.ops.Add(1)
+}
 
 // Insert adds key with its value, reporting whether the key was absent.
 func (t *Trie[V]) Insert(key uint64, val V, c *stats.Op) bool {
 	if !t.inUniverse(key) {
 		return false
 	}
-	return t.shards[t.home(key)].Insert(key, val, c)
+	b := t.acquire(key)
+	ok := b.trie.Insert(key, val, c)
+	b.release(key)
+	return ok
 }
 
 // Add is Insert with the zero value of V: the set-form operation.
@@ -170,7 +246,10 @@ func (t *Trie[V]) Store(key uint64, val V, c *stats.Op) bool {
 	if !t.inUniverse(key) {
 		return false
 	}
-	return t.shards[t.home(key)].Store(key, val, c)
+	b := t.acquire(key)
+	ok := b.trie.Store(key, val, c)
+	b.release(key)
+	return ok
 }
 
 // LoadOrStore returns the existing value for key if present; otherwise
@@ -179,7 +258,10 @@ func (t *Trie[V]) LoadOrStore(key uint64, val V, c *stats.Op) (actual V, loaded 
 	if !t.inUniverse(key) {
 		return val, false
 	}
-	return t.shards[t.home(key)].LoadOrStore(key, val, c)
+	b := t.acquire(key)
+	actual, loaded = b.trie.LoadOrStore(key, val, c)
+	b.release(key)
+	return actual, loaded
 }
 
 // Delete removes key, reporting whether this call removed it.
@@ -187,15 +269,21 @@ func (t *Trie[V]) Delete(key uint64, c *stats.Op) bool {
 	if !t.inUniverse(key) {
 		return false
 	}
-	return t.shards[t.home(key)].Delete(key, c)
+	b := t.acquire(key)
+	ok := b.trie.Delete(key, c)
+	b.release(key)
+	return ok
 }
 
-// Contains reports whether key is present.
+// Contains reports whether key is present. Reads take no latch: a
+// migrating home shard is still authoritative, and a sealed one holds
+// its frozen final contents, which linearize before the table swap
+// that retired it.
 func (t *Trie[V]) Contains(key uint64, c *stats.Op) bool {
 	if !t.inUniverse(key) {
 		return false
 	}
-	return t.shards[t.home(key)].Contains(key, c)
+	return t.tab.Load().route(key).trie.Contains(key, c)
 }
 
 // Find returns the value associated with key.
@@ -204,7 +292,7 @@ func (t *Trie[V]) Find(key uint64, c *stats.Op) (V, bool) {
 		var zero V
 		return zero, false
 	}
-	return t.shards[t.home(key)].Find(key, c)
+	return t.tab.Load().route(key).trie.Find(key, c)
 }
 
 // --- ordered operations: home shard first, then boundary stitching ---
@@ -212,19 +300,22 @@ func (t *Trie[V]) Find(key uint64, c *stats.Op) (V, bool) {
 // predStitch answers a (strict) predecessor query: ask x's home shard
 // first, then walk lower shards probing their maxima. When x is above
 // the universe every shard's maximum qualifies, so the walk starts at
-// the last shard with no home query.
+// the last shard with no home query. The whole query runs against one
+// table snapshot.
 func (t *Trie[V]) predStitch(x uint64, strict bool, c *stats.Op) (uint64, V, bool) {
-	h := len(t.shards) - 1
+	tab := t.tab.Load()
+	h := len(tab.buckets) - 1
 	if t.inUniverse(x) {
-		h = t.home(x)
-		home := t.shards[h]
+		var home *bucket[V]
+		home, h = tab.routeIdx(x)
+		home.ops.Add(1)
 		var k uint64
 		var v V
 		var ok bool
 		if strict {
-			k, v, ok = home.StrictPredecessor(x, c)
+			k, v, ok = home.trie.StrictPredecessor(x, c)
 		} else {
-			k, v, ok = home.Predecessor(x, c)
+			k, v, ok = home.trie.Predecessor(x, c)
 		}
 		if ok {
 			return k, v, ok
@@ -232,7 +323,7 @@ func (t *Trie[V]) predStitch(x uint64, strict bool, c *stats.Op) (uint64, V, boo
 		h--
 	}
 	for ; h >= 0; h-- {
-		if k, v, ok := t.shards[h].Max(c); ok {
+		if k, v, ok := tab.buckets[h].trie.Max(c); ok {
 			return k, v, ok
 		}
 	}
@@ -262,12 +353,14 @@ func (t *Trie[V]) Successor(x uint64, c *stats.Op) (uint64, V, bool) {
 	if !t.inUniverse(x) {
 		return 0, zero, false
 	}
-	h := t.home(x)
-	if k, v, ok := t.shards[h].Successor(x, c); ok {
+	tab := t.tab.Load()
+	home, h := tab.routeIdx(x)
+	home.ops.Add(1)
+	if k, v, ok := home.trie.Successor(x, c); ok {
 		return k, v, ok
 	}
-	for h++; h < len(t.shards); h++ {
-		if k, v, ok := t.shards[h].Min(c); ok {
+	for h++; h < len(tab.buckets); h++ {
+		if k, v, ok := tab.buckets[h].trie.Min(c); ok {
 			return k, v, ok
 		}
 	}
@@ -285,8 +378,8 @@ func (t *Trie[V]) StrictSuccessor(x uint64, c *stats.Op) (uint64, V, bool) {
 
 // Min returns the smallest key and its value.
 func (t *Trie[V]) Min(c *stats.Op) (uint64, V, bool) {
-	for _, s := range t.shards {
-		if k, v, ok := s.Min(c); ok {
+	for _, b := range t.tab.Load().buckets {
+		if k, v, ok := b.trie.Min(c); ok {
 			return k, v, ok
 		}
 	}
@@ -296,8 +389,9 @@ func (t *Trie[V]) Min(c *stats.Op) (uint64, V, bool) {
 
 // Max returns the largest key and its value.
 func (t *Trie[V]) Max(c *stats.Op) (uint64, V, bool) {
-	for i := len(t.shards) - 1; i >= 0; i-- {
-		if k, v, ok := t.shards[i].Max(c); ok {
+	tab := t.tab.Load()
+	for i := len(tab.buckets) - 1; i >= 0; i-- {
+		if k, v, ok := tab.buckets[i].trie.Max(c); ok {
 			return k, v, ok
 		}
 	}
@@ -335,26 +429,54 @@ func (t *Trie[V]) Descend(from uint64, fn func(key uint64, val V) bool, c *stats
 // concurrent mutation).
 func (t *Trie[V]) Len() int {
 	n := 0
-	for _, s := range t.shards {
-		n += s.Len()
+	for _, b := range t.tab.Load().buckets {
+		n += b.trie.Len()
 	}
 	return n
 }
 
-// ShardLens returns each shard's key count, for balance diagnostics.
+// ShardLens returns each shard's key count in key order, for balance
+// diagnostics.
 func (t *Trie[V]) ShardLens() []int {
-	out := make([]int, len(t.shards))
-	for i, s := range t.shards {
-		out[i] = s.Len()
+	bs := t.tab.Load().buckets
+	out := make([]int, len(bs))
+	for i, b := range bs {
+		out[i] = b.trie.Len()
 	}
 	return out
+}
+
+// Info describes one shard of the live partition.
+type Info struct {
+	Lo, Hi uint64 // owned key range, inclusive
+	Bits   uint8  // prefix length (range size is 2^(Width-Bits))
+	Len    int    // resident keys
+	Ops    uint64 // cumulative write + ordered ops routed here
+}
+
+// Buckets returns the live partition in key order with each shard's
+// load counters — the balancer's sampling surface.
+func (t *Trie[V]) Buckets() []Info {
+	bs := t.tab.Load().buckets
+	out := make([]Info, len(bs))
+	for i, b := range bs {
+		out[i] = Info{Lo: b.lo, Hi: b.hi, Bits: b.bits, Len: b.trie.Len(), Ops: b.ops.Load()}
+	}
+	return out
+}
+
+// ReshardStats reports cumulative reshard work: splits, merges, keys
+// moved by migrations, and total migration wall time.
+func (t *Trie[V]) ReshardStats() (splits, merges, moved uint64, dur time.Duration) {
+	return t.splits.Load(), t.merges.Load(), t.movedKeys.Load(),
+		time.Duration(t.migrateNanos.Load())
 }
 
 // Space returns aggregate space statistics across shards.
 func (t *Trie[V]) Space() core.SpaceStats {
 	var sp core.SpaceStats
-	for _, s := range t.shards {
-		ss := s.Space()
+	for _, b := range t.tab.Load().buckets {
+		ss := b.trie.Space()
 		sp.Keys += ss.Keys
 		sp.TowerNodes += ss.TowerNodes
 		sp.TriePrefix += ss.TriePrefix
@@ -363,24 +485,57 @@ func (t *Trie[V]) Space() core.SpaceStats {
 	return sp
 }
 
-// Validate checks every shard's invariants plus the partition invariant:
-// every key a shard holds routes back to that shard. Only call at
-// quiescence.
+// Validate checks every shard's invariants plus the partition
+// invariants: the buckets tile the universe exactly, the directory
+// routes every slot to its bucket, every bucket in the live table is
+// active, and every key a shard holds lies inside that shard's range.
+// Only call at quiescence.
 func (t *Trie[V]) Validate() error {
-	for i, s := range t.shards {
-		if err := s.Validate(); err != nil {
+	tab := t.tab.Load()
+	want := uint64(0)
+	for i, b := range tab.buckets {
+		if b.lo != want {
+			return fmt.Errorf("shard: bucket %d starts at %#x, want %#x (partition does not tile)", i, b.lo, want)
+		}
+		if b.hi != b.lo+(^uint64(0)>>(64-(t.width-b.bits))) {
+			return fmt.Errorf("shard: bucket %d range [%#x,%#x] inconsistent with bits %d", i, b.lo, b.hi, b.bits)
+		}
+		want = b.hi + 1 // wraps to 0 on the last bucket of a 64-bit universe
+		b.mu.RLock()
+		st := b.state
+		b.mu.RUnlock()
+		if st != bucketActive {
+			return fmt.Errorf("shard: bucket %d [%#x,%#x] in live table has state %d", i, b.lo, b.hi, st)
+		}
+		if err := b.trie.Validate(); err != nil {
 			return err
 		}
 		var stray error
-		s.Range(0, func(k uint64, _ V) bool {
-			if t.home(k) != i {
-				stray = fmt.Errorf("shard: key %#x found in shard %d, routes to shard %d", k, i, t.home(k))
+		lo, hi := b.lo, b.hi
+		b.trie.Range(0, func(k uint64, _ V) bool {
+			if k < lo || k > hi {
+				stray = fmt.Errorf("shard: key %#x found in bucket [%#x,%#x]", k, lo, hi)
 				return false
 			}
 			return true
 		}, nil)
 		if stray != nil {
 			return stray
+		}
+	}
+	if t.width < 64 && want != 1<<t.width {
+		return fmt.Errorf("shard: partition covers [0,%#x), want [0,%#x)", want, uint64(1)<<t.width)
+	}
+	if t.width == 64 && want != 0 {
+		return fmt.Errorf("shard: partition covers [0,%#x), want the full 64-bit universe", want)
+	}
+	for s, b := range tab.slots {
+		lo := uint64(s) << tab.shift
+		if lo < b.lo || lo > b.hi {
+			return fmt.Errorf("shard: directory slot %d routes to bucket [%#x,%#x]", s, b.lo, b.hi)
+		}
+		if tab.buckets[tab.bidx[s]] != b {
+			return fmt.Errorf("shard: directory slot %d index disagrees with its bucket", s)
 		}
 	}
 	return nil

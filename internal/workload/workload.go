@@ -5,7 +5,9 @@
 package workload
 
 import (
+	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"skiptrie/internal/uintbits"
 )
@@ -76,6 +78,72 @@ func (z *Zipfian) Next(*rand.Rand) uint64 {
 
 // Width returns the universe width.
 func (z *Zipfian) Width() uint8 { return z.W }
+
+// MovingZipf draws keys from a hot window that drifts across the key
+// space as draws accumulate — the hot-range workload that defeats
+// static prefix sharding: at any instant nearly all keys come from one
+// Span-sized window, and every Period draws the window advances to the
+// adjacent position, as a time-ordered or trending key stream does.
+// Within the window, offsets are polynomially Zipf-flavored — drawn as
+// Span·U^Alpha for uniform U, so the window's head is hottest but its
+// tail still carries mass (a tempered Zipf; a log-uniform rank would
+// park virtually all mass on the first few keys, which no range
+// partition can spread). The draw counter is shared across workers
+// (one atomic add per draw), so concurrent goroutines see a single
+// coherent window; the generator is safe for concurrent use with
+// per-worker rngs.
+type MovingZipf struct {
+	w      uint8
+	span   uint64
+	period uint64
+	alpha  float64
+	ctr    atomic.Uint64
+}
+
+// NewMovingZipf returns a moving-window generator over a width-w
+// universe with a Span-key window advancing every Period draws and
+// in-window skew exponent Alpha (values > 1 skew toward the window
+// head; 0 selects the default 1.5; 1 is uniform). Span must be in
+// [1, 2^w]; anything else panics here rather than dividing by zero or
+// silently generating out-of-universe keys in Next.
+func NewMovingZipf(w uint8, span, period uint64, alpha float64) *MovingZipf {
+	if span == 0 || (w < 64 && span > 1<<w) {
+		panic("workload: MovingZipf span must be in [1, 2^w]")
+	}
+	if period == 0 {
+		period = 1
+	}
+	if alpha <= 0 {
+		alpha = 1.5
+	}
+	return &MovingZipf{w: w, span: span, period: period, alpha: alpha}
+}
+
+// Next returns a skewed key from the current window position.
+func (z *MovingZipf) Next(rng *rand.Rand) uint64 {
+	n := z.ctr.Add(1)
+	universe := ^uint64(0) >> (64 - z.w) // largest key, 2^w - 1
+	// Full windows in [0, 2^w): universe/span counts one short when
+	// span divides 2^w exactly (the +1 below cannot overflow, since a
+	// window count of 2^64-1 would need span == 1 on w == 64, where
+	// universe%span == 0).
+	windows := universe / z.span
+	if universe%z.span == z.span-1 {
+		windows++
+	}
+	if windows == 0 {
+		windows = 1
+	}
+	base := (n / z.period % windows) * z.span
+	off := uint64(float64(z.span) * math.Pow(rng.Float64(), z.alpha))
+	if off >= z.span {
+		off = z.span - 1
+	}
+	return base + off
+}
+
+// Width returns the universe width.
+func (z *MovingZipf) Width() uint8 { return z.w }
 
 // SpreadKeys returns n distinct keys spread deterministically over the
 // width-w universe (a low-discrepancy golden-ratio sequence). Used for

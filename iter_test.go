@@ -168,11 +168,12 @@ func TestSeqAdapters(t *testing.T) {
 
 // TestIterBoundaryChurnScanWindows is the PR 2 boundary-churn torture
 // pattern upgraded with the linearize scan-window checker: writers
-// churn the keys at every shard boundary while readers run full
-// ascending and descending scans; every scan window is then validated
-// against the recorded history (strict order, plausible liveness,
-// stable-key completeness). Run under -race in CI, in both DCSS and
-// CAS-fallback modes.
+// churn the keys at every shard boundary — with per-iteration values,
+// so stale-value bugs are observable — while readers run full
+// ascending and descending scans recording key/value pairs; every scan
+// window is then validated against the recorded history (strict order,
+// plausible liveness, stable-key completeness, value plausibility).
+// Run under -race in CI, in both DCSS and CAS-fallback modes.
 func TestIterBoundaryChurnScanWindows(t *testing.T) {
 	const (
 		w       = 16
@@ -206,19 +207,22 @@ func TestIterBoundaryChurnScanWindows(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; i < iters; i++ {
 				k := boundary[rng.Intn(len(boundary))]
+				// Distinct per writer and iteration: a scan yielding a
+				// value from a superseded write epoch is detectable.
+				v := k | uint64(seed)<<48 | uint64(i)<<32
 				switch rng.Intn(3) {
 				case 0:
 					inv := rec.Invoke()
-					s.Store(k, k)
-					rec.RecordValue(linearize.Store, k, true, k, 0, inv)
+					s.Store(k, v)
+					rec.RecordValue(linearize.Store, k, true, v, 0, inv)
 				case 1:
 					inv := rec.Invoke()
 					ok := s.Delete(k)
 					rec.Record(linearize.Delete, k, ok, 0, inv)
 				default:
 					inv := rec.Invoke()
-					v, loaded := s.LoadOrStore(k, k)
-					rec.RecordValue(linearize.LoadOrStore, k, loaded, k, v, inv)
+					got, loaded := s.LoadOrStore(k, v)
+					rec.RecordValue(linearize.LoadOrStore, k, loaded, v, got, inv)
 				}
 			}
 		}(int64(g + 1))
@@ -230,17 +234,19 @@ func TestIterBoundaryChurnScanWindows(t *testing.T) {
 		go func(seed int64) {
 			defer wg.Done()
 			for i := 0; i < scans; i++ {
-				asc := linearize.Scan{Invoke: rec.Invoke()}
+				asc := linearize.Scan{Vals: []uint64{}, Invoke: rec.Invoke()}
 				it := s.Iter()
 				for ok := it.First(); ok; ok = it.Next() {
 					asc.Keys = append(asc.Keys, it.Key())
+					asc.Vals = append(asc.Vals, it.Value())
 				}
 				asc.Return = rec.Invoke()
 				scanCh <- asc
 
-				desc := linearize.Scan{From: 1<<w - 1, Desc: true, Invoke: rec.Invoke()}
+				desc := linearize.Scan{Vals: []uint64{}, From: 1<<w - 1, Desc: true, Invoke: rec.Invoke()}
 				for ok := it.Last(); ok; ok = it.Prev() {
 					desc.Keys = append(desc.Keys, it.Key())
+					desc.Vals = append(desc.Vals, it.Value())
 				}
 				desc.Return = rec.Invoke()
 				scanCh <- desc

@@ -114,10 +114,12 @@ func TestKeysSingleAlloc(t *testing.T) {
 		t.Fatalf("Keys allocates %.2f objects/run, want 1", avg)
 	}
 	// The sharded snapshot keeps the same shape guarantee — the keys
-	// slice is the only thing sized by key count — plus exactly two
-	// fixed allocations for the k-way merge cursor (its per-shard cursor
-	// slice and loser tree), which are O(1) per snapshot regardless of
-	// how many keys it copies.
+	// slice is the only thing sized by key count — plus exactly three
+	// fixed allocations for the k-way merge cursor: its per-shard
+	// cursor slice, its loser tree, and the cursor struct itself (which
+	// escapes because the eager seeding path can hand it to seeding
+	// goroutines). All O(1) per snapshot regardless of how many keys it
+	// copies.
 	sh := NewSharded[struct{}](WithWidth(32), WithShards(4))
 	for i := uint64(0); i < 1024; i++ {
 		sh.Store(i*4_194_301, struct{}{})
@@ -127,8 +129,8 @@ func TestKeysSingleAlloc(t *testing.T) {
 		if got := sh.Keys(); len(got) != n {
 			t.Fatalf("Sharded.Keys returned %d keys, want %d", len(got), n)
 		}
-	}); avg > 3 {
-		t.Fatalf("Sharded.Keys allocates %.2f objects/run, want <= 3 (keys slice + 2 fixed merge-cursor allocations)", avg)
+	}); avg > 4 {
+		t.Fatalf("Sharded.Keys allocates %.2f objects/run, want <= 4 (keys slice + 3 fixed merge-cursor allocations)", avg)
 	}
 }
 

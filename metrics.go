@@ -2,7 +2,9 @@ package skiptrie
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
+	"time"
 
 	"skiptrie/internal/stats"
 	"skiptrie/internal/uintbits"
@@ -47,6 +49,18 @@ const metricStripes = 16 // power of two
 // The zero value is ready to use.
 type Metrics struct {
 	stripes [metricStripes]metricStripe
+	reshard reshardCounters
+}
+
+// reshardCounters aggregates the resharding subsystem's work: explicit
+// and balancer-driven splits/merges, keys moved by migrations, total
+// migration wall time, and the most recent residency-skew sample. They
+// are written rarely (once per reshard or balancer tick) so they are
+// not striped.
+type reshardCounters struct {
+	splits, merges, moved atomic.Uint64
+	nanos                 atomic.Int64
+	skewBits              atomic.Uint64 // float64 bits of the last sampled skew
 }
 
 type metricStripe struct {
@@ -78,6 +92,39 @@ func (m *Metrics) record(kind OpKind, key uint64, op *stats.Op) {
 	}
 }
 
+// recordReshard folds one completed shard split or merge into the
+// collector. Nil receivers are ignored.
+func (m *Metrics) recordReshard(split bool, moved int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	if split {
+		m.reshard.splits.Add(1)
+	} else {
+		m.reshard.merges.Add(1)
+	}
+	m.reshard.moved.Add(uint64(moved))
+	m.reshard.nanos.Add(int64(d))
+}
+
+// setSkew records the latest residency-skew sample (busiest shard's key
+// count over the per-shard mean). Nil receivers are ignored.
+func (m *Metrics) setSkew(v float64) {
+	if m == nil {
+		return
+	}
+	m.reshard.skewBits.Store(math.Float64bits(v))
+}
+
+// ReshardSnapshot is the resharding section of a Snapshot.
+type ReshardSnapshot struct {
+	Splits      uint64        // shard splits completed
+	Merges      uint64        // shard merges completed
+	MovedKeys   uint64        // keys migrated (warm copies + delta resyncs)
+	MigrateTime time.Duration // total wall time spent in migrations
+	Skew        float64       // last sampled max/mean shard-length skew (0 if never sampled)
+}
+
 // Snapshot is a point-in-time aggregation of a Metrics collector.
 type Snapshot struct {
 	Ops     [numOpKinds]uint64 // operations by kind
@@ -87,6 +134,7 @@ type Snapshot struct {
 	DCSS    uint64             // DCSS attempts
 	Probes  uint64             // hash-table operations
 	Touches uint64             // operations that modified the x-fast trie
+	Reshard ReshardSnapshot    // resharding activity (Sharded only)
 }
 
 // Snapshot sums the stripes. It is safe to call concurrently with
@@ -107,6 +155,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		out.DCSS += s.dcss.Load()
 		out.Probes += s.probes.Load()
 		out.Touches += s.touches.Load()
+	}
+	out.Reshard = ReshardSnapshot{
+		Splits:      m.reshard.splits.Load(),
+		Merges:      m.reshard.merges.Load(),
+		MovedKeys:   m.reshard.moved.Load(),
+		MigrateTime: time.Duration(m.reshard.nanos.Load()),
+		Skew:        math.Float64frombits(m.reshard.skewBits.Load()),
 	}
 	return out
 }

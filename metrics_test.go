@@ -1,6 +1,9 @@
 package skiptrie
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // TestMetricsAttribution checks that every public operation records its
 // sample under the right OpKind bucket — in particular that successor
@@ -63,5 +66,35 @@ func TestMetricsAttribution(t *testing.T) {
 		if got := msn.Ops[kind]; got != n {
 			t.Errorf("map %v ops = %d, want %d", kind, got, n)
 		}
+	}
+}
+
+// TestMetricsReshardCounters pins the reshard section of Snapshot: nil
+// metrics are safe, counters accumulate across manual splits/merges,
+// and the skew gauge reflects the balancer's last sample.
+func TestMetricsReshardCounters(t *testing.T) {
+	// Nil receiver paths must not panic (Sharded without WithMetrics).
+	var nilM *Metrics
+	nilM.recordReshard(true, 5, time.Millisecond)
+	nilM.setSkew(2.0)
+	if sn := nilM.Snapshot(); sn.Reshard.Splits != 0 {
+		t.Fatalf("nil metrics snapshot = %+v", sn.Reshard)
+	}
+
+	var m Metrics
+	m.recordReshard(true, 10, 2*time.Millisecond)
+	m.recordReshard(true, 20, 3*time.Millisecond)
+	m.recordReshard(false, 30, 5*time.Millisecond)
+	m.setSkew(1.75)
+	sn := m.Snapshot()
+	r := sn.Reshard
+	if r.Splits != 2 || r.Merges != 1 || r.MovedKeys != 60 {
+		t.Fatalf("Reshard counters = %+v", r)
+	}
+	if r.MigrateTime != 10*time.Millisecond {
+		t.Fatalf("MigrateTime = %v, want 10ms", r.MigrateTime)
+	}
+	if r.Skew != 1.75 {
+		t.Fatalf("Skew = %v, want 1.75", r.Skew)
 	}
 }

@@ -1,0 +1,119 @@
+package skiptrie
+
+import (
+	"testing"
+)
+
+// FuzzReshardVsMap interprets the fuzz input as a program of map
+// operations interleaved with forced shard Splits and Merges, and
+// replays it against Sharded[V], Map[V], and a plain sequential model,
+// failing on any divergence in a result or in the final Range
+// contents. Resharding is pure mechanism — it must never change a
+// single observable result — so any migration bug (lost key, ghost
+// resurrected from a warm copy, stale value, broken routing after a
+// table swap) surfaces as a divergence from the structures that have
+// no shards to move.
+//
+// Run with `go test -fuzz=FuzzReshardVsMap` for continuous fuzzing; the
+// seed corpus runs in normal test mode (and in CI's fuzz smoke stage).
+func FuzzReshardVsMap(f *testing.F) {
+	// Seeds: split-heavy, merge-after-split, boundary churn around the
+	// deepest split points, and plain mixed traffic.
+	f.Add([]byte{0xE0, 0x00, 0x01, 0xFF, 0xE1, 0x00, 0x21, 0xFF, 0xE2, 0x00})
+	f.Add([]byte{0xE0, 0x00, 0xE0, 0x01, 0xF0, 0x00, 0x41, 0xFF, 0xF0, 0x01})
+	f.Add([]byte{0x1F, 0xFF, 0xE0, 0x00, 0x20, 0x00, 0xF1, 0x00, 0x3F, 0xFF, 0x40, 0x00})
+	f.Add([]byte{0x00, 0x01, 0x22, 0x03, 0x44, 0x05, 0x66, 0x07, 0x88, 0x09, 0xAA, 0x0B})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) > 4096 {
+			t.Skip("program too long")
+		}
+		const w = 13 // matches the key fold below: 5+8 bits of key material
+		sh := NewSharded[uint64](WithWidth(w), WithShards(2), WithMaxShards(64), WithSeed(2))
+		mp := NewMap[uint64](WithWidth(w), WithSeed(5))
+		model := map[uint64]uint64{}
+
+		for i := 0; i+1 < len(program); i += 2 {
+			op := program[i] >> 5
+			key := uint64(program[i]&0x1F)<<8 | uint64(program[i+1])
+			val := uint64(i)*2654435761 + key
+			switch op {
+			case 0, 1: // Store — double weight so structures fill up
+				sh.Store(key, val)
+				mp.Store(key, val)
+				model[key] = val
+			case 2: // Delete
+				sOk := sh.Delete(key)
+				mOk := mp.Delete(key)
+				_, wOk := model[key]
+				if sOk != wOk || mOk != wOk {
+					t.Fatalf("step %d: Delete(%d) sharded=%v map=%v model=%v", i, key, sOk, mOk, wOk)
+				}
+				delete(model, key)
+			case 3: // Load
+				sv, sOk := sh.Load(key)
+				mv, mOk := mp.Load(key)
+				wv, wOk := model[key]
+				if sOk != wOk || mOk != wOk || (wOk && (sv != wv || mv != wv)) {
+					t.Fatalf("step %d: Load(%d) sharded=%d,%v map=%d,%v model=%d,%v",
+						i, key, sv, sOk, mv, mOk, wv, wOk)
+				}
+			case 4: // LoadOrStore
+				sv, sL := sh.LoadOrStore(key, val)
+				mv, mL := mp.LoadOrStore(key, val)
+				wv, wL := model[key]
+				if !wL {
+					model[key] = val
+					wv = val
+				}
+				if sL != wL || mL != wL || sv != wv || mv != wv {
+					t.Fatalf("step %d: LoadOrStore(%d) sharded=%d,%v map=%d,%v model=%d,%v",
+						i, key, sv, sL, mv, mL, wv, wL)
+				}
+			case 5: // Predecessor (cross-checks routing after reshards)
+				sk, sv, sOk := sh.Predecessor(key)
+				mk, mv, mOk := mp.Predecessor(key)
+				if sOk != mOk || (mOk && (sk != mk || sv != mv)) {
+					t.Fatalf("step %d: Predecessor(%d) sharded=%d,%d,%v map=%d,%d,%v",
+						i, key, sk, sv, sOk, mk, mv, mOk)
+				}
+			case 6: // Split the shard owning key (may legitimately fail)
+				sh.Split(key)
+			default: // Merge the shard owning key (may legitimately fail)
+				sh.Merge(key)
+			}
+		}
+
+		// Final contents: all three must hold the same key/value pairs,
+		// in order, and the partition must satisfy its invariants.
+		if sh.Len() != len(model) || mp.Len() != len(model) {
+			t.Fatalf("Len: sharded=%d map=%d model=%d (shards=%d)", sh.Len(), mp.Len(), len(model), sh.Shards())
+		}
+		type kv struct{ k, v uint64 }
+		var shAll, mpAll []kv
+		sh.Range(0, func(k uint64, v uint64) bool { shAll = append(shAll, kv{k, v}); return true })
+		mp.Range(0, func(k uint64, v uint64) bool { mpAll = append(mpAll, kv{k, v}); return true })
+		if len(shAll) != len(mpAll) || len(shAll) != len(model) {
+			t.Fatalf("Range lengths: sharded=%d map=%d model=%d", len(shAll), len(mpAll), len(model))
+		}
+		for i := range shAll {
+			if shAll[i] != mpAll[i] {
+				t.Fatalf("Range[%d]: sharded=%+v map=%+v", i, shAll[i], mpAll[i])
+			}
+			if wv, ok := model[shAll[i].k]; !ok || wv != shAll[i].v {
+				t.Fatalf("Range[%d]: %+v not in model (want %d,%v)", i, shAll[i], wv, ok)
+			}
+		}
+		// Keys() exercises the eager parallel seeding path once the
+		// program has split the partition wide enough.
+		keys := sh.Keys()
+		if len(keys) != len(model) {
+			t.Fatalf("Keys = %d entries, want %d", len(keys), len(model))
+		}
+		if err := sh.Validate(); err != nil {
+			t.Fatalf("sharded invariants: %v", err)
+		}
+		if err := mp.Validate(); err != nil {
+			t.Fatalf("map invariants: %v", err)
+		}
+	})
+}

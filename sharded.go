@@ -1,6 +1,9 @@
 package skiptrie
 
 import (
+	"time"
+
+	"skiptrie/internal/reshard"
 	"skiptrie/internal/shard"
 	"skiptrie/internal/stats"
 )
@@ -29,34 +32,134 @@ import (
 // minimum cost per ordered query (each empty shard between two keys
 // adds one extremum probe to a stitched query).
 //
+// The partition is dynamic: Split and Merge reshape it online (keys
+// migrate between shards while readers and writers keep running), and
+// WithAutoReshard attaches a background balancer that does so
+// automatically when one shard absorbs a disproportionate share of the
+// write traffic or resident keys — the defense against hot-range
+// workloads that would otherwise serialize in one shard. Call Close to
+// stop the balancer when the map is no longer needed.
+//
 // Create one with NewSharded; the zero value is not usable.
 type Sharded[V any] struct {
-	t *shard.Trie[V]
-	m *Metrics
+	t   *shard.Trie[V]
+	m   *Metrics
+	bal *reshard.Balancer
 }
 
-// WithShards sets the shard count for NewSharded. The count is rounded
-// up to a power of two and clamped so every shard keeps at least a
-// 1-bit sub-universe. The default (0) is GOMAXPROCS rounded up to a
-// power of two. New and NewMap ignore this option.
+// WithShards sets the initial shard count for NewSharded. The count is
+// rounded up to a power of two and clamped so every shard keeps at
+// least a 1-bit sub-universe. The default (0) is GOMAXPROCS rounded up
+// to a power of two. New and NewMap ignore this option.
 func WithShards(n int) Option {
 	return func(o *options) { o.shards = n }
 }
 
+// WithMaxShards caps how far Split (manual or balancer-driven) may
+// subdivide the universe, with the same rounding and clamping as
+// WithShards and a floor at the initial shard count. The default (0)
+// allows the package maximum (4096 shards). New and NewMap ignore this
+// option.
+func WithMaxShards(n int) Option {
+	return func(o *options) { o.maxShards = n }
+}
+
+// WithAutoReshard attaches a background balancer that samples per-shard
+// load every interval (0 selects the 50ms default) and splits hot
+// shards / merges cold buddies online, within the WithMaxShards cap.
+// The balancer samples op counters and shard lengths — one cheap pass
+// over the shard table per interval — and issues at most one reshard
+// per tick. Call Close to stop it. New and NewMap ignore this option.
+func WithAutoReshard(interval time.Duration) Option {
+	return func(o *options) {
+		o.autoReshard = true
+		o.reshardEvery = interval
+	}
+}
+
 // NewSharded returns an empty sharded ordered map. It accepts the same
-// options as New plus WithShards; WithSeed seeds shard i with seed+i so
-// shard shapes stay reproducible yet independent.
+// options as New plus WithShards, WithMaxShards and WithAutoReshard;
+// WithSeed seeds the i'th shard ever created with seed+i so shard
+// shapes stay reproducible yet independent.
 func NewSharded[V any](opts ...Option) *Sharded[V] {
 	o := buildOptions(opts)
-	return &Sharded[V]{
+	s := &Sharded[V]{
 		t: shard.New[V](shard.Config{
 			Width:       o.width,
 			Shards:      o.shards,
+			MaxShards:   o.maxShards,
 			DisableDCSS: o.disableDCSS,
 			Repair:      o.repair,
 			Seed:        o.seed,
 		}),
 		m: o.metrics,
+	}
+	if o.autoReshard {
+		s.bal = reshard.New(shardedTarget[V]{s}, reshard.Policy{
+			Interval: o.reshardEvery,
+		})
+		s.bal.Start()
+	}
+	return s
+}
+
+// shardedTarget routes the balancer's actions through the public
+// Split/Merge methods (so metrics are recorded) and feeds the skew
+// gauge on every sample.
+type shardedTarget[V any] struct{ s *Sharded[V] }
+
+func (a shardedTarget[V]) Width() uint8 { return a.s.t.Width() }
+
+func (a shardedTarget[V]) Stats() []reshard.ShardStat {
+	infos := a.s.t.Buckets()
+	out := make([]reshard.ShardStat, len(infos))
+	lens := make([]int, len(infos))
+	for i, in := range infos {
+		out[i] = reshard.ShardStat{Lo: in.Lo, Bits: in.Bits, Len: in.Len, Ops: in.Ops}
+		lens[i] = in.Len
+	}
+	if skew := reshard.SkewOf(lens); skew > 0 {
+		a.s.m.setSkew(skew)
+	}
+	return out
+}
+
+func (a shardedTarget[V]) Split(lo uint64) error { return a.s.Split(lo) }
+func (a shardedTarget[V]) Merge(lo uint64) error { return a.s.Merge(lo) }
+
+// Split divides the shard owning key into two half-range children,
+// migrating its resident keys online: concurrent point operations stay
+// linearizable throughout (writes to the migrating range briefly wait
+// during the final delta handoff; reads never wait). It fails when the
+// shard is already at the WithMaxShards depth. Most callers want
+// WithAutoReshard instead; Split exists for tests and for callers with
+// out-of-band knowledge of incoming load.
+func (s *Sharded[V]) Split(key uint64) error {
+	ms, err := s.t.Split(key)
+	if err == nil {
+		s.m.recordReshard(true, ms.Moved+ms.Dirty, ms.Duration)
+	}
+	return err
+}
+
+// Merge rejoins the shard owning key with its buddy (the shard covering
+// the other half of their common parent range), migrating both shards'
+// keys online with the same guarantees as Split. It fails on a
+// single-shard map and when the buddy has been split finer.
+func (s *Sharded[V]) Merge(key uint64) error {
+	ms, err := s.t.Merge(key)
+	if err == nil {
+		s.m.recordReshard(false, ms.Moved+ms.Dirty, ms.Duration)
+	}
+	return err
+}
+
+// Close stops the WithAutoReshard balancer, if one is attached, and
+// waits for it to exit. The map remains fully usable afterwards; Close
+// only ends automatic resharding. Safe to call multiple times.
+func (s *Sharded[V]) Close() {
+	if s.bal != nil {
+		s.bal.Stop()
 	}
 }
 
@@ -67,8 +170,13 @@ func (s *Sharded[V]) op() *stats.Op {
 	return new(stats.Op)
 }
 
-// Shards returns the shard count (a power of two).
+// Shards returns the current shard count.
 func (s *Sharded[V]) Shards() int { return s.t.Shards() }
+
+// ShardLens returns each shard's key count in key order, for balance
+// diagnostics: the spread shows how well the current partition matches
+// the key distribution.
+func (s *Sharded[V]) ShardLens() []int { return s.t.ShardLens() }
 
 // Store sets the value for key, inserting it if absent. Keys outside
 // the universe [0, 2^W) are rejected: nothing is stored.
@@ -163,13 +271,16 @@ func (s *Sharded[V]) Descend(from uint64, fn func(key uint64, val V) bool) {
 }
 
 // Keys returns all keys in ascending order (a weakly consistent
-// snapshot), preallocated from Len.
+// snapshot), preallocated from Len. A full snapshot needs every
+// shard's cursor anyway, so the merge is seeded eagerly — in parallel
+// goroutines once the partition is at least 8 shards wide — rather
+// than on demand.
 func (s *Sharded[V]) Keys() []uint64 {
 	keys := make([]uint64, 0, s.Len())
-	s.Range(0, func(k uint64, _ V) bool {
-		keys = append(keys, k)
-		return true
-	})
+	it := s.t.MakeIter(nil)
+	for ok := it.SeekAll(0); ok; ok = it.Next() {
+		keys = append(keys, it.Key())
+	}
 	return keys
 }
 

@@ -27,6 +27,8 @@
 package skiptrie
 
 import (
+	"time"
+
 	"skiptrie/internal/core"
 	"skiptrie/internal/skiplist"
 	"skiptrie/internal/stats"
@@ -40,12 +42,15 @@ type SkipTrie struct {
 }
 
 type options struct {
-	width       uint8
-	shards      int
-	disableDCSS bool
-	repair      skiplist.RepairMode
-	seed        uint64
-	metrics     *Metrics
+	width        uint8
+	shards       int
+	maxShards    int
+	autoReshard  bool
+	reshardEvery time.Duration
+	disableDCSS  bool
+	repair       skiplist.RepairMode
+	seed         uint64
+	metrics      *Metrics
 }
 
 // Option configures a SkipTrie or Map.
