@@ -1,0 +1,101 @@
+// Benchmarks for the snapshot subsystem, tracked by the CI benchstat
+// gate: the drain paths (Keys/Range over a pinned view) and — the one
+// that keeps the design honest — the write path with a live snapshot
+// open, which measures what epoch stamping and retention actually cost
+// writers instead of guessing.
+package skiptrie
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSnapshotKeys drains a full pinned view, sharded and not.
+func BenchmarkSnapshotKeys(b *testing.B) {
+	for _, backend := range []string{"map", "sharded"} {
+		b.Run("backend="+backend, func(b *testing.B) {
+			var snap func() *Snapshot[uint64]
+			if backend == "map" {
+				m := NewMap[uint64](WithWidth(32), WithSeed(1))
+				scanBenchKeys(m.Store)
+				snap = m.Snapshot
+			} else {
+				s := NewSharded[uint64](WithWidth(32), WithShards(8), WithSeed(1))
+				defer s.Close()
+				scanBenchKeys(s.Store)
+				snap = s.Snapshot
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sn := snap()
+				if got := len(sn.Keys()); got != benchM {
+					b.Fatalf("snapshot drained %d keys, want %d", got, benchM)
+				}
+				sn.Close()
+			}
+			b.ReportMetric(float64(benchM), "keys/scan")
+		})
+	}
+}
+
+// BenchmarkSnapshotRange windows a pinned view: the paginated-listing
+// shape (seek into the middle, read a page).
+func BenchmarkSnapshotRange(b *testing.B) {
+	const page = 128
+	s := NewSharded[uint64](WithWidth(32), WithShards(8), WithSeed(2))
+	defer s.Close()
+	keys := scanBenchKeys(s.Store)
+	sn := s.Snapshot()
+	defer sn.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := keys[(i*4099)%len(keys)]
+		n := 0
+		sn.Range(from, func(k, v uint64) bool {
+			n++
+			return n < page
+		})
+	}
+	b.ReportMetric(page, "keys/scan")
+}
+
+// BenchmarkStoreWithLiveSnapshot measures the write path's snapshot
+// overhead: the same Store workload with no snapshot machinery
+// engaged, with a snapshot held open across the whole run (every
+// overwrite pushes a version, every delete retains), and with a
+// snapshot cycled per block (retention plus sweep). Overwrites and
+// deletes are in the mix because they are exactly the operations
+// retention taxes; pure inserts only pay the epoch load.
+func BenchmarkStoreWithLiveSnapshot(b *testing.B) {
+	for _, mode := range []string{"none", "live", "cycled"} {
+		b.Run(fmt.Sprintf("snap=%s", mode), func(b *testing.B) {
+			m := NewMap[uint64](WithWidth(32), WithSeed(3))
+			keys := scanBenchKeys(m.Store)
+			var sn *Snapshot[uint64]
+			if mode == "live" {
+				sn = m.Snapshot()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "cycled" && i%1024 == 0 {
+					if sn != nil {
+						sn.Close()
+					}
+					sn = m.Snapshot()
+				}
+				k := keys[(i*2654435761)%len(keys)]
+				switch i % 8 {
+				case 7: // delete + reinsert: the retention path
+					m.Delete(k)
+					m.Store(k, k)
+				default: // overwrite: the version-chain path
+					m.Store(k, uint64(i))
+				}
+			}
+			b.StopTimer()
+			if sn != nil {
+				sn.Close()
+			}
+		})
+	}
+}

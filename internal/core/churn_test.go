@@ -26,7 +26,7 @@ import (
 //     now carries Top even when Deleted is false, and core.Delete walks
 //     it regardless.
 func TestConcurrentSameKeyChurnTrieClean(t *testing.T) {
-	iters := 300
+	iters := testenv.Scale(300)
 	if testing.Short() {
 		iters = 60
 	}

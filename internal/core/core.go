@@ -142,7 +142,7 @@ func (s *SkipTrie[V]) Insert(key uint64, val V, c *stats.Op) bool {
 		return false
 	}
 	start := s.trie.Pred(k, false, c)
-	if start.IsData() && start.Key() == k && !start.Marked() {
+	if start.IsData() && start.Key() == k && !start.Marked() && !start.IsDead() {
 		return false // Alg 6 line 1: already present as a top-level node
 	}
 	res := s.list.Insert(k, val, start, c)
@@ -169,7 +169,7 @@ func (s *SkipTrie[V]) Store(key uint64, val V, c *stats.Op) bool {
 		return false
 	}
 	start := s.trie.Pred(k, false, c)
-	if start.IsData() && start.Key() == k && !start.Marked() {
+	if start.IsData() && start.Key() == k && !start.Marked() && !start.IsDead() {
 		s.list.SetValue(start, val)
 		return false
 	}
@@ -191,7 +191,7 @@ func (s *SkipTrie[V]) LoadOrStore(key uint64, val V, c *stats.Op) (actual V, loa
 	}
 	for {
 		start := s.trie.Pred(k, false, c)
-		if start.IsData() && start.Key() == k && !start.Marked() {
+		if start.IsData() && start.Key() == k && !start.Marked() && !start.IsDead() {
 			return s.list.ValueOf(start), true
 		}
 		res := s.list.Insert(k, val, start, c)
@@ -236,11 +236,11 @@ func (s *SkipTrie[V]) Contains(key uint64, c *stats.Op) bool {
 		return false
 	}
 	start := s.trie.Pred(k, false, c)
-	if start.IsData() && start.Key() == k && !start.Marked() {
+	if start.IsData() && start.Key() == k && !start.Marked() && !start.IsDead() {
 		return true
 	}
-	br := s.list.PredecessorBracket(k, start, c)
-	return br.Right.IsData() && br.Right.Key() == k
+	_, ok = s.list.Find(k, start, c)
+	return ok
 }
 
 // Find returns the value associated with key.
@@ -288,11 +288,11 @@ func (s *SkipTrie[V]) Predecessor(x uint64, c *stats.Op) (uint64, V, bool) {
 	}
 	start := s.trie.Pred(k, false, c)
 	br := s.list.PredecessorBracket(k, start, c)
-	if br.Right.IsData() && br.Right.Key() == k {
-		return s.base + k, s.valueAt(br.Right), true
+	if n, ok := s.list.FindVisible(br.Right, k, 0, c); ok {
+		return s.base + k, s.valueAt(n), true
 	}
-	if br.Left.IsData() {
-		return s.base + br.Left.Key(), s.valueAt(br.Left), true
+	if n, ok := s.list.PrevLive(br.Left, c); ok {
+		return s.base + n.Key(), s.valueAt(n), true
 	}
 	return 0, zero, false
 }
@@ -309,8 +309,8 @@ func (s *SkipTrie[V]) StrictPredecessor(x uint64, c *stats.Op) (uint64, V, bool)
 	}
 	start := s.trie.Pred(k, true, c)
 	br := s.list.PredecessorBracket(k, start, c)
-	if br.Left.IsData() {
-		return s.base + br.Left.Key(), s.valueAt(br.Left), true
+	if n, ok := s.list.PrevLive(br.Left, c); ok {
+		return s.base + n.Key(), s.valueAt(n), true
 	}
 	return 0, zero, false
 }
@@ -327,8 +327,8 @@ func (s *SkipTrie[V]) Successor(x uint64, c *stats.Op) (uint64, V, bool) {
 	}
 	start := s.trie.Pred(k, true, c)
 	br := s.list.PredecessorBracket(k, start, c)
-	if br.Right.IsData() {
-		return s.base + br.Right.Key(), s.valueAt(br.Right), true
+	if n, ok := s.list.NextLive(br.Right, c); ok {
+		return s.base + n.Key(), s.valueAt(n), true
 	}
 	return 0, zero, false
 }
@@ -354,8 +354,8 @@ func (s *SkipTrie[V]) MaxKey() uint64 { return s.base + s.localMax() }
 func (s *SkipTrie[V]) Max(c *stats.Op) (uint64, V, bool) {
 	start := s.trie.Pred(s.localMax(), false, c)
 	br := s.list.LastBracket(start, c)
-	if br.Left.IsData() {
-		return s.base + br.Left.Key(), s.valueAt(br.Left), true
+	if n, ok := s.list.PrevLive(br.Left, c); ok {
+		return s.base + n.Key(), s.valueAt(n), true
 	}
 	var zero V
 	return 0, zero, false

@@ -40,6 +40,23 @@ func (s *SkipTrie[V]) NewIter(c *stats.Op) *Iter[V] {
 	return &it
 }
 
+// MakeSnapIter returns an unpositioned cursor over the view pinned at
+// epoch at (obtained from PinEpoch and not yet released): it yields
+// exactly the keys visible at that epoch with the values current then,
+// with the same navigation costs as the live cursor. Unlike the live
+// cursor it is strongly consistent — the pinned view cannot change
+// under it.
+func (s *SkipTrie[V]) MakeSnapIter(at uint64, c *stats.Op) Iter[V] {
+	return Iter[V]{s: s, it: s.list.MakeSnapIter(at), c: c}
+}
+
+// NewSnapIter returns an unpositioned snapshot cursor, like
+// MakeSnapIter.
+func (s *SkipTrie[V]) NewSnapIter(at uint64, c *stats.Op) *Iter[V] {
+	it := s.MakeSnapIter(at, c)
+	return &it
+}
+
 // Valid reports whether the cursor rests on a key.
 func (it *Iter[V]) Valid() bool { return it.it.Valid() }
 

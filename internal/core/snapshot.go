@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"skiptrie/internal/stats"
+)
+
+// This file lifts the skiplist's epoch machinery (skiplist/epoch.go) to
+// the composed SkipTrie: pinning an epoch, point reads against a pinned
+// epoch, and the Snap handle bundling a pin with its reads. The x-fast
+// trie needs no epoch awareness — it only accelerates descents, and
+// visibility is decided at the bottom list.
+
+// PinEpoch pins the trie's current epoch and returns it: until a
+// matching ReleaseEpoch, every key and value version visible at the
+// returned epoch stays reachable through FindAt and the snapshot
+// cursor. Pins are refcounted; any number may be live concurrently.
+func (s *SkipTrie[V]) PinEpoch() uint64 { return s.list.PinEpoch() }
+
+// ReleaseEpoch drops one reference on a pinned epoch, reclaiming nodes
+// no remaining pin can see.
+func (s *SkipTrie[V]) ReleaseEpoch(at uint64) { s.list.ReleaseEpoch(at) }
+
+// PinnedEpochs returns the number of live pins, for tests and
+// diagnostics.
+func (s *SkipTrie[V]) PinnedEpochs() int { return s.list.PinCount() }
+
+// FindAt returns the value key held at the pinned epoch at, reporting
+// whether the key was present then. The caller must hold a pin on at.
+func (s *SkipTrie[V]) FindAt(key, at uint64, c *stats.Op) (V, bool) {
+	k, ok := s.local(key)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	start := s.trie.Pred(k, false, c)
+	br := s.list.PredecessorBracket(k, start, c)
+	if n, ok := s.list.FindVisible(br.Right, k, at, c); ok {
+		return s.list.ValueAt(n, at), true
+	}
+	var zero V
+	return zero, false
+}
+
+// Snap is a consistent point-in-time view of one SkipTrie: a pinned
+// epoch plus the read surface over it. It is created by Snapshot,
+// stays valid — and unchanging — under concurrent updates, and must be
+// released with Close so retained nodes can be reclaimed. All methods
+// are safe for concurrent use (each cursor, as always, belongs to one
+// goroutine).
+type Snap[V any] struct {
+	s      *SkipTrie[V]
+	at     uint64
+	closed atomic.Bool
+}
+
+// Snapshot pins the current epoch and returns the view at it. The pin
+// is O(1): no copying, no quiescence — concurrent updates proceed
+// immediately, with deletes retaining their nodes until no snapshot
+// needs them.
+func (s *SkipTrie[V]) Snapshot() *Snap[V] {
+	return &Snap[V]{s: s, at: s.PinEpoch()}
+}
+
+// At returns the pinned epoch.
+func (sn *Snap[V]) At() uint64 { return sn.at }
+
+// Load returns the value key held when the snapshot was taken.
+func (sn *Snap[V]) Load(key uint64, c *stats.Op) (V, bool) {
+	return sn.s.FindAt(key, sn.at, c)
+}
+
+// NewIter returns an unpositioned cursor over the snapshot.
+func (sn *Snap[V]) NewIter(c *stats.Op) *Iter[V] {
+	return sn.s.NewSnapIter(sn.at, c)
+}
+
+// Close releases the snapshot's pin, allowing retained nodes to be
+// reclaimed. It reports whether this call closed the snapshot; only
+// the first call does, and reads must not be in flight or issued after
+// it.
+func (sn *Snap[V]) Close() bool {
+	if !sn.closed.CompareAndSwap(false, true) {
+		return false
+	}
+	sn.s.ReleaseEpoch(sn.at)
+	return true
+}

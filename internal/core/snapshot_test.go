@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+)
+
+func snapKeys(sn *Snap[uint64]) []uint64 {
+	it := sn.NewIter(nil)
+	var out []uint64
+	for ok := it.First(); ok; ok = it.Next() {
+		out = append(out, it.Key())
+	}
+	return out
+}
+
+func eqU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSnapshotBasic: the pinned view is frozen while the live trie
+// moves on; point reads and both scan directions agree with it.
+func TestSnapshotBasic(t *testing.T) {
+	s := New[uint64](Config{Width: 16, Seed: 3})
+	for _, k := range []uint64{5, 10, 15, 20} {
+		s.Store(k, k*10, nil)
+	}
+	sn := s.Snapshot()
+	defer sn.Close()
+
+	s.Delete(10, nil)
+	s.Store(25, 250, nil)
+	s.Store(15, 999, nil) // overwrite after the pin
+
+	if got := snapKeys(sn); !eqU64(got, []uint64{5, 10, 15, 20}) {
+		t.Fatalf("snapshot keys = %v", got)
+	}
+	if v, ok := sn.Load(10, nil); !ok || v != 100 {
+		t.Fatalf("snapshot Load(10) = %d,%v want 100,true", v, ok)
+	}
+	if v, ok := sn.Load(15, nil); !ok || v != 150 {
+		t.Fatalf("snapshot Load(15) = %d,%v want pre-overwrite 150", v, ok)
+	}
+	if _, ok := sn.Load(25, nil); ok {
+		t.Fatal("snapshot must not see the post-pin insert")
+	}
+	// Descending over the same view.
+	it := sn.NewIter(nil)
+	var desc []uint64
+	for ok := it.Last(); ok; ok = it.Prev() {
+		desc = append(desc, it.Key())
+	}
+	if !eqU64(desc, []uint64{20, 15, 10, 5}) {
+		t.Fatalf("snapshot descend = %v", desc)
+	}
+	// The live trie meanwhile reflects all updates.
+	if _, ok := s.Find(10, nil); ok {
+		t.Fatal("live view still holds deleted key")
+	}
+	if v, _ := s.Find(15, nil); v != 999 {
+		t.Fatalf("live value = %d, want 999", v)
+	}
+}
+
+// TestSnapshotCloseIdempotentAndSweep: Close reports once and releases
+// retention; Validate stays clean afterwards.
+func TestSnapshotCloseIdempotentAndSweep(t *testing.T) {
+	s := New[uint64](Config{Width: 16, Seed: 7})
+	for k := uint64(0); k < 64; k++ {
+		s.Store(k, k, nil)
+	}
+	sn := s.Snapshot()
+	for k := uint64(0); k < 64; k += 2 {
+		s.Delete(k, nil)
+	}
+	if got := len(snapKeys(sn)); got != 64 {
+		t.Fatalf("snapshot sees %d keys, want 64", got)
+	}
+	if !sn.Close() {
+		t.Fatal("first Close must report true")
+	}
+	if sn.Close() {
+		t.Fatal("second Close must report false")
+	}
+	if s.PinnedEpochs() != 0 {
+		t.Fatalf("pins left: %d", s.PinnedEpochs())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate after close: %v", err)
+	}
+	if s.Len() != 32 {
+		t.Fatalf("Len = %d, want 32", s.Len())
+	}
+}
+
+// TestSnapshotWithBase: snapshots respect the sub-universe translation
+// (the shape shards rely on).
+func TestSnapshotWithBase(t *testing.T) {
+	s := New[uint64](Config{Width: 8, Base: 0x400, Seed: 5})
+	for _, k := range []uint64{0x400, 0x410, 0x4FF} {
+		s.Store(k, k, nil)
+	}
+	sn := s.Snapshot()
+	defer sn.Close()
+	s.Delete(0x410, nil)
+	if got := snapKeys(sn); !eqU64(got, []uint64{0x400, 0x410, 0x4FF}) {
+		t.Fatalf("snapshot keys = %#x", got)
+	}
+	if v, ok := sn.Load(0x410, nil); !ok || v != 0x410 {
+		t.Fatalf("Load(0x410) = %#x,%v", v, ok)
+	}
+	if _, ok := sn.Load(0x300, nil); ok {
+		t.Fatal("out-of-universe key visible")
+	}
+}
+
+// TestSnapshotSeekWithinView: Seek/SeekLE position against the pinned
+// view, not the live one.
+func TestSnapshotSeekWithinView(t *testing.T) {
+	s := New[uint64](Config{Width: 16, Seed: 11})
+	for _, k := range []uint64{100, 200, 300} {
+		s.Store(k, k, nil)
+	}
+	sn := s.Snapshot()
+	defer sn.Close()
+	s.Delete(200, nil)
+	s.Store(250, 250, nil)
+
+	it := sn.NewIter(nil)
+	if ok := it.Seek(150); !ok || it.Key() != 200 {
+		t.Fatalf("Seek(150) = %d, want deleted-but-pinned 200", it.Key())
+	}
+	if ok := it.Seek(201); !ok || it.Key() != 300 {
+		t.Fatalf("Seek(201) = %d, want 300 (not live 250)", it.Key())
+	}
+	if ok := it.SeekLE(299); !ok || it.Key() != 200 {
+		t.Fatalf("SeekLE(299) = %d, want 200", it.Key())
+	}
+}
+
+// TestSnapshotManyEpochs: a ladder of snapshots, each taken between
+// updates, all stay exact until closed.
+func TestSnapshotManyEpochs(t *testing.T) {
+	s := New[uint64](Config{Width: 16, Seed: 13})
+	type stage struct {
+		sn   *Snap[uint64]
+		want []uint64
+	}
+	var stages []stage
+	live := map[uint64]bool{}
+	for i := uint64(0); i < 20; i++ {
+		k := i * 3
+		s.Store(k, k, nil)
+		live[k] = true
+		if i%3 == 0 && i > 0 {
+			s.Delete((i-1)*3, nil)
+			delete(live, (i-1)*3)
+		}
+		var want []uint64
+		for j := uint64(0); j < 64; j++ {
+			if live[j] {
+				want = append(want, j)
+			}
+		}
+		stages = append(stages, stage{s.Snapshot(), want})
+	}
+	for i, st := range stages {
+		if got := snapKeys(st.sn); !eqU64(got, st.want) {
+			t.Fatalf("stage %d: snapshot = %v, want %v", i, got, st.want)
+		}
+	}
+	for _, st := range stages {
+		st.sn.Close()
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package linearize
+
+import "fmt"
+
+// CheckSnapshotScan validates a snapshot drain against a concurrent
+// update history, holding it to the strict point-in-time contract that
+// Snapshot documents — strictly stronger than CheckScan's rules for
+// weakly-consistent scans.
+//
+// The insight is that a snapshot scan's correctness window is not the
+// drain (which may take arbitrarily long and overlap arbitrarily much
+// churn) but the pin: the Snapshot() call's own [pinInvoke, pinReturn]
+// interval, during which the view was fixed. Every CheckScan rule is
+// therefore applied against the pin window instead of the drain
+// window:
+//
+//   - Order (rule 1) is unchanged: strictly monotone, on the correct
+//     side of From.
+//
+//   - Liveness (rule 2) tightens: every yielded key must have been
+//     plausibly present within the pin window itself. A key inserted
+//     after the pin returned must not appear, no matter how long
+//     before the drain finished it was inserted — under CheckScan it
+//     legitimately could.
+//
+//   - Completeness (rule 3) tightens to the strict rule: every key in
+//     range that was definitely present across the pin window — made
+//     present by an operation that returned before the pin was
+//     invoked, with no delete that could linearize before the pin
+//     returned — must be yielded. CheckScan's stable-key rule excuses
+//     any key that churns at any point during the drain; here a key
+//     deleted five minutes into the drain is still owed, because it
+//     was live at the pin point.
+//
+//   - Value plausibility (rule 4, when s.Vals is recorded) tightens
+//     the same way: each yielded value must come from a write that
+//     could have been the key's latest at an instant inside the pin
+//     window. A value written after the pin returned is a violation
+//     even though the live scan could legally yield it.
+//
+// s.Invoke and s.Return (the drain window) are ignored; callers may
+// leave them zero. pinInvoke/pinReturn must bracket the Snapshot()
+// call on the same Recorder clock as the history. As with CheckScan,
+// every rule errs on the side of accepting any schedulable behavior,
+// so a reported violation is a real bug, not checker pessimism.
+//
+// For a Sharded snapshot the pin is per shard ("shards pinned one at a
+// time"); bracketing the whole Snapshot() call checks the composite
+// guarantee exactly, since each shard's pin instant lies inside that
+// window.
+func CheckSnapshotScan(s Scan, pinInvoke, pinReturn int64, history []Event) error {
+	if pinInvoke > pinReturn {
+		return fmt.Errorf("linearize: snapshot pin window [%d,%d] is inverted", pinInvoke, pinReturn)
+	}
+	s.Invoke, s.Return = pinInvoke, pinReturn
+	return CheckScan(s, history)
+}

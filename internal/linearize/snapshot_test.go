@@ -1,0 +1,109 @@
+package linearize
+
+import (
+	"strings"
+	"testing"
+)
+
+// Timeline helpers: events are (type, key, ok, val) at explicit
+// [invoke, return] instants on one global clock.
+
+func mkStore(key, val uint64, inv, ret int64) Event {
+	return Event{Type: Store, Key: key, Val: val, Ok: true, Invoke: inv, Return: ret}
+}
+
+func mkDelete(key uint64, ok bool, inv, ret int64) Event {
+	return Event{Type: Delete, Key: key, Ok: ok, Invoke: inv, Return: ret}
+}
+
+// TestSnapshotScanStricterThanCheckScan pins the defining difference:
+// a key live at the pin point but deleted mid-drain is excused by
+// CheckScan's stable-key rule yet owed by the snapshot rule.
+func TestSnapshotScanStricterThanCheckScan(t *testing.T) {
+	history := []Event{
+		mkStore(10, 1, 1, 2),       // present well before the pin
+		mkDelete(10, true, 40, 41), // deleted long after the pin, mid-drain
+	}
+	// Pin at [10, 11]; drain runs [12, 100] and misses key 10.
+	scan := Scan{Keys: nil, Invoke: 12, Return: 100}
+	if err := CheckScan(scan, history); err != nil {
+		t.Fatalf("CheckScan should excuse the churned key: %v", err)
+	}
+	if err := CheckSnapshotScan(scan, 10, 11, history); err == nil {
+		t.Fatal("CheckSnapshotScan must demand the key live at the pin point")
+	} else if !strings.Contains(err.Error(), "missed key") {
+		t.Fatalf("wrong violation: %v", err)
+	}
+	// The same drain yielding the key passes the snapshot rule.
+	scan.Keys = []uint64{10}
+	if err := CheckSnapshotScan(scan, 10, 11, history); err != nil {
+		t.Fatalf("snapshot correctly yielding the pinned key: %v", err)
+	}
+}
+
+// TestSnapshotScanRejectsPostPinInsert: a key inserted after the pin
+// returned may legally show up in a weakly-consistent scan but never in
+// a snapshot.
+func TestSnapshotScanRejectsPostPinInsert(t *testing.T) {
+	history := []Event{
+		mkStore(20, 7, 50, 51), // inserted after the pin, before drain end
+	}
+	scan := Scan{Keys: []uint64{20}, Invoke: 12, Return: 100}
+	if err := CheckScan(scan, history); err != nil {
+		t.Fatalf("CheckScan should accept the mid-drain insert: %v", err)
+	}
+	if err := CheckSnapshotScan(scan, 10, 11, history); err == nil {
+		t.Fatal("CheckSnapshotScan must reject a key born after the pin")
+	}
+}
+
+// TestSnapshotScanValueFromPinWindow: the yielded value must be
+// schedulable as current inside the pin window, not merely inside the
+// drain.
+func TestSnapshotScanValueFromPinWindow(t *testing.T) {
+	history := []Event{
+		mkStore(30, 1, 1, 2),   // value 1 current at the pin
+		mkStore(30, 2, 50, 51), // overwritten mid-drain
+	}
+	pinned := Scan{Keys: []uint64{30}, Vals: []uint64{1}, Invoke: 12, Return: 100}
+	if err := CheckSnapshotScan(pinned, 10, 11, history); err != nil {
+		t.Fatalf("pin-time value must pass: %v", err)
+	}
+	leaked := Scan{Keys: []uint64{30}, Vals: []uint64{2}, Invoke: 12, Return: 100}
+	if err := CheckScan(leaked, history); err != nil {
+		t.Fatalf("CheckScan should accept the mid-drain value: %v", err)
+	}
+	if err := CheckSnapshotScan(leaked, 10, 11, history); err == nil {
+		t.Fatal("CheckSnapshotScan must reject a value written after the pin")
+	}
+}
+
+// TestSnapshotScanOverlapTolerance: operations overlapping the pin
+// window may be ordered either side of it, so both including and
+// excluding their effects must pass.
+func TestSnapshotScanOverlapTolerance(t *testing.T) {
+	history := []Event{
+		mkStore(40, 9, 9, 12), // overlaps the pin's invocation
+	}
+	with := Scan{Keys: []uint64{40}, Vals: []uint64{9}}
+	without := Scan{Keys: nil, Vals: []uint64{}}
+	if err := CheckSnapshotScan(with, 10, 11, history); err != nil {
+		t.Fatalf("overlapping store included: %v", err)
+	}
+	if err := CheckSnapshotScan(without, 10, 11, history); err != nil {
+		t.Fatalf("overlapping store excluded: %v", err)
+	}
+}
+
+// TestSnapshotScanOrderAndWindowChecks: order violations and inverted
+// pin windows are still caught.
+func TestSnapshotScanOrderAndWindowChecks(t *testing.T) {
+	history := []Event{mkStore(1, 1, 1, 2), mkStore(2, 2, 1, 2)}
+	bad := Scan{Keys: []uint64{2, 1}}
+	if err := CheckSnapshotScan(bad, 10, 11, history); err == nil {
+		t.Fatal("out-of-order snapshot scan must fail")
+	}
+	if err := CheckSnapshotScan(Scan{}, 11, 10, history); err == nil {
+		t.Fatal("inverted pin window must fail")
+	}
+}

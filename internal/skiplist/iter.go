@@ -37,11 +37,26 @@ import "skiptrie/internal/stats"
 type Iter[V any] struct {
 	l   *List[V]
 	cur *Node // level-0 data node; nil when unpositioned or exhausted
+	// at selects the view: 0 is the live view (skip marked nodes and
+	// dead retained nodes), a pinned epoch is the snapshot view (yield
+	// exactly the nodes visible at that epoch — see Node.VisibleAt —
+	// and read each value through its version chain). The two views
+	// share every navigation path; only the visibility test and the
+	// value read differ.
+	at uint64
 }
 
 // MakeIter returns an unpositioned cursor. Position it with SeekGE,
 // SeekLE or SeekLast before reading.
 func (l *List[V]) MakeIter() Iter[V] { return Iter[V]{l: l} }
+
+// MakeSnapIter returns an unpositioned cursor over the view pinned at
+// epoch at (a value returned by PinEpoch and not yet released): it
+// yields exactly the keys visible at that epoch, with the values that
+// were current then. Strict monotonicity holds as for the live view; a
+// same-key run contributes at most one node, since incarnations'
+// [born, dead) intervals are disjoint.
+func (l *List[V]) MakeSnapIter(at uint64) Iter[V] { return Iter[V]{l: l, at: at} }
 
 // Valid reports whether the cursor rests on a key.
 func (it *Iter[V]) Valid() bool { return it.cur != nil }
@@ -54,8 +69,13 @@ func (it *Iter[V]) Key() uint64 {
 	return it.cur.key
 }
 
-// Value returns the value under the cursor. Only meaningful when Valid.
+// Value returns the value under the cursor — for a snapshot cursor, the
+// value that was current at the pinned epoch. Only meaningful when
+// Valid.
 func (it *Iter[V]) Value() V {
+	if it.at != 0 {
+		return it.l.ValueAt(it.cur, it.at)
+	}
 	return it.l.ValueOf(it.cur)
 }
 
@@ -72,20 +92,23 @@ func (it *Iter[V]) SeekGE(key uint64, start *Node, c *stats.Op) bool {
 }
 
 // SeekLE positions the cursor on the largest key <= key, descending
-// from start, and reports whether such a key exists.
+// from start, and reports whether such a key exists. The exact-match
+// probe walks the same-key run: the newest incarnation may be outside
+// the cursor's view while an older retained one is exactly the node a
+// pinned epoch should see.
 func (it *Iter[V]) SeekLE(key uint64, start *Node, c *stats.Op) bool {
 	br := it.l.PredecessorBracket(key, start, c)
-	if br.Right.at(target{key: key}) {
-		it.cur = br.Right
+	if n, ok := it.l.FindVisible(br.Right, key, it.at, c); ok {
+		it.cur = n
 		return true
 	}
-	return it.settleBack(br.Left)
+	return it.settleBack(br.Left, c)
 }
 
 // SeekLast positions the cursor on the largest key in the list.
 func (it *Iter[V]) SeekLast(start *Node, c *stats.Op) bool {
 	br := it.l.LastBracket(start, c)
-	return it.settleBack(br.Left)
+	return it.settleBack(br.Left, c)
 }
 
 // Next advances to the next larger key, reporting whether one exists.
@@ -108,34 +131,30 @@ func (it *Iter[V]) Prev(start *Node, c *stats.Op) bool {
 		return false
 	}
 	br := it.l.PredecessorBracket(it.cur.key, start, c)
-	return it.settleBack(br.Left)
+	return it.settleBack(br.Left, c)
 }
 
-// settle walks forward from n to the first unmarked data node and rests
-// there; hitting the tail exhausts the cursor.
+// settle rests the cursor on the first node at or after n that its
+// view admits (NextVisible); hitting the tail exhausts the cursor.
 func (it *Iter[V]) settle(n *Node, c *stats.Op) bool {
-	for {
-		if n.kind == kindTail {
-			it.cur = nil
-			return false
-		}
-		s, _ := n.succ.Load()
-		if !s.Marked {
-			it.cur = n
-			return true
-		}
-		c.Hop()
-		n = s.Next
-	}
-}
-
-// settleBack rests on n when it is a data node (a bracket's Left is
-// unmarked at witness time); the head sentinel exhausts the cursor.
-func (it *Iter[V]) settleBack(n *Node) bool {
-	if n.kind != kindData {
+	m, ok := it.l.NextVisible(n, it.at, c)
+	if !ok {
 		it.cur = nil
 		return false
 	}
-	it.cur = n
+	it.cur = m
+	return true
+}
+
+// settleBack rests the cursor on the nearest node at or before n (a
+// bracket's Left) that its view admits (PrevVisible, which re-probes
+// same-key run heads); the head sentinel exhausts the cursor.
+func (it *Iter[V]) settleBack(n *Node, c *stats.Op) bool {
+	m, ok := it.l.PrevVisible(n, it.at, c)
+	if !ok {
+		it.cur = nil
+		return false
+	}
+	it.cur = m
 	return true
 }

@@ -50,9 +50,22 @@ func (l *List[V]) Topo() *Topology { return &l.Topology }
 // alternative, immutable cells behind an atomic pointer, reallocates on
 // every overwrite, which is the boxing cost this layout exists to remove.
 type dataNode[V any] struct {
-	n   Node
-	vmu atomic.Uint32 // value spinlock: 0 free, 1 held
-	val V
+	n    Node
+	vmu  atomic.Uint32 // value spinlock: 0 free, 1 held
+	from uint64        // epoch val became current (guarded by vmu; init pre-publish)
+	val  V
+	// old holds superseded versions still selectable by a pinned epoch,
+	// ascending by from (guarded by vmu). It is nil — and never touched —
+	// unless a value was overwritten while a snapshot pin was live, so
+	// the unpinned write path pays nothing beyond one atomic load.
+	old []version[V]
+}
+
+// version is one superseded value: val was current from epoch from
+// until the from of the next version (or dataNode.from for the last).
+type version[V any] struct {
+	from uint64
+	val  V
 }
 
 // dataOf recovers the allocation containing a level-0 data node's header.
@@ -93,7 +106,11 @@ func (l *List[V]) ValueOf(n *Node) V {
 }
 
 // SetValue overwrites the value stored at n's tower root. Sentinel nodes
-// are ignored.
+// are ignored. While a snapshot pin is live the superseded value is
+// pushed onto the node's version chain, stamped with the epoch it was
+// current from, so pinned readers keep reading the value that was
+// current at their epoch; versions no remaining pin can select are
+// pruned on the next overwrite.
 func (l *List[V]) SetValue(n *Node, v V) {
 	r := n.root
 	if r == nil || r.kind != kindData {
@@ -103,9 +120,72 @@ func (l *List[V]) SetValue(n *Node, v V) {
 	if unsafe.Sizeof(d.val) == 0 {
 		return
 	}
+	// The epoch is sampled under both the value lock — so a delayed
+	// writer cannot regress d.from below a newer writer's stamp and
+	// silently drop that version from the chain — and the commit
+	// counter, so a concurrently-registered pin is not handed out
+	// until this stamp's write has landed (epoch.go).
+	commit := l.commitEnter(r.key)
 	d.lock()
-	d.val = v
+	e := l.epoch.Load()
+	if l.pinCount.Load() > 0 && d.from < e {
+		d.old = append(d.old, version[V]{from: d.from, val: d.val})
+	}
+	d.val, d.from = v, e
+	if len(d.old) > 0 {
+		// Prune unreachable versions: a pin P selects the last version
+		// with from <= P, so everything before the last version at or
+		// below the smallest pinned epoch is dead. The kept suffix is
+		// slid to the front and the vacated slots zeroed, so pruned
+		// values are actually released rather than kept alive by the
+		// backing array.
+		if min := l.minPin.Load(); min == noPin || d.from <= min {
+			d.old = nil
+		} else {
+			j := 0
+			for j+1 < len(d.old) && d.old[j+1].from <= min {
+				j++
+			}
+			if j > 0 {
+				kept := copy(d.old, d.old[j:])
+				for i := kept; i < len(d.old); i++ {
+					d.old[i] = version[V]{}
+				}
+				d.old = d.old[:kept]
+			}
+		}
+	}
 	d.unlock()
+	commit.Add(-1)
+}
+
+// ValueAt returns the value that was current at epoch at for n's tower
+// root: the current value if it was written at or before at, else the
+// newest chained version written at or before at. Sentinel nodes yield
+// the zero value. The caller is responsible for having checked
+// VisibleAt(at) first.
+func (l *List[V]) ValueAt(n *Node, at uint64) V {
+	r := n.root
+	if r == nil || r.kind != kindData {
+		var zero V
+		return zero
+	}
+	d := dataOf[V](r)
+	if unsafe.Sizeof(d.val) == 0 {
+		return d.val
+	}
+	d.lock()
+	v := d.val
+	if d.from > at {
+		for i := len(d.old) - 1; i >= 0; i-- {
+			if d.old[i].from <= at {
+				v = d.old[i].val
+				break
+			}
+		}
+	}
+	d.unlock()
+	return v
 }
 
 // InsertResult reports what Insert or Upsert did.
@@ -138,8 +218,11 @@ func (l *List[V]) insertWithHeight(key uint64, val V, start *Node, h int, upsert
 	var lefts [MaxLevels]*Node
 	br := l.descend(key, start, &lefts, c)
 	t := target{key: key}
-	if br.Right.at(t) {
-		// Already present: the fast path allocates nothing.
+	if br.Right.at(t) && br.Right.dead.Load() == 0 {
+		// Already present and live: the fast path allocates nothing. A
+		// dead node retained for a pinned epoch falls through instead:
+		// the key is logically absent, and the new incarnation splices
+		// in front of it (same-key runs stay newest-first).
 		if upsert {
 			l.SetValue(br.Right, val)
 		}
@@ -152,14 +235,26 @@ func (l *List[V]) insertWithHeight(key uint64, val V, start *Node, h int, upsert
 	root.origHeight = int8(h)
 	root.root = root
 	for {
+		// Stamp the born epoch (and the value's epoch) under the commit
+		// counter: the sample and the publishing CAS must complete
+		// before any concurrently-registered pin is handed out, or the
+		// pinned view could include a key that observably did not exist
+		// yet (epoch.go, "The commit counter"). Both stamps are
+		// released by the CAS and acquired by any reader's succ load.
+		commit := l.commitEnter(key)
+		root.born = l.epoch.Load()
+		dn.from = root.born
+		hook("insert.committing", root)
 		root.succ.Store(Succ{Next: br.Right})
 		root.back.Store(br.Left)
 		c.IncCAS()
-		if _, ok := br.Left.succ.CompareAndSwap(br.LeftW, Succ{Next: root}); ok {
+		_, ok := br.Left.succ.CompareAndSwap(br.LeftW, Succ{Next: root})
+		commit.Add(-1)
+		if ok {
 			break
 		}
 		br = l.search(t, br.Left, c)
-		if br.Right.at(t) {
+		if br.Right.at(t) && br.Right.dead.Load() == 0 {
 			if upsert {
 				l.SetValue(br.Right, val)
 			}

@@ -35,6 +35,7 @@ package skiplist
 
 import (
 	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"skiptrie/internal/dcss"
@@ -97,6 +98,14 @@ type Node struct {
 
 	// root-only:
 	stop atomic.Bool // freezes tower raising (Section 2)
+	// born is the list epoch current when the node was linked; written
+	// before the publishing CAS, so every reader that reached the node
+	// through a succ load observes it. dead is the epoch a delete
+	// committed the node at (0 while alive): the delete's linearization
+	// point is the CAS that sets it. Both are meaningful on data roots
+	// only; see epoch.go for the pin protocol they serve.
+	born uint64
+	dead atomic.Uint64
 
 	// top-level-only:
 	prev  dcss.Atom[*Node] // backward guide pointer (Section 3)
@@ -125,6 +134,33 @@ func (n *Node) Root() *Node { return n.root }
 func (n *Node) Marked() bool {
 	s, _ := n.succ.Load()
 	return s.Marked
+}
+
+// BornEpoch returns the epoch the node's tower was linked at.
+func (n *Node) BornEpoch() uint64 { return n.root.born }
+
+// DeadEpoch returns the epoch a delete committed the node's tower at,
+// or 0 while it is alive.
+func (n *Node) DeadEpoch() uint64 { return n.root.dead.Load() }
+
+// IsDead reports whether a delete has committed the node's tower. A
+// dead node may remain physically linked (unmarked) while a pinned
+// epoch can still see it; every live-view read must treat it as absent.
+func (n *Node) IsDead() bool { return n.root.dead.Load() != 0 }
+
+// VisibleAt reports whether the node's key was present at epoch p:
+// linked at or before p and not yet dead at p. Sentinels are never
+// visible.
+func (n *Node) VisibleAt(p uint64) bool {
+	if n.kind != kindData {
+		return false
+	}
+	r := n.root
+	if r.born > p {
+		return false
+	}
+	d := r.dead.Load()
+	return d == 0 || d > p
 }
 
 // LoadSucc returns the node's (next, marked) word and a witness usable in
@@ -189,6 +225,21 @@ type Topology struct {
 	rng     atomic.Uint64
 	length  atomic.Int64
 	nodes   atomic.Int64 // total live tower nodes, for space accounting
+
+	// Epoch clock and snapshot-pin registry (epoch.go). epoch starts at
+	// 1 and is bumped only by PinEpoch; minPin caches the smallest
+	// pinned epoch (noPin when none) so update paths decide retention
+	// with one atomic load; pins (guarded by pinMu) refcounts each
+	// pinned epoch; retired (guarded by retiredMu) holds dead level-0
+	// nodes kept on the bottom list for pinned readers.
+	epoch      atomic.Uint64
+	minPin     atomic.Uint64
+	pinCount   atomic.Int64
+	committing [commitStripes]commitStripe // stamping ops mid-commit (see epoch.go)
+	pinMu      sync.Mutex
+	pins       map[uint64]int
+	retiredMu  sync.Mutex
+	retired    []*Node
 }
 
 // Config configures a List.
@@ -222,6 +273,8 @@ func (l *Topology) init(cfg Config) {
 		seed = 0x5ee0_70_1e_5eed
 	}
 	l.rng.Store(seed)
+	l.epoch.Store(1)
+	l.minPin.Store(noPin)
 	for i := 0; i < lv; i++ {
 		h := &Node{kind: kindHead, level: int8(i), origHeight: int8(lv)}
 		t := &Node{kind: kindTail, level: int8(i), origHeight: int8(lv)}
@@ -490,28 +543,33 @@ func (l *Topology) makeReadyChain(node *Node, c *stats.Op) {
 type DeleteResult struct {
 	Deleted bool
 	Root    *Node // the level-0 node this call logically deleted
-	// Top is the top-level tower node, if the tower reached the top. It
-	// can be set even when Deleted is false: with two racing deleters,
-	// the one that marks and unlinks the top node may lose the root-mark
-	// race, and by then the winner's top-level scan no longer sees the
-	// node — so the loser is the only caller that can hand the node to
-	// the x-fast trie disconnect. Callers must process Top regardless of
-	// Deleted.
+	// Top is the top-level tower node, if the tower reached the top.
+	// Since the dead-epoch CAS made teardown single-owner, only the
+	// winning delete (Deleted=true) can carry it, but callers should
+	// keep processing Top regardless of Deleted — the contract is "walk
+	// whatever is reported", and a duplicate walk is harmless.
 	Top *Node
 }
 
 // Delete removes key from the list, starting the descent from start (nil
-// for head). It implements the paper's delete: set the root's stop flag,
-// mark and unlink tower nodes top-down, and finally mark the root — the
-// linearization point; the call whose CAS marks the root reports
-// Deleted=true. For towers that reached the top level it also performs the
-// paper's toplevelDelete duties: ensure the node was completely inserted
-// first, and repair the successor's prev pointer afterwards.
+// for head). It implements the paper's delete with an epoch-stamped
+// commit: set the root's stop flag, CAS the root's dead epoch from 0 —
+// the linearization point, making the winner the teardown's single
+// owner — then mark and unlink tower nodes top-down and finally dispose
+// of the root: marked and unlinked immediately when no pinned epoch can
+// see it (the paper's physical removal, and the only path before the
+// first snapshot is ever taken), or retained unmarked on the bottom
+// list for pinned readers and reclaimed by the epoch-release sweep
+// (epoch.go). For towers that reached the top level it also performs
+// the paper's toplevelDelete duties: ensure the node was completely
+// inserted first, and repair the successor's prev pointer afterwards.
 func (l *Topology) Delete(key uint64, start *Node, c *stats.Op) DeleteResult {
 	t := target{key: key}
 	var lefts [MaxLevels]*Node
 	br := l.descend(key, start, &lefts, c)
-	if !br.Right.at(t) {
+	if !br.Right.at(t) || br.Right.dead.Load() != 0 {
+		// Absent, or already logically deleted and awaiting reclamation
+		// (the newest node of a same-key run is the only live candidate).
 		return DeleteResult{}
 	}
 	root := br.Right // level-0 node
@@ -520,6 +578,24 @@ func (l *Topology) Delete(key uint64, start *Node, c *stats.Op) DeleteResult {
 	// Freeze the tower so inserts stop raising it (Section 2).
 	root.stop.Store(true)
 	hook("delete.after-stop", root)
+
+	// Commit: stamp the dead epoch. This CAS is the linearization point
+	// of the delete, and its winner solely owns the rest of the
+	// teardown — a losing racer returns without touching the tower, so
+	// the PR 2 orphaned-top-node window cannot recur. The epoch sample
+	// and the CAS are bracketed by the commit counter so a concurrent
+	// PinEpoch cannot return between them and hand out a pin this
+	// stale stamp would incorrectly hide the node from (epoch.go).
+	commit := l.commitEnter(key)
+	dead := l.epoch.Load()
+	hook("delete.committing", root)
+	c.IncCAS()
+	won := root.dead.CompareAndSwap(0, dead)
+	commit.Add(-1)
+	if !won {
+		return DeleteResult{}
+	}
+	l.length.Add(-1)
 
 	// Mark tower nodes top-down. Re-scan every level: a raise that
 	// squeaked in before the stop flag is caught here because we only act
@@ -550,31 +626,24 @@ func (l *Topology) Delete(key uint64, start *Node, c *stats.Op) DeleteResult {
 		}
 	}
 
-	// Mark the root: the linearization point of the delete.
-	won := false
-	for {
-		rs, rw := root.succ.Load()
-		if rs.Marked {
-			break // another delete won
+	// Dispose of the root: immediate mark + unlink, or retention for
+	// pinned epochs (see epoch.go for why the minPin check is race-free
+	// against concurrent pins). After filing the node for retention,
+	// re-check: if the last pin released between the decision and the
+	// append, its sweep ran over a list that did not yet hold this
+	// node, and nothing else would reclaim it until some future
+	// release — sweep again ourselves.
+	if l.minPin.Load() < dead {
+		l.retiredMu.Lock()
+		l.retired = append(l.retired, root)
+		l.retiredMu.Unlock()
+		if l.minPin.Load() >= dead {
+			l.sweepRetired(c)
 		}
-		root.back.Store(left0)
-		c.IncCAS()
-		if _, ok := root.succ.CompareAndSwap(rw, Succ{Next: rs.Next, Marked: true}); ok {
-			won = true
-			break
-		}
+	} else if l.markNode(root, left0, c) {
+		l.nodes.Add(-1)
+		l.search(t, left0, c)
 	}
-	if !won {
-		// Another delete's CAS linearized the removal, but this call may
-		// be the only one that saw (and marked) the top-level node — the
-		// winner's scan misses it once it is unlinked. Report it so the
-		// trie disconnect still happens exactly where it is owed.
-		return DeleteResult{Top: topNode}
-	}
-	l.length.Add(-1)
-	l.nodes.Add(-1)
-	// Physically unlink the root.
-	l.search(t, left0, c)
 
 	if topNode != nil {
 		l.repairPrevAfterDelete(t, lefts[l.levels-1], c)
@@ -673,16 +742,99 @@ func (l *Topology) fixPrevOf(t target, node *Node, br Bracket, c *stats.Op) {
 
 // Contains reports whether key is present, descending from start.
 func (l *Topology) Contains(key uint64, start *Node, c *stats.Op) bool {
-	br := l.PredecessorBracket(key, start, c)
-	return br.Right.at(target{key: key})
+	_, ok := l.Find(key, start, c)
+	return ok
 }
 
-// Find returns the level-0 node holding key, if present (unmarked at
-// witness time).
+// Find returns the live level-0 node holding key, if present (unmarked
+// and undead at witness time). Dead nodes retained for pinned epochs
+// are skipped: they sit behind any live incarnation in the same-key
+// run, so the walk over the run terminates at the first key change.
 func (l *Topology) Find(key uint64, start *Node, c *stats.Op) (*Node, bool) {
 	br := l.PredecessorBracket(key, start, c)
-	if br.Right.at(target{key: key}) {
-		return br.Right, true
+	return l.FindVisible(br.Right, key, 0, c)
+}
+
+// FindVisible walks the same-key run starting at n (a bracket's Right)
+// for a node holding exactly key that is visible at epoch at — or, when
+// at is 0, live (unmarked with no dead stamp). Runs are newest-first
+// and incarnations' [born, dead) intervals are disjoint, so at most one
+// node qualifies.
+func (l *Topology) FindVisible(n *Node, key uint64, at uint64, c *stats.Op) (*Node, bool) {
+	t := target{key: key}
+	for n.at(t) {
+		if admitted(n, at) {
+			return n, true
+		}
+		s, _ := n.succ.Load()
+		n = s.Next
+		c.Hop()
 	}
 	return nil, false
 }
+
+// admitted reports whether the view at epoch at (0 = live) includes
+// the level-0 data node n: unmarked and alive for the live view,
+// visible at the pinned epoch for a snapshot view (a marked node is
+// never visible to any live pin — it was reclaimed only once no pin
+// could see it).
+func admitted(n *Node, at uint64) bool {
+	if n.kind != kindData || n.Marked() {
+		return false
+	}
+	if at != 0 {
+		return n.VisibleAt(at)
+	}
+	return n.dead.Load() == 0
+}
+
+// NextVisible walks forward from n (a bracket's Right) to the first
+// data node the view at epoch at admits (0 = live), reporting false at
+// the tail. Marked nodes are traversed through their frozen succ
+// chains; out-of-view retained nodes are stepped over in place.
+func (l *Topology) NextVisible(n *Node, at uint64, c *stats.Op) (*Node, bool) {
+	for {
+		if n.kind == kindTail {
+			return nil, false
+		}
+		if admitted(n, at) {
+			return n, true
+		}
+		s, _ := n.succ.Load()
+		c.Hop()
+		n = s.Next
+	}
+}
+
+// PrevVisible retreats from n (a bracket's Left, unmarked at witness
+// time) to the nearest data node at or before it that the view at
+// epoch at admits (0 = live), reporting false at the head. A search's
+// Left rests on the *oldest* incarnation of a same-key run, so when
+// that node is out of view the run is re-probed from its head — the
+// incarnation the view admits, if any, sits in front — before the key
+// is given up on. The bottom list is singly linked, so each rejected
+// key costs one predecessor re-search; retained runs are bounded by
+// the churn during the lifetime of the pins retaining them.
+func (l *Topology) PrevVisible(n *Node, at uint64, c *stats.Op) (*Node, bool) {
+	for {
+		if n.kind != kindData {
+			return nil, false
+		}
+		if admitted(n, at) {
+			return n, true
+		}
+		// Re-probe locally: a level-0 search anchored at n re-anchors
+		// through back pointers, avoiding the full head descent a
+		// PredecessorBracket would pay per rejected key.
+		br := l.search(target{key: n.key}, n, c)
+		if m, ok := l.FindVisible(br.Right, n.key, at, c); ok {
+			return m, true
+		}
+		n = br.Left
+	}
+}
+
+// NextLive and PrevLive are the live-view (at = 0) forms, the shape
+// the point-query paths use.
+func (l *Topology) NextLive(n *Node, c *stats.Op) (*Node, bool) { return l.NextVisible(n, 0, c) }
+func (l *Topology) PrevLive(n *Node, c *stats.Op) (*Node, bool) { return l.PrevVisible(n, 0, c) }

@@ -17,7 +17,13 @@ import "fmt"
 //     exactly its unmarked top-level predecessor (prev pointers are mere
 //     guides during execution, but quiescence implies all repairs
 //     finished);
-//  5. the recorded length matches the number of unmarked level-0 nodes.
+//  5. the recorded length matches the number of live level-0 nodes.
+//
+// Dead nodes retained on the bottom list for pinned epochs (unmarked,
+// dead stamp set — see epoch.go) are treated as deleted: they are
+// excluded from the key sets, the length count and the strict-order
+// check, but must still sort correctly relative to every live key and
+// carry no unmarked tower nodes.
 func (l *Topology) Validate() error {
 	levelKeys := make([]map[uint64]*Node, l.levels)
 	for lv := 0; lv < l.levels; lv++ {
@@ -35,6 +41,24 @@ func (l *Topology) Validate() error {
 				return fmt.Errorf("level %d: nil next before tail (node %v)", lv, n.key)
 			}
 			if n.kind == kindData && !s.Marked {
+				// The dead stamp lives on the root (for level 0 the node
+				// is its own root); an unmarked tower node whose root is
+				// dead is a teardown leak, while a dead level-0 node is
+				// legitimate retention.
+				if n.root.dead.Load() != 0 {
+					if lv != 0 {
+						return fmt.Errorf("level %d: unmarked tower node %d of a dead root", lv, n.key)
+					}
+					// Retained for a pinned epoch: logically deleted. It
+					// may share its key with the live incarnation in
+					// front of it, but must never precede a smaller key.
+					if !first && n.key < prevKey {
+						return fmt.Errorf("level %d: keys out of order: dead %d after %d", lv, n.key, prevKey)
+					}
+					prevKey, first = n.key, false
+					n = next
+					continue
+				}
 				if !first && n.key <= prevKey {
 					return fmt.Errorf("level %d: keys out of order: %d after %d", lv, n.key, prevKey)
 				}
@@ -118,7 +142,7 @@ func (l *Topology) LevelCounts() []int {
 		n := l.heads[lv]
 		for {
 			s, _ := n.succ.Load()
-			if n.kind == kindData && !s.Marked {
+			if n.kind == kindData && !s.Marked && n.dead.Load() == 0 {
 				counts[lv]++
 			}
 			if n.kind == kindTail {
@@ -148,7 +172,7 @@ func (l *Topology) TopGaps() []int {
 			gaps = append(gaps, gap)
 			break
 		}
-		if n.kind == kindData && !s.Marked {
+		if n.kind == kindData && !s.Marked && n.dead.Load() == 0 {
 			// Is this key the next top-level key?
 			for nextTop.kind == kindData {
 				ns, _ := nextTop.succ.Load()

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"skiptrie/internal/linearize"
+	"skiptrie/internal/testenv"
 )
 
 func TestIterPublicBasics(t *testing.T) {
@@ -180,9 +181,11 @@ func TestIterBoundaryChurnScanWindows(t *testing.T) {
 		shards  = 8
 		writers = 4
 		readers = 2
-		iters   = 400
-		scans   = 25
 	)
+	// Soak mode (SKIPTRIE_TEST_SOAK, the nightly CI lane) deepens the
+	// churn without duplicating the test.
+	iters := testenv.Scale(400)
+	scans := testenv.Scale(25)
 	s := NewSharded[uint64](tortureOpts(WithWidth(w), WithShards(shards), WithSeed(13))...)
 	step := uint64(1) << (w - uint(log2(shards)))
 	var boundary []uint64

@@ -74,6 +74,16 @@ type metricStripe struct {
 	_       [40]byte // keep stripes on separate cache lines
 }
 
+// op returns a fresh step counter when the collector is non-nil, so
+// call sites can sample unconditionally (a nil collector records
+// nothing and costs nothing).
+func (m *Metrics) op() *stats.Op {
+	if m == nil {
+		return nil
+	}
+	return new(stats.Op)
+}
+
 // record folds one finished operation into the collector. Nil receivers
 // and nil ops are ignored, so callers can record unconditionally.
 func (m *Metrics) record(kind OpKind, key uint64, op *stats.Op) {
@@ -116,7 +126,7 @@ func (m *Metrics) setSkew(v float64) {
 	m.reshard.skewBits.Store(math.Float64bits(v))
 }
 
-// ReshardSnapshot is the resharding section of a Snapshot.
+// ReshardSnapshot is the resharding section of a MetricsSnapshot.
 type ReshardSnapshot struct {
 	Splits      uint64        // shard splits completed
 	Merges      uint64        // shard merges completed
@@ -125,8 +135,10 @@ type ReshardSnapshot struct {
 	Skew        float64       // last sampled max/mean shard-length skew (0 if never sampled)
 }
 
-// Snapshot is a point-in-time aggregation of a Metrics collector.
-type Snapshot struct {
+// MetricsSnapshot is a point-in-time aggregation of a Metrics
+// collector. (The name leaves Snapshot free for the data snapshot
+// handle returned by Map.Snapshot and Sharded.Snapshot.)
+type MetricsSnapshot struct {
 	Ops     [numOpKinds]uint64 // operations by kind
 	Steps   [numOpKinds]uint64 // total steps by kind
 	Hops    uint64             // pointer traversals
@@ -139,8 +151,8 @@ type Snapshot struct {
 
 // Snapshot sums the stripes. It is safe to call concurrently with
 // recording; the result is a consistent-enough point-in-time view.
-func (m *Metrics) Snapshot() Snapshot {
-	var out Snapshot
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	var out MetricsSnapshot
 	if m == nil {
 		return out
 	}
@@ -167,7 +179,7 @@ func (m *Metrics) Snapshot() Snapshot {
 }
 
 // TotalOps returns the number of recorded operations across all kinds.
-func (sn Snapshot) TotalOps() uint64 {
+func (sn MetricsSnapshot) TotalOps() uint64 {
 	var n uint64
 	for _, v := range sn.Ops {
 		n += v
@@ -178,7 +190,7 @@ func (sn Snapshot) TotalOps() uint64 {
 // AvgSteps returns the mean steps per operation of the given kind, or 0
 // if none were recorded. This is the unit of the paper's amortized
 // complexity claims.
-func (sn Snapshot) AvgSteps(kind OpKind) float64 {
+func (sn MetricsSnapshot) AvgSteps(kind OpKind) float64 {
 	if sn.Ops[kind] == 0 {
 		return 0
 	}
@@ -187,7 +199,7 @@ func (sn Snapshot) AvgSteps(kind OpKind) float64 {
 
 // TouchRate returns the fraction of recorded operations that modified the
 // x-fast trie; the paper predicts about 1/log u for updates.
-func (sn Snapshot) TouchRate() float64 {
+func (sn MetricsSnapshot) TouchRate() float64 {
 	if n := sn.TotalOps(); n > 0 {
 		return float64(sn.Touches) / float64(n)
 	}

@@ -69,7 +69,7 @@ func TestMetricsAttribution(t *testing.T) {
 	}
 }
 
-// TestMetricsReshardCounters pins the reshard section of Snapshot: nil
+// TestMetricsReshardCounters pins the reshard section of MetricsSnapshot: nil
 // metrics are safe, counters accumulate across manual splits/merges,
 // and the skew gauge reflects the balancer's last sample.
 func TestMetricsReshardCounters(t *testing.T) {

@@ -1,6 +1,7 @@
 package skiptrie
 
 import (
+	"sync"
 	"time"
 
 	"skiptrie/internal/reshard"
@@ -42,9 +43,10 @@ import (
 //
 // Create one with NewSharded; the zero value is not usable.
 type Sharded[V any] struct {
-	t   *shard.Trie[V]
-	m   *Metrics
-	bal *reshard.Balancer
+	t         *shard.Trie[V]
+	m         *Metrics
+	bal       *reshard.Balancer
+	closeOnce sync.Once
 }
 
 // WithShards sets the initial shard count for NewSharded. The count is
@@ -154,13 +156,24 @@ func (s *Sharded[V]) Merge(key uint64) error {
 	return err
 }
 
-// Close stops the WithAutoReshard balancer, if one is attached, and
-// waits for it to exit. The map remains fully usable afterwards; Close
-// only ends automatic resharding. Safe to call multiple times.
+// Close stops the WithAutoReshard balancer, if one is attached, waits
+// for it to exit, and drops the balancer's reference to the map (the
+// balancer holds a sampling target that reaches every shard; releasing
+// it lets the structure be collected once the caller's own references
+// are gone). The map remains fully usable afterwards; Close only ends
+// automatic resharding. Safe to call multiple times and from multiple
+// goroutines.
+//
+// Iterators and snapshots taken before Close remain safe to drain and
+// must still be closed independently: they hold their own shard
+// references and epoch pins, none of which route through the balancer.
 func (s *Sharded[V]) Close() {
-	if s.bal != nil {
-		s.bal.Stop()
-	}
+	s.closeOnce.Do(func() {
+		if s.bal != nil {
+			s.bal.Stop()
+			s.bal = nil
+		}
+	})
 }
 
 func (s *Sharded[V]) op() *stats.Op {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"skiptrie/internal/linearize"
+	"skiptrie/internal/testenv"
 )
 
 func TestShardedSplitMergeManual(t *testing.T) {
@@ -131,9 +132,9 @@ func TestReshardTortureScanWindows(t *testing.T) {
 		w       = 16
 		writers = 3
 		readers = 2
-		iters   = 500
-		scans   = 20
 	)
+	iters := testenv.Scale(500)
+	scans := testenv.Scale(20)
 	s := NewSharded[uint64](tortureOpts(WithWidth(w), WithShards(4), WithMaxShards(32), WithSeed(29))...)
 	// Hot keys at every boundary the partition can have at MaxShards=32,
 	// plus two stable anchors for the completeness rule.
@@ -255,10 +256,10 @@ func TestReshardTortureScanWindows(t *testing.T) {
 func TestReshardSmallHistoriesLinearizable(t *testing.T) {
 	const (
 		w       = 10
-		rounds  = 30
 		workers = 3
 		opsEach = 7
 	)
+	rounds := testenv.Scale(30)
 	keys := []uint64{0x0FF, 0x100, 0x2FF, 0x300} // straddle splittable boundaries
 	for r := 0; r < rounds; r++ {
 		s := NewSharded[uint64](tortureOpts(WithWidth(w), WithShards(2), WithMaxShards(8),

@@ -1,0 +1,140 @@
+package skiptrie
+
+import (
+	"skiptrie/internal/core"
+	"skiptrie/internal/shard"
+)
+
+// snapSource is the backend a Snapshot handle reads through: a pinned
+// single trie (Map) or a per-shard pinned composite (Sharded).
+type snapSource[V any] interface {
+	load(key uint64) (V, bool)
+	cursor() cursor[V]
+	close() bool
+}
+
+// Snapshot is an immutable point-in-time view of a Map or Sharded,
+// returned by their Snapshot methods. Unlike the live ordered reads —
+// which are weakly consistent and can miss keys that churn mid-scan —
+// a snapshot is strictly consistent: it holds exactly the keys that
+// were live at its pin point, with the values they held then, no matter
+// how long the drain takes or what writers (or shard splits and merges)
+// do meanwhile. That makes it the right read for backups, paginated
+// listings that must not skip or duplicate entries, and analytics that
+// need one coherent view of a hot map.
+//
+// For a Map the pin point is one instant. For a Sharded the shards are
+// pinned one at a time — O(1) per shard, no quiescence, writers never
+// pause — so each shard's slice of the view is exact at its own pin
+// instant and the composite is the "shards pinned in key order" view.
+//
+// Taking a snapshot is O(shards): nothing is copied. The cost is paid
+// by the writers that overlap the snapshot's lifetime: a delete retains
+// its node and an overwrite retains the superseded value until no open
+// snapshot can see them, so memory grows with the churn during — not
+// the length of — the snapshot's life. Close releases the pins and must
+// be called exactly once, when no reads are in flight; reads after
+// Close are invalid. A snapshot also remains readable after the
+// structure's Close (which only stops the reshard balancer).
+//
+// All methods are safe for concurrent use; each cursor, as always,
+// belongs to a single goroutine.
+type Snapshot[V any] struct {
+	src snapSource[V]
+}
+
+// Snapshot returns a point-in-time view of the map, pinned at the
+// current epoch. The pin is O(1); see Snapshot (the type) for the
+// consistency contract and Close discipline.
+func (m *Map[V]) Snapshot() *Snapshot[V] {
+	return &Snapshot[V]{src: coreSnapSource[V]{sn: m.c.Snapshot(), m: m.m}}
+}
+
+// Snapshot returns a point-in-time view of the sharded map: every shard
+// of the current partition is pinned, one at a time, with no global
+// quiescence. The view stays valid — and unchanged — across concurrent
+// Split and Merge: a drained shard's frozen trie is wired into the
+// handle as-is rather than copied.
+func (s *Sharded[V]) Snapshot() *Snapshot[V] {
+	return &Snapshot[V]{src: shardSnapSource[V]{sn: s.t.Snapshot(), m: s.m}}
+}
+
+// Load returns the value key held at the snapshot's pin point.
+func (sn *Snapshot[V]) Load(key uint64) (V, bool) { return sn.src.load(key) }
+
+// Range calls fn on each key/value with key >= from, in ascending
+// order, until fn returns false — over the pinned view: exactly the
+// pairs live at the pin point, regardless of concurrent updates.
+func (sn *Snapshot[V]) Range(from uint64, fn func(key uint64, val V) bool) {
+	it := sn.src.cursor()
+	for ok := it.Seek(from); ok; ok = it.Next() {
+		if !fn(it.Key(), it.Value()) {
+			return
+		}
+	}
+}
+
+// Descend calls fn on each key/value with key <= from, in descending
+// order, until fn returns false — over the pinned view.
+func (sn *Snapshot[V]) Descend(from uint64, fn func(key uint64, val V) bool) {
+	it := sn.src.cursor()
+	for ok := it.SeekLE(from); ok; ok = it.Prev() {
+		if !fn(it.Key(), it.Value()) {
+			return
+		}
+	}
+}
+
+// Keys returns every key live at the pin point, in ascending order.
+func (sn *Snapshot[V]) Keys() []uint64 {
+	var keys []uint64
+	sn.Range(0, func(k uint64, _ V) bool {
+		keys = append(keys, k)
+		return true
+	})
+	return keys
+}
+
+// Iter returns a new unpositioned cursor over the pinned view, with the
+// same navigation surface as the live Iter. The cursor must not
+// outlive the snapshot's Close.
+func (sn *Snapshot[V]) Iter() *Iter[V] { return &Iter[V]{c: sn.src.cursor()} }
+
+// Close releases the snapshot's pins so retained nodes and value
+// versions can be reclaimed, and reports whether this call closed it
+// (only the first call does). Reads must not be in flight or issued
+// after Close. Forgetting Close does not corrupt anything, but keys
+// deleted during the snapshot's life stay resident until it is called.
+func (sn *Snapshot[V]) Close() bool { return sn.src.close() }
+
+// coreSnapSource adapts core.Snap (a Map snapshot). Point reads record
+// into the owning structure's Metrics exactly as live Loads do; cursor
+// scans stay unrecorded, matching the live scan paths.
+type coreSnapSource[V any] struct {
+	sn *core.Snap[V]
+	m  *Metrics
+}
+
+func (s coreSnapSource[V]) load(key uint64) (V, bool) {
+	c := s.m.op()
+	v, ok := s.sn.Load(key, c)
+	s.m.record(OpContains, key, c)
+	return v, ok
+}
+func (s coreSnapSource[V]) cursor() cursor[V] { return s.sn.NewIter(nil) }
+func (s coreSnapSource[V]) close() bool       { return s.sn.Close() }
+
+// shardSnapSource adapts shard.Snap (a Sharded snapshot).
+type shardSnapSource[V any] struct {
+	sn *shard.Snap[V]
+	m  *Metrics
+}
+
+func (s shardSnapSource[V]) load(key uint64) (V, bool) {
+	c := s.m.op()
+	v, ok := s.sn.Load(key, c)
+	s.m.record(OpContains, key, c)
+	return v, ok
+}
+func (s shardSnapSource[V]) cursor() cursor[V] { return s.sn.NewIter(nil) }
+func (s shardSnapSource[V]) close() bool       { return s.sn.Close() }

@@ -1,0 +1,189 @@
+package skiptrie
+
+import (
+	"testing"
+)
+
+// FuzzSnapshotVsMap interprets the fuzz input as a program of map
+// operations interleaved with snapshot pins and replays it against
+// Sharded[V], Map[V] and a sequential model. At each pin a copy of the
+// model is frozen alongside snapshots of both structures; every open
+// snapshot is then re-checked after subsequent mutations (point loads
+// plus a full ordered drain with values) and must equal its frozen
+// model exactly — the sequential-case statement of the strict
+// point-in-time contract, with the concurrent case covered by
+// TestSnapshotTortureStrictCompleteness. Opcodes also force Split and
+// Merge so the frozen-shard wiring (a drained shard serving an open
+// snapshot) is part of the explored space, and snapshots are closed at
+// fuzzer-chosen points so retention and reclamation interleave with
+// the churn.
+//
+// Run with `go test -fuzz=FuzzSnapshotVsMap` for continuous fuzzing;
+// the seed corpus runs in normal test mode and in CI's fuzz smoke
+// stage, and the nightly soak lane fuzzes it for 10 minutes.
+func FuzzSnapshotVsMap(f *testing.F) {
+	// Seeds: pin-churn-check cycles, reshard under open pins, boundary
+	// churn, close-reopen ladders.
+	f.Add([]byte{0x01, 0x10, 0xA0, 0x00, 0x41, 0x10, 0xC0, 0x00, 0xA1, 0x00})
+	f.Add([]byte{0x01, 0xFF, 0xA0, 0x00, 0xE0, 0x01, 0x41, 0xFF, 0xE2, 0x00, 0xA1, 0x00})
+	f.Add([]byte{0xA0, 0x00, 0x01, 0x01, 0xA0, 0x01, 0x01, 0x02, 0xA0, 0x02, 0xA1, 0x00, 0xA1, 0x01})
+	f.Add([]byte{0x1F, 0xFF, 0x20, 0x00, 0xA0, 0x00, 0x5F, 0xFF, 0x60, 0x00, 0xA1, 0x00})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) > 2048 {
+			t.Skip("program too long")
+		}
+		const w = 13
+		sh := NewSharded[uint64](WithWidth(w), WithShards(4), WithMaxShards(32), WithSeed(3))
+		defer sh.Close()
+		mp := NewMap[uint64](WithWidth(w), WithSeed(7))
+		model := map[uint64]uint64{}
+
+		type pinned struct {
+			shSn, mpSn *Snapshot[uint64]
+			model      map[uint64]uint64
+		}
+		var pins []pinned
+		defer func() {
+			for _, p := range pins {
+				if p.shSn != nil {
+					p.shSn.Close()
+					p.mpSn.Close()
+				}
+			}
+		}()
+
+		// check verifies one open snapshot pair against its frozen model.
+		check := func(step int, p pinned) {
+			for _, sn := range []*Snapshot[uint64]{p.shSn, p.mpSn} {
+				var keys, vals []uint64
+				sn.Range(0, func(k, v uint64) bool {
+					keys = append(keys, k)
+					vals = append(vals, v)
+					return true
+				})
+				if len(keys) != len(p.model) {
+					t.Fatalf("step %d: snapshot drained %d keys, model has %d", step, len(keys), len(p.model))
+				}
+				for i, k := range keys {
+					if i > 0 && keys[i-1] >= k {
+						t.Fatalf("step %d: snapshot keys out of order: %d after %d", step, k, keys[i-1])
+					}
+					if wv, ok := p.model[k]; !ok || wv != vals[i] {
+						t.Fatalf("step %d: snapshot pair (%d,%d), model (%d,%v)", step, k, vals[i], wv, ok)
+					}
+				}
+				// Descending drain must mirror exactly.
+				n := len(keys)
+				sn.Descend(1<<w-1, func(k, v uint64) bool {
+					n--
+					if n < 0 || keys[n] != k || vals[n] != v {
+						t.Fatalf("step %d: Descend diverged at %d", step, k)
+					}
+					return true
+				})
+				if n != 0 {
+					t.Fatalf("step %d: Descend drained %d short", step, n)
+				}
+			}
+		}
+
+		for i := 0; i+1 < len(program); i += 2 {
+			op := program[i] >> 5
+			arg := program[i] & 0x1F
+			key := uint64(arg)<<8 | uint64(program[i+1])
+			val := uint64(i)*2654435761 + key
+			switch op {
+			case 0, 1: // Store
+				sh.Store(key, val)
+				mp.Store(key, val)
+				model[key] = val
+			case 2: // Delete
+				sOk := sh.Delete(key)
+				mOk := mp.Delete(key)
+				_, wOk := model[key]
+				if sOk != wOk || mOk != wOk {
+					t.Fatalf("step %d: Delete(%d) sharded=%v map=%v model=%v", i, key, sOk, mOk, wOk)
+				}
+				delete(model, key)
+			case 3: // Load — live reads stay correct alongside pins
+				sv, sOk := sh.Load(key)
+				mv, mOk := mp.Load(key)
+				wv, wOk := model[key]
+				if sOk != wOk || mOk != wOk || (wOk && (sv != wv || mv != wv)) {
+					t.Fatalf("step %d: Load(%d) sharded=%d,%v map=%d,%v model=%d,%v",
+						i, key, sv, sOk, mv, mOk, wv, wOk)
+				}
+			case 4: // LoadOrStore
+				sv, sL := sh.LoadOrStore(key, val)
+				mv, mL := mp.LoadOrStore(key, val)
+				wv, wL := model[key]
+				if !wL {
+					model[key] = val
+					wv = val
+				}
+				if sL != wL || mL != wL || sv != wv || mv != wv {
+					t.Fatalf("step %d: LoadOrStore(%d) sharded=%d,%v map=%d,%v model=%d,%v",
+						i, key, sv, sL, mv, mL, wv, wL)
+				}
+			case 5: // Pin a snapshot pair (capped to bound memory)
+				if len(pins) < 12 {
+					frozen := make(map[uint64]uint64, len(model))
+					for k, v := range model {
+						frozen[k] = v
+					}
+					pins = append(pins, pinned{sh.Snapshot(), mp.Snapshot(), frozen})
+				}
+			case 6: // Check and/or close a pinned snapshot chosen by arg
+				if len(pins) == 0 {
+					continue
+				}
+				j := int(key) % len(pins)
+				if pins[j].shSn == nil {
+					continue
+				}
+				check(i, pins[j])
+				if arg&1 == 1 { // odd arg: also close it
+					pins[j].shSn.Close()
+					pins[j].mpSn.Close()
+					pins[j].shSn, pins[j].mpSn = nil, nil
+				}
+			default: // Reshard under whatever pins are open
+				if key&1 == 0 {
+					_ = sh.Split(key)
+				} else {
+					_ = sh.Merge(key)
+				}
+			}
+		}
+
+		// Every still-open snapshot must have survived the whole program.
+		for _, p := range pins {
+			if p.shSn != nil {
+				check(len(program), p)
+			}
+		}
+		// And the live structures must agree with the live model.
+		if sh.Len() != len(model) || mp.Len() != len(model) {
+			t.Fatalf("Len: sharded=%d map=%d model=%d", sh.Len(), mp.Len(), len(model))
+		}
+		sh.Range(0, func(k, v uint64) bool {
+			if wv, ok := model[k]; !ok || wv != v {
+				t.Fatalf("live Range pair (%d,%d) not in model", k, v)
+			}
+			return true
+		})
+		for _, p := range pins {
+			if p.shSn != nil {
+				p.shSn.Close()
+				p.mpSn.Close()
+			}
+		}
+		pins = nil
+		if err := sh.Validate(); err != nil {
+			t.Fatalf("sharded invariants: %v", err)
+		}
+		if err := mp.Validate(); err != nil {
+			t.Fatalf("map invariants: %v", err)
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package skiptrie
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSnapshotMapSemantics: the Map snapshot is a frozen view with the
+// full read surface.
+func TestSnapshotMapSemantics(t *testing.T) {
+	m := NewMap[string](WithWidth(16))
+	m.Store(1, "one")
+	m.Store(2, "two")
+	m.Store(3, "three")
+
+	sn := m.Snapshot()
+	m.Delete(2)
+	m.Store(4, "four")
+	m.Store(3, "THREE")
+
+	if got := sn.Keys(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("snapshot keys = %v", got)
+	}
+	if v, ok := sn.Load(2); !ok || v != "two" {
+		t.Fatalf("Load(2) = %q,%v", v, ok)
+	}
+	if v, ok := sn.Load(3); !ok || v != "three" {
+		t.Fatalf("Load(3) = %q,%v — must predate the overwrite", v, ok)
+	}
+	if _, ok := sn.Load(4); ok {
+		t.Fatal("post-pin insert visible")
+	}
+	var ranged []uint64
+	sn.Range(2, func(k uint64, v string) bool {
+		ranged = append(ranged, k)
+		return true
+	})
+	if len(ranged) != 2 || ranged[0] != 2 || ranged[1] != 3 {
+		t.Fatalf("Range(2) = %v", ranged)
+	}
+	var desc []uint64
+	sn.Descend(2, func(k uint64, v string) bool {
+		desc = append(desc, k)
+		return true
+	})
+	if len(desc) != 2 || desc[0] != 2 || desc[1] != 1 {
+		t.Fatalf("Descend(2) = %v", desc)
+	}
+	it := sn.Iter()
+	if ok := it.SeekLE(9); !ok || it.Key() != 3 || it.Value() != "three" {
+		t.Fatalf("cursor SeekLE(9) = %d/%q", it.Key(), it.Value())
+	}
+	if !sn.Close() || sn.Close() {
+		t.Fatal("Close must succeed exactly once")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The live map was never disturbed.
+	if v, _ := m.Load(3); v != "THREE" {
+		t.Fatalf("live Load(3) = %q", v)
+	}
+}
+
+// TestSnapshotShardedSemantics mirrors the Map contract on the sharded
+// backend, including early-terminated callbacks.
+func TestSnapshotShardedSemantics(t *testing.T) {
+	s := NewSharded[uint64](WithWidth(16), WithShards(8), WithSeed(21))
+	defer s.Close()
+	for k := uint64(0); k < 1<<16; k += 1 << 10 {
+		s.Store(k, k+1)
+	}
+	sn := s.Snapshot()
+	defer sn.Close()
+	for k := uint64(0); k < 1<<16; k += 1 << 11 {
+		s.Delete(k)
+	}
+	want := 1 << 6
+	if got := sn.Keys(); len(got) != want {
+		t.Fatalf("snapshot keys = %d, want %d", len(got), want)
+	}
+	n := 0
+	sn.Range(0, func(k, v uint64) bool {
+		if v != k+1 {
+			t.Fatalf("value for %d = %d", k, v)
+		}
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early-terminated Range visited %d", n)
+	}
+	if got := len(s.Keys()); got != want/2 {
+		t.Fatalf("live keys = %d, want %d", got, want/2)
+	}
+}
+
+// TestSnapshotOutlivesClose: Sharded.Close (balancer shutdown) must not
+// invalidate open snapshots or iterators, per the documented contract.
+func TestSnapshotOutlivesClose(t *testing.T) {
+	s := NewSharded[uint64](WithWidth(14), WithShards(4), WithAutoReshard(time.Millisecond))
+	for k := uint64(0); k < 1<<14; k += 64 {
+		s.Store(k, k)
+	}
+	sn := s.Snapshot()
+	it := s.Iter()
+	if ok := it.First(); !ok {
+		t.Fatal("iterator empty")
+	}
+	s.Close()
+	s.Close() // idempotent, and safe concurrently
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); s.Close() }()
+	wg.Wait()
+
+	// Both handles keep draining after Close.
+	n := 0
+	for ok := true; ok; ok = it.Next() {
+		n++
+	}
+	if n != 1<<8 {
+		t.Fatalf("iterator drained %d keys, want %d", n, 1<<8)
+	}
+	if got := len(sn.Keys()); got != 1<<8 {
+		t.Fatalf("snapshot drained %d keys, want %d", got, 1<<8)
+	}
+	if v, ok := sn.Load(64); !ok || v != 64 {
+		t.Fatalf("snapshot Load after Close = %d,%v", v, ok)
+	}
+	sn.Close()
+	// The map itself stays usable after Close.
+	s.Store(1, 1)
+	if v, ok := s.Load(1); !ok || v != 1 {
+		t.Fatalf("Store/Load after Close = %d,%v", v, ok)
+	}
+}
+
+// TestSnapshotAcrossManualReshard: a Sharded snapshot pinned before
+// Split/Merge keeps its exact contents.
+func TestSnapshotAcrossManualReshard(t *testing.T) {
+	s := NewSharded[uint64](WithWidth(12), WithShards(2), WithMaxShards(16), WithSeed(5))
+	defer s.Close()
+	for k := uint64(0); k < 1<<12; k += 3 {
+		s.Store(k, k^0xAA)
+	}
+	before := s.Len()
+	sn := s.Snapshot()
+	defer sn.Close()
+	if err := s.Split(0); err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	for k := uint64(0); k < 1<<12; k += 6 {
+		s.Delete(k)
+	}
+	if err := s.Merge(0); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	keys := sn.Keys()
+	if len(keys) != before {
+		t.Fatalf("snapshot has %d keys, want %d", len(keys), before)
+	}
+	for _, k := range keys {
+		if v, ok := sn.Load(k); !ok || v != k^0xAA {
+			t.Fatalf("snapshot Load(%d) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+// TestSnapshotWriteVisibilityBoundary: updates racing nothing — issued
+// strictly after the pin — are never visible, and pins are cheap enough
+// to take per-operation.
+func TestSnapshotWriteVisibilityBoundary(t *testing.T) {
+	m := NewMap[uint64](WithWidth(16))
+	var sns []*Snapshot[uint64]
+	for i := uint64(0); i < 50; i++ {
+		m.Store(i, i)
+		sns = append(sns, m.Snapshot())
+	}
+	for i, sn := range sns {
+		if got := len(sn.Keys()); got != i+1 {
+			t.Fatalf("snapshot %d sees %d keys, want %d", i, got, i+1)
+		}
+		sn.Close()
+	}
+}
