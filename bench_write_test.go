@@ -1,0 +1,122 @@
+package skiptrie
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// Write-path benchmarks for the raw-speed work: parallel insert
+// throughput (per-goroutine RNG striping shows up here — pre-striping,
+// every height draw CASed one shared word) and batched vs per-key
+// stores (descent amortization). Run the parallel ones across a
+// GOMAXPROCS matrix (CI does 1/2/4) to see the scaling.
+
+// BenchmarkConcurrentStore measures parallel Store throughput into one
+// Map: all goroutines share the skiplist head, the trie, and — before
+// this PR — a single RNG word and per-key metric stripes.
+func BenchmarkConcurrentStore(b *testing.B) {
+	m := NewMap[int](WithWidth(30))
+	var ctr atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k := ctr.Add(1) * 0x9E3779B9 & ((1 << 30) - 1)
+			m.Store(k, int(k))
+		}
+	})
+}
+
+// BenchmarkConcurrentStoreSharded is the same workload routed through
+// Sharded, where only the RNG/metrics stripes and the per-shard
+// structures are shared.
+func BenchmarkConcurrentStoreSharded(b *testing.B) {
+	s := NewSharded[int](WithWidth(30), WithShards(8))
+	var ctr atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k := ctr.Add(1) * 0x9E3779B9 & ((1 << 30) - 1)
+			s.Store(k, int(k))
+		}
+	})
+}
+
+// BenchmarkConcurrentStoreMetered adds a shared Metrics collector, the
+// worst pre-striping case: every op folded its counters into stripes
+// chosen by key hash, so a skewed key stream serialized all recorders.
+func BenchmarkConcurrentStoreMetered(b *testing.B) {
+	var met Metrics
+	m := NewMap[int](WithWidth(30), WithMetrics(&met))
+	var ctr atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k := ctr.Add(1) * 0x9E3779B9 & ((1 << 30) - 1)
+			m.Store(k, int(k))
+		}
+	})
+}
+
+const batchBenchSize = 1024
+
+// BenchmarkStoreBatch inserts sorted disjoint runs via StoreBatch;
+// BenchmarkStoreBatchPerKey is the identical key stream through per-key
+// Store. The gap between them is the amortization win. ns/op is per
+// key in both.
+func BenchmarkStoreBatch(b *testing.B) {
+	m := NewMap[int](WithWidth(40))
+	keys := make([]uint64, batchBenchSize)
+	vals := make([]int, batchBenchSize)
+	var base uint64
+	i := batchBenchSize
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if i == batchBenchSize {
+			for j := range keys {
+				keys[j] = base + uint64(j)*3
+				vals[j] = j
+			}
+			base += batchBenchSize * 3
+			m.StoreBatch(keys, vals)
+			i = 0
+		}
+		i++ // b.N counts keys, one batch per batchBenchSize iterations
+	}
+}
+
+func BenchmarkStoreBatchPerKey(b *testing.B) {
+	m := NewMap[int](WithWidth(40))
+	var k uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		m.Store(k, n)
+		k += 3
+	}
+}
+
+// BenchmarkStoreBatchSharded runs sorted runs that span several shards,
+// so the chunking path (one latch acquire per shard segment) is on the
+// measured path.
+func BenchmarkStoreBatchSharded(b *testing.B) {
+	s := NewSharded[int](WithWidth(40), WithShards(8))
+	r := rand.New(rand.NewSource(1))
+	keys := make([]uint64, batchBenchSize)
+	vals := make([]int, batchBenchSize)
+	i := batchBenchSize
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if i == batchBenchSize {
+			for j := range keys {
+				keys[j] = r.Uint64() & ((1 << 40) - 1)
+				vals[j] = j
+			}
+			s.StoreBatch(keys, vals)
+			i = 0
+		}
+		i++
+	}
+}

@@ -181,6 +181,50 @@ func (s *SkipTrie[V]) Store(key uint64, val V, c *stats.Op) bool {
 	return true
 }
 
+// StoreRun stores a non-decreasing run of key/value pairs: for each i,
+// Store(keys[i], vals[i]) semantics — insert if absent, overwrite in
+// place if present, duplicates resolving to the later pair (last write
+// wins). It returns the number of keys inserted (as opposed to
+// overwritten). Keys outside the universe are skipped.
+//
+// Each pair commits individually — per-key linearizability, no batch
+// atomicity — but the descents are amortized: the x-fast trie is
+// consulted once, for the first key, and every subsequent insert
+// resumes from the previous insert's per-level bracket (skiplist.Hint)
+// instead of re-descending from the trie and the list head. The caller
+// is responsible for keys being sorted; an unsorted run stays correct
+// (hints are re-validated by every search) but loses the amortization.
+func (s *SkipTrie[V]) StoreRun(keys []uint64, vals []V, c *stats.Op) int {
+	inserted := 0
+	var hint skiplist.Hint
+	var start *skiplist.Node
+	for i, key := range keys {
+		k, ok := s.local(key)
+		if !ok {
+			continue
+		}
+		if start == nil {
+			// First in-universe key: anchor the descent at the trie's
+			// predecessor, exactly as a lone Store would (Alg 6 line 1's
+			// top-node fast path is skipped — the hinted descent finds an
+			// existing node just as fast and primes the hint for the next
+			// key while doing so).
+			start = s.trie.Pred(k, false, c)
+		}
+		res := s.list.UpsertHinted(k, vals[i], start, &hint, c)
+		if res.Existing == nil {
+			inserted++
+			s.insertWalkIfTop(res, c)
+		}
+	}
+	return inserted
+}
+
+// AddRun is StoreRun with zero values: the set-form batched insert.
+func (s *SkipTrie[V]) AddRun(keys []uint64, c *stats.Op) int {
+	return s.StoreRun(keys, make([]V, len(keys)), c)
+}
+
 // LoadOrStore returns the existing value for key if present; otherwise it
 // stores val. loaded reports whether the value was loaded rather than
 // stored. Keys outside the universe are rejected (returns val, false).

@@ -101,6 +101,15 @@ func (a *Atom[T]) Store(v T) {
 	a.p.Store(&cell[T]{val: v})
 }
 
+// Reset returns the Atom to its never-written zero state without
+// allocating. Like Store it is only legal while the Atom is unshared —
+// initialization, or scrubbing an object that provably never escaped
+// to another goroutine (the skiplist's node recycling) — since it
+// would clobber an in-flight descriptor on a shared Atom.
+func (a *Atom[T]) Reset() {
+	a.p.Store(nil)
+}
+
 // CompareAndSwap installs new iff the Atom still holds the witnessed cell.
 // On success it returns a Witness for the new value. If a DCSS descriptor
 // is installed over the witnessed cell, it is helped to completion and the

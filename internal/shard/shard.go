@@ -252,6 +252,51 @@ func (t *Trie[V]) Store(key uint64, val V, c *stats.Op) bool {
 	return ok
 }
 
+// storeBatchChunk bounds how many keys StoreBatch applies per latch
+// hold, so a long run into one shard cannot starve a reshard draining
+// that shard (the latch is re-acquired — and the route re-resolved —
+// between chunks, giving a pending Split or Merge its flip window).
+const storeBatchChunk = 512
+
+// StoreBatch stores a non-decreasing run of key/value pairs, routing
+// each maximal in-shard sub-run to its home shard in one latch
+// acquisition and letting the shard amortize the descents
+// (core.StoreRun). It returns the number of keys inserted rather than
+// overwritten. Duplicate keys resolve to the later pair; keys outside
+// the universe — which sort after every in-universe key — are dropped.
+//
+// Each key commits individually under its home shard's write latch,
+// with exactly Store's per-key linearizability; there is no batch
+// atomicity, and a concurrent reader may observe any prefix-consistent
+// subset of the batch.
+func (t *Trie[V]) StoreBatch(keys []uint64, vals []V, c *stats.Op) int {
+	inserted := 0
+	for i := 0; i < len(keys); {
+		if !t.inUniverse(keys[i]) {
+			break // sorted: every remaining key is out of universe too
+		}
+		b := t.acquire(keys[i])
+		// The sub-run this shard owns, capped at one chunk.
+		end := i + 1
+		for end < len(keys) && end-i < storeBatchChunk && keys[end] <= b.hi {
+			end++
+		}
+		inserted += b.trie.StoreRun(keys[i:end], vals[i:end], c)
+		// Inlined release(key) for the whole chunk: dirty-mark every
+		// key while a migration is draining this shard (the sealed
+		// resync replays them), then drop the latch and count the ops.
+		if b.state == bucketMigrating {
+			for _, k := range keys[i:end] {
+				b.mig.mark(k)
+			}
+		}
+		b.mu.RUnlock()
+		b.ops.Add(uint64(end - i))
+		i = end
+	}
+	return inserted
+}
+
 // LoadOrStore returns the existing value for key if present; otherwise
 // it stores val. loaded reports whether the value was loaded.
 func (t *Trie[V]) LoadOrStore(key uint64, val V, c *stats.Op) (actual V, loaded bool) {

@@ -51,15 +51,25 @@ import (
 // the pin even though the completed read proved it had not happened
 // by then. The commit counter closes the window from the pin side:
 // every stamping operation brackets [epoch sample, committing CAS]
-// with committing.Add(+1/-1), and PinEpoch, after bumping the clock,
-// spins until the counter drains before returning the pin. Any commit
-// whose stamp could be stale therefore completes before the pin
-// handle exists, so no observation can contradict ordering it before
-// the pin; commits entered after the drain re-sample the clock and
-// see the bumped epoch. Stampers never wait — deletes and inserts
-// stay lock-free, the pin (never claimed lock-free) absorbs the
-// waiting — and the cost on the update path is two uncontended atomic
-// adds, the same class of cost as the existing length counter.
+// with a +1/-1 pair on its key's commit stripe, and PinEpoch, after
+// bumping the clock, spins until the counter drains before returning
+// the pin. Any commit whose stamp could be stale therefore completes
+// before the pin handle exists, so no observation can contradict
+// ordering it before the pin; commits entered after the drain
+// re-sample the clock and see the bumped epoch. Stampers never wait —
+// deletes and inserts stay lock-free, the pin (never claimed
+// lock-free) absorbs the waiting — and the cost on the update path is
+// two uncontended atomic adds, the same class of cost as the existing
+// length counter.
+//
+// Commits are additionally generation-tagged by epoch parity (see
+// commitStripe): commitEnter registers in the lane of the epoch it
+// confirmed, and the pin drains only the lane of the generation it is
+// closing. A commit that enters after the bump — whose stamp is
+// provably fresh — lands in the other lane and is skipped, so a
+// steady stream of post-bump writers can no longer extend the pin's
+// drain wait; the pin waits only for the handful of commits that were
+// genuinely in flight at its bump.
 //
 // # Retention and reclamation
 //
@@ -86,18 +96,38 @@ const noPin = ^uint64(0)
 // one shared line for their two bracketing adds. Power of two.
 const commitStripes = 8
 
-// commitStripe is one padded lane of the commit counter.
+// commitStripe is one padded stripe of the commit counter, split into
+// two generation lanes by epoch parity. A commit registers in the lane
+// of the epoch it confirmed (commitEnter), so a pin bumping the clock
+// from e to e+1 needs to drain only lane e&1: every commit in the
+// other lane provably confirmed the post-bump epoch and cannot carry a
+// stale stamp. Two lanes suffice because pins serialize under pinMu
+// and each drains its own generation before unlocking — at any bump
+// the only in-flight commits are generation e or e+1.
 type commitStripe struct {
-	n atomic.Int64
-	_ [56]byte // keep stripes on separate cache lines
+	gen [2]atomic.Int64
+	_   [48]byte // keep stripes on separate cache lines
 }
 
 // commitEnter brackets the start of a stamping commit for key and
-// returns the stripe to exit through (stripe.n.Add(-1)).
+// returns the lane to exit through (lane.Add(-1)). It registers in the
+// current epoch's parity lane and confirms the epoch did not move
+// between registration and the confirming reload; if it did, the
+// registration may sit in a lane a concurrent pin is not draining, so
+// it backs out and re-enters under the new epoch. Each retry requires
+// a clock bump (pins are rare and never lock-free themselves), so the
+// loop stays wait-free in practice and the stamping paths never wait.
 func (l *Topology) commitEnter(key uint64) *atomic.Int64 {
-	s := &l.committing[uintbits.Mix64(key)&(commitStripes-1)].n
-	s.Add(1)
-	return s
+	s := &l.committing[uintbits.Mix64(key)&(commitStripes-1)]
+	for {
+		e := l.epoch.Load()
+		lane := &s.gen[e&1]
+		lane.Add(1)
+		if l.epoch.Load() == e {
+			return lane
+		}
+		lane.Add(-1)
+	}
 }
 
 // Epoch returns the list's current epoch.
@@ -134,20 +164,28 @@ func (l *Topology) PinEpoch() uint64 {
 	// comment above): a delete that stamps a dead epoch > e is
 	// guaranteed to observe this pin when it decides retention.
 	l.epoch.Store(e + 1)
+	hook("pin.after-bump", nil)
 	// Drain in-flight commits before handing out the pin: any stamp
 	// sampled before the bump (and thus possibly <= e) commits before
 	// this returns, so no read issued through the pin — or against the
 	// live structure after this returns — can contradict ordering that
-	// commit before the pin. Stripes are drained one at a time; that
-	// stays sound because a stamper entering stripe i after its scan
-	// necessarily sampled the already-bumped clock and cannot be stale.
-	// The wait is bounded by the commit windows in flight at the bump —
-	// a handful of instructions each, or one scheduling quantum if a
-	// stamper is preempted inside its window; pins (never claimed
+	// commit before the pin. Only generation e's parity lane needs
+	// draining: a commit in the other lane confirmed the clock after
+	// this bump (commitEnter re-enters when the epoch moves under it),
+	// so its stamp is at least e+1 and cannot order before this pin.
+	// Generation e-1 residue cannot hide in that lane either — the
+	// previous pin drained it to zero before releasing pinMu, and
+	// re-entry there requires confirming epoch e+1. Stripes are drained
+	// one at a time; that stays sound because a stamper entering a
+	// stripe after its scan necessarily confirmed the already-bumped
+	// clock. The wait is bounded by the commit windows in flight at the
+	// bump — a handful of instructions each, or one scheduling quantum
+	// if a stamper is preempted inside its window; pins (never claimed
 	// lock-free) absorb that, stampers never wait. See "The commit
 	// counter" above.
+	lane := e & 1
 	for i := range l.committing {
-		for spins := 0; l.committing[i].n.Load() != 0; spins++ {
+		for spins := 0; l.committing[i].gen[lane].Load() != 0; spins++ {
 			if spins%64 == 0 {
 				runtime.Gosched()
 			}

@@ -5,13 +5,16 @@ import "skiptrie/internal/stats"
 // InsertWithHeight exposes height-controlled insertion so tests can build
 // deterministic tower shapes.
 func (l *List[V]) InsertWithHeight(key uint64, val V, start *Node, h int, c *stats.Op) InsertResult {
-	return l.insertWithHeight(key, val, start, h, false, c)
+	return l.insertWithHeight(key, val, start, h, false, nil, c)
 }
 
 // UpsertWithHeight is InsertWithHeight with Upsert's overwrite semantics.
 func (l *List[V]) UpsertWithHeight(key uint64, val V, start *Node, h int, c *stats.Op) InsertResult {
-	return l.insertWithHeight(key, val, start, h, true, c)
+	return l.insertWithHeight(key, val, start, h, true, nil, c)
 }
+
+// RandomHeight exposes the striped height draw for the RNG tests.
+func (l *Topology) RandomHeight() int { return l.randomHeight() }
 
 // SetTestHook installs a synchronization-point hook and returns a restore
 // function.

@@ -1,0 +1,64 @@
+package skiplist
+
+import "skiptrie/internal/stats"
+
+// Hint carries the per-level brackets left behind by a previous insert
+// so the next insert of a nearby key — in a sorted batch, the very next
+// key — can resume its descent from those positions instead of paying a
+// full search from the list head. For a sorted run of B keys spanning S
+// level-0 positions this turns B full descents (B · O(log) searches per
+// level) into one descent plus O(S + B) total walking per level, which
+// is where StoreBatch's amortization comes from.
+//
+// A Hint is a position cache, never a correctness input: every node it
+// holds is re-validated by the same listSearch that tolerates marked,
+// deleted or overtaken start nodes (recovery through back pointers,
+// which strictly decrease, terminates at the level head). A hint may
+// therefore be reused across concurrent deletes, splits of the batch,
+// or arbitrary delays — stale entries only cost extra hops. The zero
+// Hint is ready to use and means "no position yet": the first insert
+// through it descends normally (from the caller's start anchor) and
+// primes the levels.
+//
+// Hints are single-goroutine, single-list state: they must not be
+// shared between goroutines or reused against a different list.
+type Hint struct {
+	lefts [MaxLevels]*Node
+}
+
+// Reset forgets the cached positions, returning the hint to its zero
+// state (e.g. before reusing it for a new run or a different list).
+func (h *Hint) Reset() { *h = Hint{} }
+
+// descendResume is descend starting each level's search from the
+// hint's cached bracket for that level when one exists, falling back
+// to the down-chain of the level above (and ultimately start, or the
+// head) where the hint is not primed. lefts is updated in place, so
+// consecutive calls with ascending keys ratchet forward.
+func (l *Topology) descendResume(key uint64, start *Node, lefts *[MaxLevels]*Node, c *stats.Op) Bracket {
+	if start == nil {
+		start = l.Head()
+	}
+	t := target{key: key}
+	node := start
+	var br Bracket
+	for lv := l.levels - 1; lv >= 0; lv-- {
+		if h := lefts[lv]; h != nil {
+			node = h
+		}
+		br = l.search(t, node, c)
+		lefts[lv] = br.Left
+		if lv > 0 {
+			node = br.Left.down
+		}
+	}
+	return br
+}
+
+// UpsertHinted is Upsert resuming its descent from (and re-priming)
+// hint. start is the descent anchor used for levels the hint has not
+// primed yet — typically the x-fast trie's predecessor for the first
+// key of a run, nil for the head.
+func (l *List[V]) UpsertHinted(key uint64, val V, start *Node, hint *Hint, c *stats.Op) InsertResult {
+	return l.insertWithHeight(key, val, start, l.randomHeight(), true, hint, c)
+}

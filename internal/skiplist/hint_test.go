@@ -1,0 +1,105 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"skiptrie/internal/stats"
+)
+
+// TestUpsertHintedSortedRun checks a hinted ascending run produces the
+// same structure as unhinted inserts, and that the amortization is
+// real: the hinted run's total hops must come in well under the
+// unhinted run's.
+func TestUpsertHintedSortedRun(t *testing.T) {
+	plain := New[int](Config{Levels: 5, Seed: 9})
+	hinted := New[int](Config{Levels: 5, Seed: 9})
+
+	var cPlain, cHinted stats.Op
+	var hint Hint
+	const n = 2000
+	for i := 0; i < n; i++ {
+		k := uint64(i) * 3
+		plain.Upsert(k, i, nil, &cPlain)
+		hinted.UpsertHinted(k, i, nil, &hint, &cHinted)
+	}
+	if err := plain.Validate(); err != nil {
+		t.Fatalf("plain list invalid: %v", err)
+	}
+	if err := hinted.Validate(); err != nil {
+		t.Fatalf("hinted list invalid: %v", err)
+	}
+	if got, want := hinted.Len(), plain.Len(); got != want {
+		t.Fatalf("hinted len %d, plain len %d", got, want)
+	}
+	for i := 0; i < n; i++ {
+		k := uint64(i) * 3
+		nd, ok := hinted.Find(k, nil, nil)
+		if !ok {
+			t.Fatalf("key %d missing from hinted list", k)
+		}
+		if v := hinted.ValueOf(nd); v != i {
+			t.Fatalf("key %d holds %d, want %d", k, v, i)
+		}
+	}
+	// Same seed, same single-goroutine draw sequence, same keys: only
+	// the descents differ. The hinted run restarts each level beside
+	// the previous key instead of at the head.
+	if cHinted.Hops >= cPlain.Hops {
+		t.Fatalf("hinted run took %d hops, unhinted %d — no amortization", cHinted.Hops, cPlain.Hops)
+	}
+}
+
+// TestUpsertHintedDuplicatesAndEqualKeys checks hint reuse across
+// duplicate keys in a run: the second write must land as an in-place
+// overwrite of the first (last-wins), not a second node.
+func TestUpsertHintedDuplicatesAndEqualKeys(t *testing.T) {
+	l := New[int](Config{Levels: 4})
+	var hint Hint
+	keys := []uint64{5, 5, 7, 7, 7, 9}
+	for i, k := range keys {
+		l.UpsertHinted(k, i, nil, &hint, nil)
+	}
+	if got := l.Len(); got != 3 {
+		t.Fatalf("len = %d after duplicate run, want 3", got)
+	}
+	wants := map[uint64]int{5: 1, 7: 4, 9: 5}
+	for k, want := range wants {
+		nd, ok := l.Find(k, nil, nil)
+		if !ok {
+			t.Fatalf("key %d missing", k)
+		}
+		if v := l.ValueOf(nd); v != want {
+			t.Fatalf("key %d = %d, want %d (last write wins)", k, v, want)
+		}
+	}
+}
+
+// TestUpsertHintedSurvivesConcurrentDeletes hammers hinted runs while
+// another goroutine deletes the just-inserted keys out from under the
+// hint, forcing the resume path through marked and unlinked hint nodes.
+func TestUpsertHintedSurvivesConcurrentDeletes(t *testing.T) {
+	l := New[int](Config{Levels: 5})
+	const n = 20000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		var hint Hint
+		for i := 0; i < n; i++ {
+			l.UpsertHinted(uint64(i), i, nil, &hint, nil)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		r := rand.New(rand.NewSource(1))
+		for i := 0; i < n; i++ {
+			l.Delete(uint64(r.Intn(n)), nil, nil)
+		}
+	}()
+	wg.Wait()
+	if err := l.Validate(); err != nil {
+		t.Fatalf("list invalid after hinted run under deletes: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package skiplist
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"unsafe"
 
@@ -15,6 +16,58 @@ import (
 // value slots are zero-width.
 type List[V any] struct {
 	Topology
+
+	// pool recycles dataNode allocations that were prepared by an
+	// insert but never published: the insert lost its race to a
+	// concurrent insert of the same key and returned Existing instead.
+	// Under write contention on overlapping key sets this is the
+	// allocation the GC would otherwise eat per lost race.
+	//
+	// Published nodes are deliberately NOT recycled — not on delete,
+	// and not from the epoch-release sweep, even though the sweep
+	// proves no pinned reader can still need the node's value. Proving
+	// a node invisible is not proving it unreachable: live nodes hold
+	// back pointers (written once, at insert and at markNode) that may
+	// reference a retired node indefinitely as a recovery tombstone,
+	// and searches recover through those pointers relying on the
+	// retired node's key and frozen succ word staying exactly what they
+	// were. No grace period bounds that reachability, so reusing the
+	// allocation would change a key out from under a future recovery —
+	// the classic ABA corruption, here breaking search termination
+	// (back pointers must strictly decrease). The GC is the only safe
+	// reclaimer for published nodes; what the pool removes is the churn
+	// from nodes that never entered the structure at all.
+	pool sync.Pool
+}
+
+// newDataNode returns a dataNode ready for stamping: either a recycled
+// never-published allocation (scrubbed by recycleDataNode) or a fresh
+// one. The caller must set every header field it relies on — key,
+// kind, origHeight, root, born, val, from — exactly as it would on a
+// fresh allocation; nothing is inherited from a previous use.
+func (l *List[V]) newDataNode() *dataNode[V] {
+	if v := l.pool.Get(); v != nil {
+		return v.(*dataNode[V])
+	}
+	return new(dataNode[V])
+}
+
+// recycleDataNode returns a node allocated by newDataNode to the pool.
+// It must only be called on nodes that were never published: once the
+// linking CAS has landed, concurrent operations hold references to the
+// node forever (see the pool field comment). The scrub clears every
+// reference the insert attempt wrote (the succ word's cell, the back
+// pointer, the value), so a pooled node retains nothing; the epoch
+// stamps and immutable-by-convention header fields are re-stamped in
+// full by the next insert that draws it.
+func (l *List[V]) recycleDataNode(dn *dataNode[V]) {
+	var zero V
+	dn.val = zero
+	dn.from = 0
+	dn.n.born = 0
+	dn.n.succ.Reset()
+	dn.n.back.Store(nil)
+	l.pool.Put(dn)
 }
 
 // New returns an empty list. Levels outside [2, MaxLevels] are clamped.
@@ -202,21 +255,26 @@ type InsertResult struct {
 // returns, per the paper's toplevelInsert. If the key is already present
 // nothing is allocated and the existing level-0 node is reported.
 func (l *List[V]) Insert(key uint64, val V, start *Node, c *stats.Op) InsertResult {
-	return l.insertWithHeight(key, val, start, l.randomHeight(), false, c)
+	return l.insertWithHeight(key, val, start, l.randomHeight(), false, nil, c)
 }
 
 // Upsert is Insert, except that when the key is already present the
 // existing node's value is overwritten with val (still allocation-free).
 func (l *List[V]) Upsert(key uint64, val V, start *Node, c *stats.Op) InsertResult {
-	return l.insertWithHeight(key, val, start, l.randomHeight(), true, c)
+	return l.insertWithHeight(key, val, start, l.randomHeight(), true, nil, c)
 }
 
 // insertWithHeight is Insert/Upsert with the tower height fixed by the
 // caller; tests use it (via export_test.go) to construct deterministic
-// shapes.
-func (l *List[V]) insertWithHeight(key uint64, val V, start *Node, h int, upsert bool, c *stats.Op) InsertResult {
-	var lefts [MaxLevels]*Node
-	br := l.descend(key, start, &lefts, c)
+// shapes. A non-nil hint supplies (and receives back) per-level descent
+// positions, the batched write path's amortization (hint.go).
+func (l *List[V]) insertWithHeight(key uint64, val V, start *Node, h int, upsert bool, hint *Hint, c *stats.Op) InsertResult {
+	var local [MaxLevels]*Node
+	lefts := &local
+	if hint != nil {
+		lefts = &hint.lefts
+	}
+	br := l.descendResume(key, start, lefts, c)
 	t := target{key: key}
 	if br.Right.at(t) && br.Right.dead.Load() == 0 {
 		// Already present and live: the fast path allocates nothing. A
@@ -228,7 +286,8 @@ func (l *List[V]) insertWithHeight(key uint64, val V, start *Node, h int, upsert
 		}
 		return InsertResult{Existing: br.Right}
 	}
-	dn := &dataNode[V]{val: val}
+	dn := l.newDataNode()
+	dn.val = val
 	root := &dn.n
 	root.key = key
 	root.kind = kindData
@@ -258,6 +317,8 @@ func (l *List[V]) insertWithHeight(key uint64, val V, start *Node, h int, upsert
 			if upsert {
 				l.SetValue(br.Right, val)
 			}
+			// The prepared node was never published: recycle it.
+			l.recycleDataNode(dn)
 			return InsertResult{Existing: br.Right}
 		}
 	}
@@ -266,13 +327,27 @@ func (l *List[V]) insertWithHeight(key uint64, val V, start *Node, h int, upsert
 
 	// Raise the tower, each link conditioned on the root's stop flag
 	// remaining unset (the paper's DCSS guard). Tower nodes above level 0
-	// are plain headers: they carry no value slot.
+	// are plain headers: they carry no value slot. The whole tower is cut
+	// from one slab — a single allocation instead of one per level — at
+	// the cost of the slab staying reachable while any of its nodes is
+	// (a constant-factor trade; towers are torn down level-by-level but
+	// their nodes' lifetimes are already coupled through root pointers).
 	curr := root
+	var slab []Node
+	if h > 1 {
+		slab = make([]Node, h-1)
+	}
 	for lv := 1; lv < h; lv++ {
 		if root.stop.Load() {
 			return InsertResult{Inserted: true, Root: root}
 		}
-		tn := &Node{key: key, kind: kindData, level: int8(lv), origHeight: int8(h), root: root, down: curr}
+		tn := &slab[lv-1]
+		tn.key = key
+		tn.kind = kindData
+		tn.level = int8(lv)
+		tn.origHeight = int8(h)
+		tn.root = root
+		tn.down = curr
 		for {
 			br := l.search(t, lefts[lv], c)
 			if br.Right.at(t) {

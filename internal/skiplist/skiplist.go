@@ -34,13 +34,11 @@
 package skiplist
 
 import (
-	"math/bits"
 	"sync"
 	"sync/atomic"
 
 	"skiptrie/internal/dcss"
 	"skiptrie/internal/stats"
-	"skiptrie/internal/uintbits"
 )
 
 // MaxLevels bounds the number of levels (universe width <= 64 gives
@@ -222,9 +220,15 @@ type Topology struct {
 	repair  RepairMode
 	heads   [MaxLevels]*Node
 	tails   [MaxLevels]*Node
-	rng     atomic.Uint64
 	length  atomic.Int64
 	nodes   atomic.Int64 // total live tower nodes, for space accounting
+
+	// Striped tower-height RNG (rng.go): rngSeed is immutable after
+	// init; rngCtr orders lazy stripe seeding; rng holds the padded
+	// per-stripe xorshift states.
+	rngSeed uint64
+	rngCtr  atomic.Uint64
+	rng     [rngStripes]rngStripe
 
 	// Epoch clock and snapshot-pin registry (epoch.go). epoch starts at
 	// 1 and is bumped only by PinEpoch; minPin caches the smallest
@@ -252,6 +256,10 @@ type Config struct {
 	// Repair selects the prev-pointer maintenance discipline.
 	Repair RepairMode
 	// Seed seeds tower-height randomness; 0 selects a fixed default.
+	// Height draws come from striped per-goroutine generator states
+	// (rng.go), so the seed fixes the drawn sequence — and therefore
+	// the structure's shape — only for single-goroutine use; concurrent
+	// writers interleave stripe state nondeterministically.
 	Seed uint64
 }
 
@@ -272,7 +280,7 @@ func (l *Topology) init(cfg Config) {
 	if seed == 0 {
 		seed = 0x5ee0_70_1e_5eed
 	}
-	l.rng.Store(seed)
+	l.rngSeed = seed
 	l.epoch.Store(1)
 	l.minPin.Store(noPin)
 	for i := 0; i < lv; i++ {
@@ -316,14 +324,6 @@ func (l *Topology) Len() int { return int(l.length.Load()) }
 // NodeCount returns the number of live tower nodes across all levels
 // (approximate under concurrency), for the T6 space experiment.
 func (l *Topology) NodeCount() int { return int(l.nodes.Load()) }
-
-// randomHeight draws Geom(1/2) truncated to [1, levels]: P(h) = 2^-h,
-// with the remainder mass on h = levels, so P(reaching the top level) is
-// 2^-(levels-1) = 1/log u for levels = ceil(log2 log u)+1.
-func (l *Topology) randomHeight() int {
-	x := uintbits.Mix64(l.rng.Add(0x9E3779B97F4A7C15))
-	return bits.TrailingZeros64(x|1<<(l.levels-1)) + 1
-}
 
 // Bracket is the result of a list search at one level: at witness time,
 // Left was unmarked, Left.next was Right, and Left < target <= Right.

@@ -51,14 +51,14 @@ func (m *Map[V]) op() *stats.Op {
 func (m *Map[V]) Store(key uint64, val V) {
 	c := m.op()
 	m.c.Store(key, val, c)
-	m.m.record(OpInsert, key, c)
+	m.m.record(OpInsert, c)
 }
 
 // Load returns the value stored under key.
 func (m *Map[V]) Load(key uint64) (V, bool) {
 	c := m.op()
 	v, ok := m.c.Find(key, c)
-	m.m.record(OpContains, key, c)
+	m.m.record(OpContains, c)
 	return v, ok
 }
 
@@ -69,7 +69,7 @@ func (m *Map[V]) Load(key uint64) (V, bool) {
 func (m *Map[V]) LoadOrStore(key uint64, val V) (actual V, loaded bool) {
 	c := m.op()
 	actual, loaded = m.c.LoadOrStore(key, val, c)
-	m.m.record(OpInsert, key, c)
+	m.m.record(OpInsert, c)
 	return actual, loaded
 }
 
@@ -77,7 +77,7 @@ func (m *Map[V]) LoadOrStore(key uint64, val V) (actual V, loaded bool) {
 func (m *Map[V]) Delete(key uint64) bool {
 	c := m.op()
 	ok := m.c.Delete(key, c)
-	m.m.record(OpDelete, key, c)
+	m.m.record(OpDelete, c)
 	return ok
 }
 
@@ -85,7 +85,7 @@ func (m *Map[V]) Delete(key uint64) bool {
 func (m *Map[V]) Predecessor(x uint64) (uint64, V, bool) {
 	c := m.op()
 	k, v, ok := m.c.Predecessor(x, c)
-	m.m.record(OpPredecessor, x, c)
+	m.m.record(OpPredecessor, c)
 	return k, v, ok
 }
 
@@ -93,7 +93,7 @@ func (m *Map[V]) Predecessor(x uint64) (uint64, V, bool) {
 func (m *Map[V]) Successor(x uint64) (uint64, V, bool) {
 	c := m.op()
 	k, v, ok := m.c.Successor(x, c)
-	m.m.record(OpSuccessor, x, c)
+	m.m.record(OpSuccessor, c)
 	return k, v, ok
 }
 
@@ -101,7 +101,7 @@ func (m *Map[V]) Successor(x uint64) (uint64, V, bool) {
 func (m *Map[V]) StrictPredecessor(x uint64) (uint64, V, bool) {
 	c := m.op()
 	k, v, ok := m.c.StrictPredecessor(x, c)
-	m.m.record(OpPredecessor, x, c)
+	m.m.record(OpPredecessor, c)
 	return k, v, ok
 }
 
@@ -109,7 +109,7 @@ func (m *Map[V]) StrictPredecessor(x uint64) (uint64, V, bool) {
 func (m *Map[V]) StrictSuccessor(x uint64) (uint64, V, bool) {
 	c := m.op()
 	k, v, ok := m.c.StrictSuccessor(x, c)
-	m.m.record(OpSuccessor, x, c)
+	m.m.record(OpSuccessor, c)
 	return k, v, ok
 }
 

@@ -6,8 +6,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"skiptrie/internal/gid"
 	"skiptrie/internal/stats"
-	"skiptrie/internal/uintbits"
 )
 
 // OpKind labels the operation class a metric sample belongs to.
@@ -43,10 +43,12 @@ func (k OpKind) String() string {
 
 const metricStripes = 16 // power of two
 
-// Metrics aggregates per-operation step counts across goroutines. Counters
-// are striped by key hash so concurrent recording does not serialize on a
-// single cache line; a single Metrics may be shared by several structures.
-// The zero value is ready to use.
+// Metrics aggregates per-operation step counts across goroutines.
+// Counters are striped by a goroutine hash (internal/gid) so concurrent
+// recording does not serialize on a single cache line — including under
+// hot-key workloads, where the key-hash striping this replaces bounced
+// every recorder on the hot key's one stripe. A single Metrics may be
+// shared by several structures. The zero value is ready to use.
 type Metrics struct {
 	stripes [metricStripes]metricStripe
 	reshard reshardCounters
@@ -86,12 +88,20 @@ func (m *Metrics) op() *stats.Op {
 
 // record folds one finished operation into the collector. Nil receivers
 // and nil ops are ignored, so callers can record unconditionally.
-func (m *Metrics) record(kind OpKind, key uint64, op *stats.Op) {
-	if m == nil || op == nil {
+func (m *Metrics) record(kind OpKind, op *stats.Op) {
+	m.recordN(kind, 1, op)
+}
+
+// recordN folds one finished batched operation covering n keys into the
+// collector: n operations of the given kind whose combined step counts
+// are op's totals (so AvgSteps stays a per-key quantity). Nil receivers
+// and nil ops are ignored.
+func (m *Metrics) recordN(kind OpKind, n uint64, op *stats.Op) {
+	if m == nil || op == nil || n == 0 {
 		return
 	}
-	s := &m.stripes[uintbits.Mix64(key)&(metricStripes-1)]
-	s.ops[kind].Add(1)
+	s := &m.stripes[gid.Hash()&(metricStripes-1)]
+	s.ops[kind].Add(n)
 	s.steps[kind].Add(op.Steps())
 	s.hops.Add(op.Hops)
 	s.cas.Add(op.CAS)

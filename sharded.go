@@ -196,14 +196,14 @@ func (s *Sharded[V]) ShardLens() []int { return s.t.ShardLens() }
 func (s *Sharded[V]) Store(key uint64, val V) {
 	c := s.op()
 	s.t.Store(key, val, c)
-	s.m.record(OpInsert, key, c)
+	s.m.record(OpInsert, c)
 }
 
 // Load returns the value stored under key.
 func (s *Sharded[V]) Load(key uint64) (V, bool) {
 	c := s.op()
 	v, ok := s.t.Find(key, c)
-	s.m.record(OpContains, key, c)
+	s.m.record(OpContains, c)
 	return v, ok
 }
 
@@ -213,7 +213,7 @@ func (s *Sharded[V]) Load(key uint64) (V, bool) {
 func (s *Sharded[V]) LoadOrStore(key uint64, val V) (actual V, loaded bool) {
 	c := s.op()
 	actual, loaded = s.t.LoadOrStore(key, val, c)
-	s.m.record(OpInsert, key, c)
+	s.m.record(OpInsert, c)
 	return actual, loaded
 }
 
@@ -221,7 +221,7 @@ func (s *Sharded[V]) LoadOrStore(key uint64, val V) (actual V, loaded bool) {
 func (s *Sharded[V]) Delete(key uint64) bool {
 	c := s.op()
 	ok := s.t.Delete(key, c)
-	s.m.record(OpDelete, key, c)
+	s.m.record(OpDelete, c)
 	return ok
 }
 
@@ -229,7 +229,7 @@ func (s *Sharded[V]) Delete(key uint64) bool {
 func (s *Sharded[V]) Predecessor(x uint64) (uint64, V, bool) {
 	c := s.op()
 	k, v, ok := s.t.Predecessor(x, c)
-	s.m.record(OpPredecessor, x, c)
+	s.m.record(OpPredecessor, c)
 	return k, v, ok
 }
 
@@ -237,7 +237,7 @@ func (s *Sharded[V]) Predecessor(x uint64) (uint64, V, bool) {
 func (s *Sharded[V]) Successor(x uint64) (uint64, V, bool) {
 	c := s.op()
 	k, v, ok := s.t.Successor(x, c)
-	s.m.record(OpSuccessor, x, c)
+	s.m.record(OpSuccessor, c)
 	return k, v, ok
 }
 
@@ -245,7 +245,7 @@ func (s *Sharded[V]) Successor(x uint64) (uint64, V, bool) {
 func (s *Sharded[V]) StrictPredecessor(x uint64) (uint64, V, bool) {
 	c := s.op()
 	k, v, ok := s.t.StrictPredecessor(x, c)
-	s.m.record(OpPredecessor, x, c)
+	s.m.record(OpPredecessor, c)
 	return k, v, ok
 }
 
@@ -253,7 +253,7 @@ func (s *Sharded[V]) StrictPredecessor(x uint64) (uint64, V, bool) {
 func (s *Sharded[V]) StrictSuccessor(x uint64) (uint64, V, bool) {
 	c := s.op()
 	k, v, ok := s.t.StrictSuccessor(x, c)
-	s.m.record(OpSuccessor, x, c)
+	s.m.record(OpSuccessor, c)
 	return k, v, ok
 }
 

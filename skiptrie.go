@@ -89,9 +89,15 @@ func WithEagerPrevRepair() Option {
 	return func(o *options) { o.repair = skiplist.RepairEager }
 }
 
-// WithSeed seeds tower-height randomness, making structure shapes
-// reproducible. The default seed is fixed; use distinct seeds for
-// statistically independent runs.
+// WithSeed seeds tower-height randomness. The default seed is fixed;
+// use distinct seeds for statistically independent runs.
+//
+// Height draws are served from striped per-goroutine generator states
+// (one padded lane per goroutine-hash bucket), so the seed fixes the
+// drawn sequence — and therefore the structure's shape — only when all
+// inserts come from a single goroutine. Concurrent writers interleave
+// stripe seeding and stepping nondeterministically: shapes stay
+// statistically identical but are not reproducible run to run.
 func WithSeed(seed uint64) Option {
 	return func(o *options) { o.seed = seed }
 }
@@ -138,7 +144,7 @@ func (s *SkipTrie) op() *stats.Op {
 func (s *SkipTrie) Insert(key uint64) bool {
 	c := s.op()
 	ok := s.c.Add(key, c)
-	s.m.record(OpInsert, key, c)
+	s.m.record(OpInsert, c)
 	return ok
 }
 
@@ -147,7 +153,7 @@ func (s *SkipTrie) Insert(key uint64) bool {
 func (s *SkipTrie) Delete(key uint64) bool {
 	c := s.op()
 	ok := s.c.Delete(key, c)
-	s.m.record(OpDelete, key, c)
+	s.m.record(OpDelete, c)
 	return ok
 }
 
@@ -155,7 +161,7 @@ func (s *SkipTrie) Delete(key uint64) bool {
 func (s *SkipTrie) Contains(key uint64) bool {
 	c := s.op()
 	ok := s.c.Contains(key, c)
-	s.m.record(OpContains, key, c)
+	s.m.record(OpContains, c)
 	return ok
 }
 
@@ -163,7 +169,7 @@ func (s *SkipTrie) Contains(key uint64) bool {
 func (s *SkipTrie) Predecessor(x uint64) (uint64, bool) {
 	c := s.op()
 	k, _, ok := s.c.Predecessor(x, c)
-	s.m.record(OpPredecessor, x, c)
+	s.m.record(OpPredecessor, c)
 	return k, ok
 }
 
@@ -171,7 +177,7 @@ func (s *SkipTrie) Predecessor(x uint64) (uint64, bool) {
 func (s *SkipTrie) StrictPredecessor(x uint64) (uint64, bool) {
 	c := s.op()
 	k, _, ok := s.c.StrictPredecessor(x, c)
-	s.m.record(OpPredecessor, x, c)
+	s.m.record(OpPredecessor, c)
 	return k, ok
 }
 
@@ -179,7 +185,7 @@ func (s *SkipTrie) StrictPredecessor(x uint64) (uint64, bool) {
 func (s *SkipTrie) Successor(x uint64) (uint64, bool) {
 	c := s.op()
 	k, _, ok := s.c.Successor(x, c)
-	s.m.record(OpSuccessor, x, c)
+	s.m.record(OpSuccessor, c)
 	return k, ok
 }
 
@@ -187,7 +193,7 @@ func (s *SkipTrie) Successor(x uint64) (uint64, bool) {
 func (s *SkipTrie) StrictSuccessor(x uint64) (uint64, bool) {
 	c := s.op()
 	k, _, ok := s.c.StrictSuccessor(x, c)
-	s.m.record(OpSuccessor, x, c)
+	s.m.record(OpSuccessor, c)
 	return k, ok
 }
 

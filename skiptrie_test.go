@@ -233,7 +233,8 @@ func TestMetricsRecorded(t *testing.T) {
 
 func TestMetricsNilSafe(t *testing.T) {
 	var m *Metrics
-	m.record(OpInsert, 1, nil)
+	m.record(OpInsert, nil)
+	m.recordN(OpInsert, 2, nil)
 	if sn := m.Snapshot(); sn.TotalOps() != 0 {
 		t.Fatal("nil Metrics snapshot not empty")
 	}

@@ -118,7 +118,7 @@ type coreSnapSource[V any] struct {
 func (s coreSnapSource[V]) load(key uint64) (V, bool) {
 	c := s.m.op()
 	v, ok := s.sn.Load(key, c)
-	s.m.record(OpContains, key, c)
+	s.m.record(OpContains, c)
 	return v, ok
 }
 func (s coreSnapSource[V]) cursor() cursor[V] { return s.sn.NewIter(nil) }
@@ -133,7 +133,7 @@ type shardSnapSource[V any] struct {
 func (s shardSnapSource[V]) load(key uint64) (V, bool) {
 	c := s.m.op()
 	v, ok := s.sn.Load(key, c)
-	s.m.record(OpContains, key, c)
+	s.m.record(OpContains, c)
 	return v, ok
 }
 func (s shardSnapSource[V]) cursor() cursor[V] { return s.sn.NewIter(nil) }
