@@ -18,7 +18,7 @@ func allocsPerRun(runs int, f func()) float64 {
 }
 
 func TestAllocsFreshInsert(t *testing.T) {
-	m := NewMap[int](WithWidth(32), WithSeed(1))
+	m := MustNewMap[int](WithWidth(32), WithSeed(1))
 	var k uint64
 	got := allocsPerRun(2000, func() {
 		m.Store(k, int(k))
@@ -34,7 +34,7 @@ func TestAllocsFreshInsert(t *testing.T) {
 }
 
 func TestAllocsStoreExisting(t *testing.T) {
-	m := NewMap[int](WithWidth(32), WithSeed(1))
+	m := MustNewMap[int](WithWidth(32), WithSeed(1))
 	for i := uint64(0); i < 1024; i++ {
 		m.Store(i, int(i))
 	}
@@ -48,7 +48,7 @@ func TestAllocsStoreExisting(t *testing.T) {
 }
 
 func TestAllocsLoad(t *testing.T) {
-	m := NewMap[int](WithWidth(32), WithSeed(1))
+	m := MustNewMap[int](WithWidth(32), WithSeed(1))
 	for i := uint64(0); i < 1024; i++ {
 		m.Store(i, int(i))
 	}
@@ -63,7 +63,7 @@ func TestAllocsLoad(t *testing.T) {
 
 func TestAllocsMeteredLoad(t *testing.T) {
 	var met Metrics
-	m := NewMap[int](WithWidth(32), WithSeed(1), WithMetrics(&met))
+	m := MustNewMap[int](WithWidth(32), WithSeed(1), WithMetrics(&met))
 	for i := uint64(0); i < 1024; i++ {
 		m.Store(i, int(i))
 	}
@@ -79,7 +79,7 @@ func TestAllocsMeteredLoad(t *testing.T) {
 }
 
 func TestAllocsStoreBatchPerKey(t *testing.T) {
-	m := NewMap[int](WithWidth(32), WithSeed(1))
+	m := MustNewMap[int](WithWidth(32), WithSeed(1))
 	const batch = 256
 	keys := make([]uint64, batch)
 	vals := make([]int, batch)
@@ -102,7 +102,7 @@ func TestAllocsStoreBatchPerKey(t *testing.T) {
 }
 
 func TestAllocsStoreBatchExisting(t *testing.T) {
-	m := NewMap[int](WithWidth(32), WithSeed(1))
+	m := MustNewMap[int](WithWidth(32), WithSeed(1))
 	const batch = 256
 	keys := make([]uint64, batch)
 	vals := make([]int, batch)

@@ -30,8 +30,8 @@ func FuzzStoreBatchVsStores(f *testing.F) {
 			t.Skip("program too long")
 		}
 		const w = 13 // keys fold to 13 bits; higher bits fall out of universe
-		mp := NewMap[uint64](WithWidth(w), WithSeed(3))
-		sh := NewSharded[uint64](WithWidth(w), WithShards(4), WithMaxShards(64), WithSeed(7))
+		mp := MustNewMap[uint64](WithWidth(w), WithSeed(3))
+		sh := MustNewSharded[uint64](WithWidth(w), WithShards(4), WithMaxShards(64), WithSeed(7))
 		model := map[uint64]uint64{}
 
 		// Cut the program into batches: the first byte of each chunk

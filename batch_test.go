@@ -7,7 +7,7 @@ import (
 )
 
 func TestMapStoreBatchBasics(t *testing.T) {
-	m := NewMap[int](WithWidth(16))
+	m := MustNewMap[int](WithWidth(16))
 	keys := []uint64{10, 3, 99, 3, 70000, 10, 42} // unsorted, dups, 70000 out of universe
 	vals := []int{0, 1, 2, 3, 4, 5, 6}
 	m.StoreBatch(keys, vals)
@@ -43,8 +43,8 @@ func TestMapStoreBatchMatchesStores(t *testing.T) {
 		vals[i] = i
 	}
 
-	batched := NewMap[int](WithWidth(20))
-	perKey := NewMap[int](WithWidth(20))
+	batched := MustNewMap[int](WithWidth(20))
+	perKey := MustNewMap[int](WithWidth(20))
 	batched.StoreBatch(keys, vals)
 	for i, k := range keys {
 		perKey.Store(k, vals[i])
@@ -74,11 +74,11 @@ func TestMapStoreBatchLengthMismatchPanics(t *testing.T) {
 			t.Fatal("no panic on length mismatch")
 		}
 	}()
-	NewMap[int]().StoreBatch([]uint64{1, 2}, []int{1})
+	MustNewMap[int]().StoreBatch([]uint64{1, 2}, []int{1})
 }
 
 func TestMapStoreBatchEmpty(t *testing.T) {
-	m := NewMap[int]()
+	m := MustNewMap[int]()
 	m.StoreBatch(nil, nil)
 	if m.Len() != 0 {
 		t.Fatal("empty batch stored something")
@@ -86,7 +86,7 @@ func TestMapStoreBatchEmpty(t *testing.T) {
 }
 
 func TestShardedStoreBatchCrossShard(t *testing.T) {
-	s := NewSharded[int](WithWidth(16), WithShards(8))
+	s := MustNewSharded[int](WithWidth(16), WithShards(8))
 	r := rand.New(rand.NewSource(11))
 	const n = 4000
 	keys := make([]uint64, n)
@@ -119,7 +119,7 @@ func TestShardedStoreBatchCrossShard(t *testing.T) {
 // Split/Merge of the ranges the batches are landing in, exercising the
 // migration dirty-marking path for latched chunks.
 func TestShardedStoreBatchUnderReshard(t *testing.T) {
-	s := NewSharded[int](WithWidth(16), WithShards(2), WithMaxShards(64))
+	s := MustNewSharded[int](WithWidth(16), WithShards(2), WithMaxShards(64))
 	var wg sync.WaitGroup
 	wg.Add(1)
 	stop := make(chan struct{})
@@ -172,7 +172,7 @@ func TestShardedStoreBatchUnderReshard(t *testing.T) {
 }
 
 func TestSetAddBatch(t *testing.T) {
-	st := New(WithWidth(16))
+	st := MustNew(WithWidth(16))
 	st.Insert(5)
 	keys := []uint64{9, 5, 1, 9, 70000, 2}
 	if got := st.AddBatch(keys); got != 3 { // 9, 1, 2 new; 5 present, dup 9, out-of-universe skipped
@@ -196,7 +196,7 @@ func TestSetAddBatch(t *testing.T) {
 
 func TestStoreBatchMetrics(t *testing.T) {
 	var met Metrics
-	m := NewMap[int](WithWidth(16), WithMetrics(&met))
+	m := MustNewMap[int](WithWidth(16), WithMetrics(&met))
 	keys := make([]uint64, 100)
 	vals := make([]int, 100)
 	for i := range keys {

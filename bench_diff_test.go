@@ -1,0 +1,70 @@
+package skiptrie
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkDiff measures the epoch-window diff on a 1M-key map with k
+// changed keys in the window, for k from 0.1% to 10% of n. The claim
+// under test is O(delta): per-changed-key cost (reported as
+// ns/chgkey) should stay flat as k grows 100x — a diff that secretly
+// walks the whole structure shows up as ns/chgkey falling ~linearly
+// with k (fixed O(n) cost amortized over more keys), and a diff that
+// is superlinear in delta shows it rising. CI's benchstat gate tracks
+// ns/op per k; BENCH_8.json records the per-key ratios.
+func BenchmarkDiff(b *testing.B) {
+	const n = 1 << 20
+	for _, k := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n1M/k%d", k), func(b *testing.B) {
+			m := MustNewMap[uint64](WithWidth(24), WithSeed(5))
+			keys := make([]uint64, n)
+			vals := make([]uint64, n)
+			for i := range keys {
+				keys[i] = uint64(i) << 4 // spread; leaves room for fresh inserts
+				vals[i] = uint64(i)
+			}
+			m.StoreBatch(keys, vals)
+
+			a := m.Snapshot()
+			defer a.Close()
+			// Change k keys: a third overwritten, a third deleted, a
+			// third fresh inserts, spread across the key space.
+			stride := n / k
+			if stride == 0 {
+				stride = 1
+			}
+			for i := 0; i < k; i++ {
+				base := uint64(i*stride%n) << 4
+				switch i % 3 {
+				case 0:
+					m.Store(base, uint64(i)|1<<32)
+				case 1:
+					m.Delete(base)
+				default:
+					m.Store(base|1, uint64(i))
+				}
+			}
+			sn := m.Snapshot()
+			defer sn.Close()
+
+			b.ResetTimer()
+			events := 0
+			for i := 0; i < b.N; i++ {
+				events = 0
+				err := a.Diff(sn, func(DiffEvent[uint64]) bool {
+					events++
+					return true
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if events < k*9/10 || events > k {
+				b.Fatalf("diff emitted %d events for %d changes", events, k)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/chgkey")
+		})
+	}
+}

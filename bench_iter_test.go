@@ -24,7 +24,7 @@ func scanBenchKeys(store func(k, v uint64)) []uint64 {
 }
 
 func BenchmarkMapRange(b *testing.B) {
-	m := NewMap[uint64](WithWidth(32), WithSeed(1))
+	m := MustNewMap[uint64](WithWidth(32), WithSeed(1))
 	scanBenchKeys(m.Store)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -43,7 +43,7 @@ func BenchmarkMapRange(b *testing.B) {
 func BenchmarkShardedRange(b *testing.B) {
 	for _, shards := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			s := NewSharded[uint64](WithWidth(32), WithShards(shards), WithSeed(1))
+			s := MustNewSharded[uint64](WithWidth(32), WithShards(shards), WithSeed(1))
 			scanBenchKeys(s.Store)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -65,7 +65,7 @@ func BenchmarkShardedRangeShort(b *testing.B) {
 	const span = 128
 	for _, shards := range []int{4, 16} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			s := NewSharded[uint64](WithWidth(32), WithShards(shards), WithSeed(1))
+			s := MustNewSharded[uint64](WithWidth(32), WithShards(shards), WithSeed(1))
 			keys := scanBenchKeys(s.Store)
 			rng := rand.New(rand.NewSource(9))
 			b.ResetTimer()
@@ -84,7 +84,7 @@ func BenchmarkShardedRangeShort(b *testing.B) {
 // the same traversal Range runs, plus the cursor's method-call
 // indirection.
 func BenchmarkMapIter(b *testing.B) {
-	m := NewMap[uint64](WithWidth(32), WithSeed(1))
+	m := MustNewMap[uint64](WithWidth(32), WithSeed(1))
 	scanBenchKeys(m.Store)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -104,7 +104,7 @@ func BenchmarkMapIter(b *testing.B) {
 func BenchmarkShardedIter(b *testing.B) {
 	for _, shards := range []int{4, 16} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			s := NewSharded[uint64](WithWidth(32), WithShards(shards), WithSeed(1))
+			s := MustNewSharded[uint64](WithWidth(32), WithShards(shards), WithSeed(1))
 			scanBenchKeys(s.Store)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -124,8 +124,8 @@ func BenchmarkShardedIter(b *testing.B) {
 // BenchmarkIterSeek measures cursor positioning alone (the per-scan
 // setup cost: trie-accelerated descents, one per shard on Sharded).
 func BenchmarkIterSeek(b *testing.B) {
-	m := NewMap[uint64](WithWidth(32), WithSeed(1))
-	s := NewSharded[uint64](WithWidth(32), WithShards(16), WithSeed(1))
+	m := MustNewMap[uint64](WithWidth(32), WithSeed(1))
+	s := MustNewSharded[uint64](WithWidth(32), WithShards(16), WithSeed(1))
 	keys := scanBenchKeys(m.Store)
 	for _, k := range keys {
 		s.Store(k, k)
@@ -146,7 +146,7 @@ func BenchmarkIterSeek(b *testing.B) {
 }
 
 func BenchmarkMapDescend(b *testing.B) {
-	m := NewMap[uint64](WithWidth(32), WithSeed(1))
+	m := MustNewMap[uint64](WithWidth(32), WithSeed(1))
 	scanBenchKeys(m.Store)
 	max := m.c.MaxKey()
 	b.ResetTimer()
@@ -162,7 +162,7 @@ func BenchmarkMapDescend(b *testing.B) {
 func BenchmarkShardedDescend(b *testing.B) {
 	for _, shards := range []int{4, 16} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			s := NewSharded[uint64](WithWidth(32), WithShards(shards), WithSeed(1))
+			s := MustNewSharded[uint64](WithWidth(32), WithShards(shards), WithSeed(1))
 			scanBenchKeys(s.Store)
 			max := uint64(1)<<32 - 1
 			b.ResetTimer()

@@ -16,11 +16,11 @@ func BenchmarkSnapshotKeys(b *testing.B) {
 		b.Run("backend="+backend, func(b *testing.B) {
 			var snap func() *Snapshot[uint64]
 			if backend == "map" {
-				m := NewMap[uint64](WithWidth(32), WithSeed(1))
+				m := MustNewMap[uint64](WithWidth(32), WithSeed(1))
 				scanBenchKeys(m.Store)
 				snap = m.Snapshot
 			} else {
-				s := NewSharded[uint64](WithWidth(32), WithShards(8), WithSeed(1))
+				s := MustNewSharded[uint64](WithWidth(32), WithShards(8), WithSeed(1))
 				defer s.Close()
 				scanBenchKeys(s.Store)
 				snap = s.Snapshot
@@ -42,7 +42,7 @@ func BenchmarkSnapshotKeys(b *testing.B) {
 // shape (seek into the middle, read a page).
 func BenchmarkSnapshotRange(b *testing.B) {
 	const page = 128
-	s := NewSharded[uint64](WithWidth(32), WithShards(8), WithSeed(2))
+	s := MustNewSharded[uint64](WithWidth(32), WithShards(8), WithSeed(2))
 	defer s.Close()
 	keys := scanBenchKeys(s.Store)
 	sn := s.Snapshot()
@@ -69,7 +69,7 @@ func BenchmarkSnapshotRange(b *testing.B) {
 func BenchmarkStoreWithLiveSnapshot(b *testing.B) {
 	for _, mode := range []string{"none", "live", "cycled"} {
 		b.Run(fmt.Sprintf("snap=%s", mode), func(b *testing.B) {
-			m := NewMap[uint64](WithWidth(32), WithSeed(3))
+			m := MustNewMap[uint64](WithWidth(32), WithSeed(3))
 			keys := scanBenchKeys(m.Store)
 			var sn *Snapshot[uint64]
 			if mode == "live" {

@@ -313,8 +313,8 @@ func shardedBenchBuilds() []struct {
 		name  string
 		build func() kvStore
 	}{
-		{"map", func() kvStore { return NewMap[uint64](WithWidth(w), WithSeed(1)) }},
-		{"sharded8", func() kvStore { return NewSharded[uint64](WithWidth(w), WithShards(8), WithSeed(1)) }},
+		{"map", func() kvStore { return MustNewMap[uint64](WithWidth(w), WithSeed(1)) }},
+		{"sharded8", func() kvStore { return MustNewSharded[uint64](WithWidth(w), WithShards(8), WithSeed(1)) }},
 	}
 }
 
@@ -407,7 +407,7 @@ func BenchmarkShardedMixed(b *testing.B) {
 // --- standard micro-benchmarks of the public API ---
 
 func BenchmarkInsert(b *testing.B) {
-	st := New(WithWidth(64))
+	st := MustNew(WithWidth(64))
 	rng := rand.New(rand.NewSource(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -416,7 +416,7 @@ func BenchmarkInsert(b *testing.B) {
 }
 
 func BenchmarkContains(b *testing.B) {
-	st := New(WithWidth(64))
+	st := MustNew(WithWidth(64))
 	keys := workload.SpreadKeys(benchM, 64)
 	for _, k := range keys {
 		st.Insert(k)
@@ -429,7 +429,7 @@ func BenchmarkContains(b *testing.B) {
 }
 
 func BenchmarkPredecessor(b *testing.B) {
-	st := New(WithWidth(64))
+	st := MustNew(WithWidth(64))
 	for _, k := range workload.SpreadKeys(benchM, 64) {
 		st.Insert(k)
 	}
@@ -441,7 +441,7 @@ func BenchmarkPredecessor(b *testing.B) {
 }
 
 func BenchmarkDeleteInsertCycle(b *testing.B) {
-	st := New(WithWidth(32))
+	st := MustNew(WithWidth(32))
 	keys := workload.SpreadKeys(benchM, 32)
 	for _, k := range keys {
 		st.Insert(k)
@@ -455,7 +455,7 @@ func BenchmarkDeleteInsertCycle(b *testing.B) {
 }
 
 func BenchmarkMapStoreLoad(b *testing.B) {
-	m := NewMap[int](WithWidth(32))
+	m := MustNewMap[int](WithWidth(32))
 	rng := rand.New(rand.NewSource(4))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -471,7 +471,7 @@ func BenchmarkMapStoreLoad(b *testing.B) {
 // removed (the old any-based path paid an interface conversion plus a
 // value cell per Store).
 func BenchmarkMapStore(b *testing.B) {
-	m := NewMap[uint64](WithWidth(32))
+	m := MustNewMap[uint64](WithWidth(32))
 	keys := workload.SpreadKeys(benchM, 32)
 	for _, k := range keys {
 		m.Store(k, 0)
@@ -486,7 +486,7 @@ func BenchmarkMapStore(b *testing.B) {
 // BenchmarkMapLoad measures the read path; like Store-existing it runs
 // allocation-free.
 func BenchmarkMapLoad(b *testing.B) {
-	m := NewMap[uint64](WithWidth(32))
+	m := MustNewMap[uint64](WithWidth(32))
 	keys := workload.SpreadKeys(benchM, 32)
 	for i, k := range keys {
 		m.Store(k, uint64(i))

@@ -16,7 +16,7 @@ import (
 // Map: all goroutines share the skiplist head, the trie, and — before
 // this PR — a single RNG word and per-key metric stripes.
 func BenchmarkConcurrentStore(b *testing.B) {
-	m := NewMap[int](WithWidth(30))
+	m := MustNewMap[int](WithWidth(30))
 	var ctr atomic.Uint64
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
@@ -31,7 +31,7 @@ func BenchmarkConcurrentStore(b *testing.B) {
 // Sharded, where only the RNG/metrics stripes and the per-shard
 // structures are shared.
 func BenchmarkConcurrentStoreSharded(b *testing.B) {
-	s := NewSharded[int](WithWidth(30), WithShards(8))
+	s := MustNewSharded[int](WithWidth(30), WithShards(8))
 	var ctr atomic.Uint64
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
@@ -47,7 +47,7 @@ func BenchmarkConcurrentStoreSharded(b *testing.B) {
 // chosen by key hash, so a skewed key stream serialized all recorders.
 func BenchmarkConcurrentStoreMetered(b *testing.B) {
 	var met Metrics
-	m := NewMap[int](WithWidth(30), WithMetrics(&met))
+	m := MustNewMap[int](WithWidth(30), WithMetrics(&met))
 	var ctr atomic.Uint64
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
@@ -65,7 +65,7 @@ const batchBenchSize = 1024
 // Store. The gap between them is the amortization win. ns/op is per
 // key in both.
 func BenchmarkStoreBatch(b *testing.B) {
-	m := NewMap[int](WithWidth(40))
+	m := MustNewMap[int](WithWidth(40))
 	keys := make([]uint64, batchBenchSize)
 	vals := make([]int, batchBenchSize)
 	var base uint64
@@ -87,7 +87,7 @@ func BenchmarkStoreBatch(b *testing.B) {
 }
 
 func BenchmarkStoreBatchPerKey(b *testing.B) {
-	m := NewMap[int](WithWidth(40))
+	m := MustNewMap[int](WithWidth(40))
 	var k uint64
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -101,7 +101,7 @@ func BenchmarkStoreBatchPerKey(b *testing.B) {
 // so the chunking path (one latch acquire per shard segment) is on the
 // measured path.
 func BenchmarkStoreBatchSharded(b *testing.B) {
-	s := NewSharded[int](WithWidth(40), WithShards(8))
+	s := MustNewSharded[int](WithWidth(40), WithShards(8))
 	r := rand.New(rand.NewSource(1))
 	keys := make([]uint64, batchBenchSize)
 	vals := make([]int, batchBenchSize)

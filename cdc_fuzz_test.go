@@ -1,0 +1,176 @@
+package skiptrie
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDiffVsModel interprets the fuzz input as two phases of map
+// operations — interleaved with forced shard Splits and Merges — with
+// a snapshot pinned between them and after them, and checks
+// Snapshot.Diff's delivery contract against a sequential model:
+// ascending key order, deletes exact, puts covering every real change
+// (at-least-once, value correct at the newer snapshot), and replaying
+// the events onto the old model reproducing the new model exactly.
+//
+// Run with `go test -fuzz=FuzzDiffVsModel` for continuous fuzzing; the
+// seed corpus runs in normal test mode and in CI's fuzz smoke stage.
+func FuzzDiffVsModel(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x22, 0x03, 0x80, 0xE0, 0x00, 0x44, 0x05, 0x21, 0xFF}, []byte{0x21, 0x01, 0x40, 0x03, 0xE1, 0x00, 0x00, 0xFF})
+	f.Add([]byte{0xE0, 0x00, 0x01, 0x10, 0xE0, 0x01}, []byte{0xF0, 0x00, 0x21, 0x10, 0x41, 0x10})
+	f.Add([]byte{}, []byte{0x00, 0x01, 0x00, 0x02})
+	f.Add([]byte{0x1F, 0xFF, 0x20, 0x00}, []byte{0xE0, 0x00, 0xF0, 0x01, 0x3F, 0xFF})
+	f.Fuzz(func(t *testing.T, phase1, phase2 []byte) {
+		if len(phase1)+len(phase2) > 4096 {
+			t.Skip("program too long")
+		}
+		const w = 13
+		s := MustNewSharded[uint64](WithWidth(w), WithShards(2), WithMaxShards(64), WithSeed(3))
+		defer s.Close()
+		model := map[uint64]uint64{}
+
+		run := func(program []byte, base int) {
+			for i := 0; i+1 < len(program); i += 2 {
+				op := program[i] >> 5
+				key := uint64(program[i]&0x1F)<<8 | uint64(program[i+1])
+				val := uint64(base+i)*2654435761 + key
+				switch op {
+				case 0, 1, 4: // Store — heavier weight
+					s.Store(key, val)
+					model[key] = val
+				case 2, 5: // Delete
+					s.Delete(key)
+					delete(model, key)
+				case 7: // forced reshard
+					if key&1 == 0 {
+						_ = s.Split(key)
+					} else {
+						_ = s.Merge(key)
+					}
+				default: // Load — exercises nothing diff-relevant, cheap noise
+					_, _ = s.Load(key)
+				}
+			}
+		}
+
+		run(phase1, 0)
+		modelA := make(map[uint64]uint64, len(model))
+		for k, v := range model {
+			modelA[k] = v
+		}
+		a := s.Snapshot()
+		defer a.Close()
+
+		run(phase2, 1<<20)
+		b := s.Snapshot()
+		defer b.Close()
+
+		replay := make(map[uint64]uint64, len(modelA))
+		for k, v := range modelA {
+			replay[k] = v
+		}
+		last := int64(-1)
+		err := a.Diff(b, func(e DiffEvent[uint64]) bool {
+			if int64(e.Key) <= last {
+				t.Fatalf("events out of order: %d after %d", e.Key, last)
+			}
+			last = int64(e.Key)
+			switch e.Kind {
+			case DiffPut:
+				want, ok := model[e.Key]
+				if !ok {
+					t.Fatalf("put for key %d absent at newer snapshot", e.Key)
+				}
+				if e.Val != want {
+					t.Fatalf("put key %d val %d, want %d", e.Key, e.Val, want)
+				}
+				replay[e.Key] = e.Val
+			case DiffDelete:
+				if _, ok := modelA[e.Key]; !ok {
+					t.Fatalf("delete for key %d not present at older snapshot", e.Key)
+				}
+				if _, ok := model[e.Key]; ok {
+					t.Fatalf("delete for key %d still present at newer snapshot", e.Key)
+				}
+				delete(replay, e.Key)
+			default:
+				t.Fatalf("unknown event kind %v", e.Kind)
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatalf("Diff: %v", err)
+		}
+		if len(replay) != len(model) {
+			t.Fatalf("replay has %d keys, model %d", len(replay), len(model))
+		}
+		for k, v := range model {
+			if replay[k] != v {
+				t.Fatalf("replay key %d = %d, want %d", k, replay[k], v)
+			}
+		}
+	})
+}
+
+// FuzzRestoreTorn mutates a valid dump stream — truncating it at a
+// fuzzer-chosen offset and flipping a fuzzer-chosen byte — and checks
+// the restore safety contract: no restored entry may ever differ from
+// the original contents (checksums catch corruption), and a clean
+// (error-free) restore must reproduce the contents exactly.
+func FuzzRestoreTorn(f *testing.F) {
+	// One fixed source map; the corpus explores (cut, flipAt, flipBit).
+	src := MustNewMap[uint64](WithWidth(16))
+	for k := uint64(0); k < 400; k++ {
+		src.Store(k*167%(1<<16), k^0x5A5A)
+	}
+	want := mapContents(src)
+	var buf bytes.Buffer
+	if _, err := src.Dump(&buf, Uint64Codec()); err != nil {
+		f.Fatal(err)
+	}
+	stream := buf.Bytes()
+
+	f.Add(uint32(0), uint32(0), byte(0))
+	f.Add(uint32(len(stream)), uint32(9), byte(0x01))
+	f.Add(uint32(17), uint32(3), byte(0x80))
+	f.Add(uint32(len(stream)-1), uint32(len(stream)/2), byte(0x40))
+	f.Fuzz(func(t *testing.T, cut uint32, flipAt uint32, flipBit byte) {
+		mut := bytes.Clone(stream)
+		if int(flipAt) < len(mut) {
+			mut[flipAt] ^= flipBit
+		}
+		if int(cut) < len(mut) {
+			mut = mut[:cut]
+		}
+		intact := bytes.Equal(mut, stream)
+
+		fresh := MustNewMap[uint64](WithWidth(16))
+		_, err := fresh.Restore(bytes.NewReader(mut), Uint64Codec())
+		switch {
+		case err == nil:
+			got := mapContents(fresh)
+			if len(got) != len(want) {
+				t.Fatalf("clean restore has %d keys, want %d", len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("clean restore key %d = %d, want %d", k, got[k], v)
+				}
+			}
+		case errors.Is(err, ErrTornDump) || errors.Is(err, ErrRestoreMismatch) || errors.Is(err, ErrCodec):
+			if intact {
+				t.Fatalf("intact stream rejected: %v", err)
+			}
+			fresh.Range(0, func(k, v uint64) bool {
+				wv, ok := want[k]
+				if !ok || wv != v {
+					t.Fatalf("torn restore applied ghost or corrupt entry %d=%d", k, v)
+				}
+				return true
+			})
+		default:
+			t.Fatalf("unexpected error class: %v", err)
+		}
+	})
+}

@@ -1,0 +1,417 @@
+package skiptrie
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// collectDiff drains a diff into a slice.
+func collectDiff[V any](t *testing.T, a, b *Snapshot[V]) []DiffEvent[V] {
+	t.Helper()
+	var out []DiffEvent[V]
+	if err := a.Diff(b, func(e DiffEvent[V]) bool {
+		out = append(out, e)
+		return true
+	}); err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	return out
+}
+
+// TestMapSnapshotDiff: the window's net changes come out exactly, in
+// ascending key order, and applying them to the old view reproduces
+// the new one.
+func TestMapSnapshotDiff(t *testing.T) {
+	var mx Metrics
+	m := MustNewMap[string](WithWidth(16), WithMetrics(&mx))
+	m.Store(10, "ten")
+	m.Store(20, "twenty")
+	m.Store(30, "thirty")
+
+	a := m.Snapshot()
+	defer a.Close()
+
+	m.Store(20, "TWENTY") // overwrite
+	m.Store(40, "forty")  // insert
+	m.Delete(30)          // delete
+	m.Store(50, "blip")   // insert+delete inside the window: no event
+	m.Delete(50)
+	m.Store(10, "x") // overwrite then restore is still a change event
+	m.Store(10, "ten2")
+
+	b := m.Snapshot()
+	defer b.Close()
+
+	events := collectDiff(t, a, b)
+	want := []DiffEvent[string]{
+		{Key: 10, Kind: DiffPut, Val: "ten2"},
+		{Key: 20, Kind: DiffPut, Val: "TWENTY"},
+		{Key: 30, Kind: DiffDelete},
+		{Key: 40, Kind: DiffPut, Val: "forty"},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("events = %+v, want %+v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, events[i], want[i])
+		}
+	}
+
+	// Applying onto the old view reproduces the new view.
+	view := map[uint64]string{}
+	a.Range(0, func(k uint64, v string) bool { view[k] = v; return true })
+	for _, e := range events {
+		if e.Kind == DiffPut {
+			view[e.Key] = e.Val
+		} else {
+			delete(view, e.Key)
+		}
+	}
+	b.Range(0, func(k uint64, v string) bool {
+		if view[k] != v {
+			t.Fatalf("replay: key %d = %q, want %q", k, view[k], v)
+		}
+		delete(view, k)
+		return true
+	})
+	if len(view) != 0 {
+		t.Fatalf("replay left ghost keys: %v", view)
+	}
+	if cd := mx.Snapshot().CDC; cd.Diffs != 1 || cd.DiffEvents != 4 {
+		t.Fatalf("CDC counters: %+v", cd)
+	}
+}
+
+// TestDiffErrors: order, mismatch and closed misuse all surface as the
+// public sentinels.
+func TestDiffErrors(t *testing.T) {
+	m := MustNewMap[int](WithWidth(12))
+	s := MustNewSharded[int](WithWidth(12), WithShards(2))
+	defer s.Close()
+
+	a := m.Snapshot()
+	m.Store(1, 1)
+	b := m.Snapshot()
+	emit := func(DiffEvent[int]) bool { return true }
+
+	if err := b.Diff(a, emit); !errors.Is(err, ErrSnapshotOrder) {
+		t.Fatalf("reversed diff: %v", err)
+	}
+	sv := s.Snapshot()
+	if err := a.Diff(sv, emit); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("cross-backend diff: %v", err)
+	}
+	m2 := MustNewMap[int](WithWidth(12))
+	other := m2.Snapshot()
+	if err := a.Diff(other, emit); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("cross-structure diff: %v", err)
+	}
+	other.Close()
+	sv.Close()
+	b.Close()
+	if err := a.Diff(b, emit); !errors.Is(err, ErrSnapshotClosed) {
+		t.Fatalf("closed diff: %v", err)
+	}
+	a.Close()
+}
+
+// TestShardedSnapshotDiff: exact events on an unreshaped sharded map,
+// and correct at-least-once replay across a forced Split.
+func TestShardedSnapshotDiff(t *testing.T) {
+	s := MustNewSharded[uint64](WithWidth(16), WithShards(2), WithMaxShards(16))
+	defer s.Close()
+	for k := uint64(0); k < 200; k++ {
+		s.Store(k*300, k)
+	}
+	a := s.Snapshot()
+	defer a.Close()
+	s.Store(300, 1000)
+	s.Delete(600)
+	if err := s.Split(0); err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	s.Store(65000, 7)
+	b := s.Snapshot()
+	defer b.Close()
+
+	view := map[uint64]uint64{}
+	a.Range(0, func(k, v uint64) bool { view[k] = v; return true })
+	last := int64(-1)
+	err := a.Diff(b, func(e DiffEvent[uint64]) bool {
+		if int64(e.Key) <= last {
+			t.Fatalf("events out of order: %d after %d", e.Key, last)
+		}
+		last = int64(e.Key)
+		if e.Kind == DiffPut {
+			view[e.Key] = e.Val
+		} else {
+			delete(view, e.Key)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	b.Range(0, func(k, v uint64) bool {
+		if view[k] != v {
+			t.Fatalf("replay: key %d = %d, want %d", k, view[k], v)
+		}
+		delete(view, k)
+		return true
+	})
+	if len(view) != 0 {
+		t.Fatalf("replay left ghost keys: %v", view)
+	}
+}
+
+// TestSetSnapshotDiff: the set form's membership diff.
+func TestSetSnapshotDiff(t *testing.T) {
+	st := MustNew(WithWidth(16))
+	st.Insert(1)
+	st.Insert(2)
+	a := st.Snapshot()
+	defer a.Close()
+	if !a.Contains(1) || a.Contains(3) {
+		t.Fatal("set snapshot membership broken")
+	}
+	st.Insert(3)
+	st.Delete(2)
+	b := st.Snapshot()
+	defer b.Close()
+	type ev struct {
+		k     uint64
+		added bool
+	}
+	var got []ev
+	if err := a.Diff(b, func(k uint64, added bool) bool {
+		got = append(got, ev{k, added})
+		return true
+	}); err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	want := []ev{{2, false}, {3, true}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	if keys := b.Keys(); len(keys) != 2 || keys[0] != 1 || keys[1] != 3 {
+		t.Fatalf("snapshot Keys = %v", keys)
+	}
+}
+
+// TestWatcherPoll: manual mode windows report the net changes since
+// the previous Poll.
+func TestWatcherPoll(t *testing.T) {
+	m := MustNewMap[uint64](WithWidth(16))
+	w, err := m.Watch(WithWatchInterval(0))
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	defer w.Close()
+
+	m.Store(5, 50)
+	m.Store(6, 60)
+	batch, err := w.Poll()
+	if err != nil || len(batch) != 2 {
+		t.Fatalf("first poll: %v %+v", err, batch)
+	}
+	if batch[0] != (DiffEvent[uint64]{Key: 5, Kind: DiffPut, Val: 50}) {
+		t.Fatalf("batch[0] = %+v", batch[0])
+	}
+	m.Delete(5)
+	batch, err = w.Poll()
+	if err != nil || len(batch) != 1 || batch[0].Kind != DiffDelete || batch[0].Key != 5 {
+		t.Fatalf("delete window: %v %+v", err, batch)
+	}
+	if batch, err = w.Poll(); err != nil || len(batch) != 0 {
+		t.Fatalf("quiet window: %v %+v", err, batch)
+	}
+}
+
+// TestWatcherEvents: a ticking watcher delivers batches on the channel
+// and closes it on Close.
+func TestWatcherEvents(t *testing.T) {
+	m := MustNewMap[uint64](WithWidth(16))
+	w, err := m.Watch(WithWatchInterval(time.Millisecond), WithWatchBuffer(16))
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	m.Store(9, 90)
+	select {
+	case batch := <-w.Events():
+		if len(batch) != 1 || batch[0].Key != 9 || batch[0].Val != 90 {
+			t.Fatalf("batch = %+v", batch)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no batch within deadline")
+	}
+	w.Close()
+	w.Close() // idempotent
+	for range w.Events() {
+		// drain whatever was in flight; the loop must terminate because
+		// Close closed the channel.
+	}
+}
+
+// TestWatcherBackpressure: with nothing consuming and a zero buffer,
+// windows are deferred (WatchLagged counts them), and the deferred
+// events are not lost — the next Poll folds them in, newest value per
+// key winning.
+func TestWatcherBackpressure(t *testing.T) {
+	var mx Metrics
+	m := MustNewMap[uint64](WithWidth(16), WithMetrics(&mx))
+	w, err := m.Watch(WithWatchInterval(time.Millisecond), WithWatchBuffer(0))
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	defer w.Close()
+
+	m.Store(7, 70)
+	deadline := time.Now().Add(5 * time.Second)
+	for mx.Snapshot().CDC.WatchLagged == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no lagged window recorded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Store(7, 71) // newer value for the same key, next window
+	batch, err := w.Poll()
+	if err != nil {
+		t.Fatalf("Poll: %v", err)
+	}
+	// The merged batch must contain key 7 exactly once with a value
+	// that is one of the observed writes — and if the second write's
+	// window was already cut, the newer value.
+	n := 0
+	for _, e := range batch {
+		if e.Key == 7 {
+			n++
+			if e.Kind != DiffPut || (e.Val != 70 && e.Val != 71) {
+				t.Fatalf("merged event = %+v", e)
+			}
+		}
+	}
+	if n != 1 {
+		t.Fatalf("key 7 appeared %d times in merged batch %+v", n, batch)
+	}
+}
+
+// TestWatchOptionValidation: bad Watch options fail with
+// ErrInvalidOption.
+func TestWatchOptionValidation(t *testing.T) {
+	m := MustNewMap[int](WithWidth(8))
+	if _, err := m.Watch(WithWatchInterval(-time.Second)); !errors.Is(err, ErrInvalidOption) {
+		t.Fatalf("negative interval: %v", err)
+	}
+	if _, err := m.Watch(WithWatchBuffer(-1)); !errors.Is(err, ErrInvalidOption) {
+		t.Fatalf("negative buffer: %v", err)
+	}
+}
+
+// TestShardedWatcher: a sharded watcher observes changes across a
+// forced reshard (at-least-once: the final state per key is right).
+func TestShardedWatcher(t *testing.T) {
+	s := MustNewSharded[uint64](WithWidth(16), WithShards(2), WithMaxShards(16))
+	defer s.Close()
+	w, err := s.Watch(WithWatchInterval(0))
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	defer w.Close()
+	view := map[uint64]uint64{}
+	apply := func(batch []DiffEvent[uint64]) {
+		for _, e := range batch {
+			if e.Kind == DiffPut {
+				view[e.Key] = e.Val
+			} else {
+				delete(view, e.Key)
+			}
+		}
+	}
+	s.Store(100, 1)
+	s.Store(40000, 2)
+	batch, err := w.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply(batch)
+	if err := s.Split(0); err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	s.Store(100, 3)
+	s.Delete(40000)
+	batch, err = w.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply(batch)
+	if len(view) != 1 || view[100] != 3 {
+		t.Fatalf("view = %v", view)
+	}
+}
+
+// TestLeakedSnapshotGuard: a snapshot handle dropped without Close is
+// reclaimed by the leak guard, which releases the pins and counts the
+// leak in Metrics.LeakedPins.
+func TestLeakedSnapshotGuard(t *testing.T) {
+	var mx Metrics
+	m := MustNewMap[uint64](WithWidth(16), WithMetrics(&mx))
+	m.Store(1, 1)
+	func() {
+		sn := m.Snapshot()
+		_, _ = sn.Load(1)
+		// dropped without Close
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for mx.Snapshot().CDC.LeakedPins == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leak guard never fired")
+		}
+		runtime.GC()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestLeakedWatcherGuard: same for a watcher handle — the guard stops
+// the ticking goroutine and releases the cursor snapshot.
+func TestLeakedWatcherGuard(t *testing.T) {
+	var mx Metrics
+	m := MustNewMap[uint64](WithWidth(16), WithMetrics(&mx))
+	func() {
+		w, err := m.Watch(WithWatchInterval(time.Millisecond))
+		if err != nil {
+			t.Fatalf("Watch: %v", err)
+		}
+		_ = w
+		// dropped without Close
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for mx.Snapshot().CDC.LeakedPins == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher leak guard never fired")
+		}
+		runtime.GC()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestClosedSnapshotNotLeaked: a properly Closed snapshot must not
+// count as a leak.
+func TestClosedSnapshotNotLeaked(t *testing.T) {
+	var mx Metrics
+	m := MustNewMap[uint64](WithWidth(16), WithMetrics(&mx))
+	for i := 0; i < 10; i++ {
+		sn := m.Snapshot()
+		sn.Close()
+	}
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+	}
+	time.Sleep(10 * time.Millisecond)
+	runtime.GC()
+	if n := mx.Snapshot().CDC.LeakedPins; n != 0 {
+		t.Fatalf("LeakedPins = %d after clean closes", n)
+	}
+}

@@ -7,7 +7,7 @@ import (
 )
 
 func TestDescend(t *testing.T) {
-	st := New(WithWidth(16))
+	st := MustNew(WithWidth(16))
 	for _, k := range []uint64{5, 10, 20, 30, 40} {
 		st.Insert(k)
 	}
@@ -40,7 +40,7 @@ func TestDescend(t *testing.T) {
 }
 
 func TestDescendIncludesZeroKey(t *testing.T) {
-	st := New(WithWidth(8))
+	st := MustNew(WithWidth(8))
 	st.Insert(0)
 	st.Insert(3)
 	var got []uint64
@@ -54,7 +54,7 @@ func TestDescendIncludesZeroKey(t *testing.T) {
 }
 
 func TestMapDescend(t *testing.T) {
-	m := NewMap[int](WithWidth(16))
+	m := MustNewMap[int](WithWidth(16))
 	for k := uint64(10); k <= 50; k += 10 {
 		m.Store(k, int(k)*2)
 	}
@@ -73,7 +73,7 @@ func TestMapDescend(t *testing.T) {
 // bound.
 func TestDescendMirrorsRangeQuick(t *testing.T) {
 	f := func(keys []uint16, bound uint16) bool {
-		st := New(WithWidth(16))
+		st := MustNew(WithWidth(16))
 		for _, k := range keys {
 			st.Insert(uint64(k))
 		}

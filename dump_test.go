@@ -1,0 +1,306 @@
+package skiptrie
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// mapContents drains a map into a model for comparison.
+func mapContents[V any](m *Map[V]) map[uint64]V {
+	out := map[uint64]V{}
+	m.Range(0, func(k uint64, v V) bool { out[k] = v; return true })
+	return out
+}
+
+// TestMapDumpRestoreRoundtrip: dump → restore reproduces the exact
+// contents, and the CDC counters record the traffic.
+func TestMapDumpRestoreRoundtrip(t *testing.T) {
+	var mx Metrics
+	m := MustNewMap[uint64](WithWidth(20), WithMetrics(&mx))
+	for k := uint64(0); k < 5000; k++ {
+		m.Store(k*173%(1<<20), k)
+	}
+	want := mapContents(m)
+
+	var buf bytes.Buffer
+	n, err := m.Dump(&buf, Uint64Codec())
+	if err != nil || n != uint64(len(want)) {
+		t.Fatalf("Dump: n=%d err=%v want %d", n, err, len(want))
+	}
+
+	fresh := MustNewMap[uint64](WithWidth(20))
+	rn, err := fresh.Restore(bytes.NewReader(buf.Bytes()), Uint64Codec())
+	if err != nil || rn != n {
+		t.Fatalf("Restore: n=%d err=%v", rn, err)
+	}
+	got := mapContents(fresh)
+	if len(got) != len(want) {
+		t.Fatalf("restored %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d = %d, want %d", k, got[k], v)
+		}
+	}
+	if err := fresh.Validate(); err != nil {
+		t.Fatalf("Validate after restore: %v", err)
+	}
+	cd := mx.Snapshot().CDC
+	if cd.Dumps != 1 || cd.DumpEntries != n {
+		t.Fatalf("dump counters: %+v", cd)
+	}
+}
+
+// TestCrossFormRestore: a Map dump restores into a Sharded and vice
+// versa — the stream is form-agnostic KindKV.
+func TestCrossFormRestore(t *testing.T) {
+	s := MustNewSharded[uint64](WithWidth(16), WithShards(4))
+	defer s.Close()
+	for k := uint64(0); k < 3000; k++ {
+		s.Store(k*21%(1<<16), k+7)
+	}
+	var buf bytes.Buffer
+	n, err := s.Dump(&buf, Uint64Codec())
+	if err != nil {
+		t.Fatalf("sharded Dump: %v", err)
+	}
+
+	m := MustNewMap[uint64](WithWidth(16))
+	if rn, err := m.Restore(bytes.NewReader(buf.Bytes()), Uint64Codec()); err != nil || rn != n {
+		t.Fatalf("map Restore of sharded dump: n=%d err=%v", rn, err)
+	}
+	s2 := MustNewSharded[uint64](WithWidth(16), WithShards(8))
+	defer s2.Close()
+	if rn, err := s2.Restore(bytes.NewReader(buf.Bytes()), Uint64Codec()); err != nil || rn != n {
+		t.Fatalf("sharded Restore: n=%d err=%v", rn, err)
+	}
+	want := mapContents(m)
+	count := 0
+	s2.Range(0, func(k, v uint64) bool {
+		if want[k] != v {
+			t.Fatalf("key %d = %d, want %d", k, v, want[k])
+		}
+		count++
+		return true
+	})
+	if count != len(want) {
+		t.Fatalf("restored %d keys, want %d", count, len(want))
+	}
+}
+
+// TestSetDumpRestore: the key-only stream for the set form.
+func TestSetDumpRestore(t *testing.T) {
+	st := MustNew(WithWidth(16))
+	for k := uint64(1); k < 1000; k += 3 {
+		st.Insert(k)
+	}
+	var buf bytes.Buffer
+	n, err := st.Dump(&buf)
+	if err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	fresh := MustNew(WithWidth(20)) // wider target is fine
+	if rn, err := fresh.Restore(bytes.NewReader(buf.Bytes())); err != nil || rn != n {
+		t.Fatalf("Restore: n=%d err=%v", rn, err)
+	}
+	want := st.Keys()
+	got := fresh.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("restored %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("key %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCodecs: string, bytes and JSON codecs roundtrip through a dump.
+func TestCodecs(t *testing.T) {
+	ms := MustNewMap[string](WithWidth(8))
+	ms.Store(1, "")
+	ms.Store(2, "hello")
+	ms.Store(3, "héllo wörld")
+	var buf bytes.Buffer
+	if _, err := ms.Dump(&buf, StringCodec()); err != nil {
+		t.Fatal(err)
+	}
+	ms2 := MustNewMap[string](WithWidth(8))
+	if _, err := ms2.Restore(bytes.NewReader(buf.Bytes()), StringCodec()); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ms2.Load(3); v != "héllo wörld" {
+		t.Fatalf("string roundtrip: %q", v)
+	}
+
+	mb := MustNewMap[[]byte](WithWidth(8))
+	mb.Store(1, []byte{0, 1, 2})
+	mb.Store(2, nil)
+	buf.Reset()
+	if _, err := mb.Dump(&buf, BytesCodec()); err != nil {
+		t.Fatal(err)
+	}
+	mb2 := MustNewMap[[]byte](WithWidth(8))
+	if _, err := mb2.Restore(bytes.NewReader(buf.Bytes()), BytesCodec()); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := mb2.Load(1); !bytes.Equal(v, []byte{0, 1, 2}) {
+		t.Fatalf("bytes roundtrip: %v", v)
+	}
+
+	type rec struct {
+		Name string
+		N    int
+	}
+	mj := MustNewMap[rec](WithWidth(8))
+	mj.Store(1, rec{"a", 1})
+	mj.Store(2, rec{"b", -9})
+	buf.Reset()
+	if _, err := mj.Dump(&buf, JSONCodec[rec]()); err != nil {
+		t.Fatal(err)
+	}
+	mj2 := MustNewMap[rec](WithWidth(8))
+	if _, err := mj2.Restore(bytes.NewReader(buf.Bytes()), JSONCodec[rec]()); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := mj2.Load(2); v != (rec{"b", -9}) {
+		t.Fatalf("json roundtrip: %+v", v)
+	}
+}
+
+// TestRestoreRejections: non-empty targets, kind mismatches and
+// too-narrow universes are refused up front.
+func TestRestoreRejections(t *testing.T) {
+	m := MustNewMap[uint64](WithWidth(16))
+	m.Store(1, 1)
+	var kv bytes.Buffer
+	if _, err := m.Dump(&kv, Uint64Codec()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Non-empty target.
+	if _, err := m.Restore(bytes.NewReader(kv.Bytes()), Uint64Codec()); !errors.Is(err, ErrRestoreNonEmpty) {
+		t.Fatalf("non-empty target: %v", err)
+	}
+
+	// Kind mismatch: a set stream into a map.
+	st := MustNew(WithWidth(16))
+	st.Insert(1)
+	var set bytes.Buffer
+	if _, err := st.Dump(&set); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MustNewMap[uint64](WithWidth(16)).Restore(bytes.NewReader(set.Bytes()), Uint64Codec()); !errors.Is(err, ErrRestoreMismatch) {
+		t.Fatalf("kind mismatch: %v", err)
+	}
+
+	// Width mismatch: a 16-bit stream into an 8-bit universe.
+	if _, err := MustNewMap[uint64](WithWidth(8)).Restore(bytes.NewReader(kv.Bytes()), Uint64Codec()); !errors.Is(err, ErrRestoreMismatch) {
+		t.Fatalf("width mismatch: %v", err)
+	}
+}
+
+// TestBackupCursorFullDiffApply: the incremental backup cycle — full
+// dump, then diff dumps applied in order reproduce the live state.
+func TestBackupCursorFullDiffApply(t *testing.T) {
+	m := MustNewMap[uint64](WithWidth(16))
+	for k := uint64(0); k < 500; k++ {
+		m.Store(k*77%(1<<16), k)
+	}
+	c := m.NewBackupCursor(Uint64Codec())
+	defer c.Close()
+
+	var full bytes.Buffer
+	if _, err := c.DumpFull(&full); err != nil {
+		t.Fatalf("DumpFull: %v", err)
+	}
+
+	m.Store(9, 900)
+	m.Delete(77)
+	m.Store(60000, 1)
+	var diff1 bytes.Buffer
+	n1, err := c.DumpDiff(&diff1)
+	if err != nil {
+		t.Fatalf("DumpDiff: %v", err)
+	}
+	if n1 == 0 {
+		t.Fatal("diff dump reported no events")
+	}
+
+	m.Delete(60000)
+	var diff2 bytes.Buffer
+	if _, err := c.DumpDiff(&diff2); err != nil {
+		t.Fatalf("DumpDiff 2: %v", err)
+	}
+
+	// Quiet window: zero events but a valid stream.
+	var diff3 bytes.Buffer
+	if n, err := c.DumpDiff(&diff3); err != nil || n != 0 {
+		t.Fatalf("quiet DumpDiff: n=%d err=%v", n, err)
+	}
+
+	restored := MustNewMap[uint64](WithWidth(16))
+	if _, err := restored.Restore(bytes.NewReader(full.Bytes()), Uint64Codec()); err != nil {
+		t.Fatalf("Restore full: %v", err)
+	}
+	for _, d := range []*bytes.Buffer{&diff1, &diff2, &diff3} {
+		if _, err := restored.ApplyDiff(bytes.NewReader(d.Bytes()), Uint64Codec()); err != nil {
+			t.Fatalf("ApplyDiff: %v", err)
+		}
+	}
+	want := mapContents(m)
+	got := mapContents(restored)
+	if len(got) != len(want) {
+		t.Fatalf("restored %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d = %d, want %d", k, got[k], v)
+		}
+	}
+
+	// ApplyDiff routes into Sharded too.
+	sh := MustNewSharded[uint64](WithWidth(16), WithShards(2))
+	defer sh.Close()
+	if _, err := sh.Restore(bytes.NewReader(full.Bytes()), Uint64Codec()); err != nil {
+		t.Fatalf("sharded Restore: %v", err)
+	}
+	if _, err := sh.ApplyDiff(bytes.NewReader(diff1.Bytes()), Uint64Codec()); err != nil {
+		t.Fatalf("sharded ApplyDiff: %v", err)
+	}
+}
+
+// TestRestoreTornTail: for every truncation point of a valid stream,
+// Restore must apply only a verified prefix (exact keys and values, in
+// order) and report ErrTornDump — never invent entries, never read a
+// truncated stream as complete.
+func TestRestoreTornTail(t *testing.T) {
+	m := MustNewMap[uint64](WithWidth(16))
+	for k := uint64(0); k < 800; k++ {
+		m.Store(k*13%(1<<16), k^0xABCD)
+	}
+	want := mapContents(m)
+	var buf bytes.Buffer
+	if _, err := m.Dump(&buf, Uint64Codec()); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.Bytes()
+
+	// Every 7th offset keeps the test fast while still crossing every
+	// region (header, block header, payload, trailer).
+	for cut := 0; cut < len(stream); cut += 7 {
+		fresh := MustNewMap[uint64](WithWidth(16))
+		_, err := fresh.Restore(bytes.NewReader(stream[:cut]), Uint64Codec())
+		if !errors.Is(err, ErrTornDump) {
+			t.Fatalf("cut %d: err = %v, want ErrTornDump", cut, err)
+		}
+		fresh.Range(0, func(k, v uint64) bool {
+			wv, ok := want[k]
+			if !ok || wv != v {
+				t.Fatalf("cut %d: restored ghost or corrupt entry %d=%d", cut, k, v)
+			}
+			return true
+		})
+	}
+}

@@ -8,7 +8,7 @@ import (
 
 // ExampleSkipTrie demonstrates the sorted-set API.
 func ExampleSkipTrie() {
-	st := skiptrie.New(skiptrie.WithWidth(32))
+	st := skiptrie.MustNew(skiptrie.WithWidth(32))
 	st.Insert(42)
 	st.Insert(100)
 	st.Insert(7)
@@ -33,7 +33,7 @@ func ExampleSkipTrie() {
 
 // ExampleSkipTrie_Descend shows reverse iteration.
 func ExampleSkipTrie_Descend() {
-	st := skiptrie.New(skiptrie.WithWidth(16))
+	st := skiptrie.MustNew(skiptrie.WithWidth(16))
 	for _, k := range []uint64{10, 20, 30} {
 		st.Insert(k)
 	}
@@ -49,7 +49,7 @@ func ExampleSkipTrie_Descend() {
 // ExampleMetrics shows step accounting against the paper's cost model.
 func ExampleMetrics() {
 	m := &skiptrie.Metrics{}
-	st := skiptrie.New(skiptrie.WithWidth(32), skiptrie.WithMetrics(m))
+	st := skiptrie.MustNew(skiptrie.WithWidth(32), skiptrie.WithMetrics(m))
 	for k := uint64(0); k < 1000; k++ {
 		st.Insert(k * 4_000_000)
 	}

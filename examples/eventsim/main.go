@@ -36,7 +36,7 @@ type scheduler struct {
 }
 
 func newScheduler() *scheduler {
-	return &scheduler{q: skiptrie.NewMap[func(now uint64)]()}
+	return &scheduler{q: skiptrie.MustNewMap[func(now uint64)]()}
 }
 
 // schedule enqueues fn at time ts.

@@ -74,8 +74,8 @@ func pound(s counterStore) time.Duration {
 
 func main() {
 	shards := runtime.GOMAXPROCS(0)
-	single := skiptrie.NewMap[*atomic.Uint64](skiptrie.WithWidth(width))
-	sharded := skiptrie.NewSharded[*atomic.Uint64](
+	single := skiptrie.MustNewMap[*atomic.Uint64](skiptrie.WithWidth(width))
+	sharded := skiptrie.MustNewSharded[*atomic.Uint64](
 		skiptrie.WithWidth(width), skiptrie.WithShards(shards))
 
 	total := writers * hits

@@ -51,7 +51,7 @@ type routingTable struct {
 }
 
 func newRoutingTable() *routingTable {
-	return &routingTable{t: skiptrie.NewMap[string](skiptrie.WithWidth(32))}
+	return &routingTable{t: skiptrie.MustNewMap[string](skiptrie.WithWidth(32))}
 }
 
 const noRoute = ""

@@ -43,8 +43,8 @@ const priceBits = 44 // prices below 2^44 ticks; 20 bits of sequence
 
 func newBook() *book {
 	return &book{
-		asks: skiptrie.NewMap[*order](),
-		bids: skiptrie.NewMap[*order](),
+		asks: skiptrie.MustNewMap[*order](),
+		bids: skiptrie.MustNewMap[*order](),
 	}
 }
 

@@ -17,7 +17,7 @@ func main() {
 	// A SkipTrie over a 32-bit universe: keys must be < 2^32. The universe
 	// width is what makes predecessor queries O(log log u): ~5 hash probes
 	// for W=32 instead of a log(m) pointer chase.
-	st := skiptrie.New(skiptrie.WithWidth(32))
+	st := skiptrie.MustNew(skiptrie.WithWidth(32))
 
 	for _, k := range []uint64{100, 250, 375, 500, 625, 750} {
 		st.Insert(k)
@@ -51,7 +51,7 @@ func main() {
 	}
 
 	// Map[V]: same structure, with values and ordered queries.
-	m := skiptrie.NewMap[string](skiptrie.WithWidth(32))
+	m := skiptrie.MustNewMap[string](skiptrie.WithWidth(32))
 	m.Store(1000, "first")
 	m.Store(2000, "second")
 	if k, v, ok := m.Predecessor(1999); ok {
@@ -60,7 +60,7 @@ func main() {
 
 	// Attach Metrics to see the paper's cost model live.
 	metrics := &skiptrie.Metrics{}
-	st2 := skiptrie.New(skiptrie.WithWidth(32), skiptrie.WithMetrics(metrics))
+	st2 := skiptrie.MustNew(skiptrie.WithWidth(32), skiptrie.WithMetrics(metrics))
 	for k := uint64(0); k < 10000; k++ {
 		st2.Insert(k * 429_496) // spread over the universe
 	}

@@ -16,7 +16,7 @@ func FuzzOpsVsModel(f *testing.F) {
 		if len(program) > 4096 {
 			t.Skip("program too long")
 		}
-		st := New(WithWidth(16))
+		st := MustNew(WithWidth(16))
 		model := map[uint64]bool{}
 		for i := 0; i+1 < len(program); i += 2 {
 			op := program[i] >> 6

@@ -66,6 +66,9 @@ func (s *SkipTrie[V]) Snapshot() *Snap[V] {
 // At returns the pinned epoch.
 func (sn *Snap[V]) At() uint64 { return sn.at }
 
+// Width returns the universe width of the snapshotted trie.
+func (sn *Snap[V]) Width() uint8 { return sn.s.Width() }
+
 // Load returns the value key held when the snapshot was taken.
 func (sn *Snap[V]) Load(key uint64, c *stats.Op) (V, bool) {
 	return sn.s.FindAt(key, sn.at, c)

@@ -1,0 +1,216 @@
+// Package dump implements the on-disk framing of SkipTrie dumps: a
+// fixed header, checksummed length-prefixed payload blocks, and a
+// trailer that distinguishes a cleanly-terminated stream from a torn
+// tail. The framing is payload-agnostic — block contents (key/value
+// entries, diff events) are encoded by the caller; this package decides
+// only what is trustworthy on the way back in.
+//
+// # Stream layout
+//
+//	header:  magic "SKTD" | version u8 | kind u8 | width u8 | reserved u8
+//	block:   marker 0xB1 | payloadLen u32 LE | crc32c(payload) u32 LE | payload
+//	trailer: marker 0xE0 | entries u64 LE | blocks u32 LE | crc32c(the 12 bytes) u32 LE
+//
+// Every multi-byte integer is little-endian; the checksum is CRC-32C
+// (Castagnoli). A reader accepts a block only if its marker, length
+// bound and checksum all hold, and accepts end-of-stream only at a
+// valid trailer whose block count matches what it read. Anything else —
+// short read, bad marker, bad checksum, missing trailer — is reported
+// as an error wrapping ErrTorn, and the reader guarantees it never
+// returned a corrupt payload before that: restores apply a verified
+// prefix, then stop.
+package dump
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Kind identifies what a stream's blocks contain.
+type Kind uint8
+
+const (
+	// KindKV is a full key/value dump (Map and Sharded).
+	KindKV Kind = 1
+	// KindSet is a full key-only dump (the set form).
+	KindSet Kind = 2
+	// KindKVDiff is an incremental key/value dump: put/delete events.
+	KindKVDiff Kind = 3
+)
+
+// Version is the format version this package writes.
+const Version = 1
+
+// ErrTorn reports a stream that ends or corrupts mid-way: every decode
+// failure wraps it, so callers can distinguish torn tails from I/O
+// errors with errors.Is.
+var ErrTorn = errors.New("dump: torn or corrupt stream")
+
+const (
+	blockMarker   = 0xB1
+	trailerMarker = 0xE0
+	headerSize    = 8
+	// MaxBlock bounds a block's payload; a length prefix above it is
+	// treated as corruption rather than an allocation request.
+	MaxBlock = 1 << 26
+)
+
+var magic = [4]byte{'S', 'K', 'T', 'D'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer frames blocks onto an io.Writer. Not safe for concurrent use;
+// parallel producers hand finished payloads to one writing goroutine.
+type Writer struct {
+	w       io.Writer
+	blocks  uint32
+	entries uint64
+	scratch [13]byte
+}
+
+// NewWriter writes the stream header and returns the block writer.
+func NewWriter(w io.Writer, kind Kind, width uint8) (*Writer, error) {
+	var h [headerSize]byte
+	copy(h[:4], magic[:])
+	h[4] = Version
+	h[5] = byte(kind)
+	h[6] = width
+	if _, err := w.Write(h[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w}, nil
+}
+
+// Block writes one payload block carrying entries logical entries.
+func (w *Writer) Block(payload []byte, entries int) error {
+	if len(payload) > MaxBlock {
+		return fmt.Errorf("dump: block of %d bytes exceeds MaxBlock", len(payload))
+	}
+	b := w.scratch[:9]
+	b[0] = blockMarker
+	binary.LittleEndian.PutUint32(b[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[5:9], crc32.Checksum(payload, castagnoli))
+	if _, err := w.w.Write(b); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return err
+	}
+	w.blocks++
+	w.entries += uint64(entries)
+	return nil
+}
+
+// Close writes the trailer. It does not close the underlying writer.
+func (w *Writer) Close() error {
+	b := w.scratch[:]
+	b[0] = trailerMarker
+	binary.LittleEndian.PutUint64(b[1:9], w.entries)
+	binary.LittleEndian.PutUint32(b[9:13], w.blocks)
+	if _, err := w.w.Write(b); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(b[:13], castagnoli))
+	_, err := w.w.Write(crc[:])
+	return err
+}
+
+// Entries returns the number of logical entries written so far.
+func (w *Writer) Entries() uint64 { return w.entries }
+
+// Reader decodes a framed stream. Not safe for concurrent use.
+type Reader struct {
+	r       io.Reader
+	kind    Kind
+	width   uint8
+	blocks  uint32
+	entries uint64
+	done    bool
+}
+
+// NewReader reads and validates the stream header.
+func NewReader(r io.Reader) (*Reader, error) {
+	var h [headerSize]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrTorn, err)
+	}
+	if [4]byte(h[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrTorn)
+	}
+	if h[4] != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrTorn, h[4])
+	}
+	switch Kind(h[5]) {
+	case KindKV, KindSet, KindKVDiff:
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrTorn, h[5])
+	}
+	return &Reader{r: r, kind: Kind(h[5]), width: h[6]}, nil
+}
+
+// Kind returns the stream's block kind.
+func (r *Reader) Kind() Kind { return r.kind }
+
+// Width returns the universe width recorded in the header.
+func (r *Reader) Width() uint8 { return r.width }
+
+// Entries returns the trailer's entry count; valid only after Next has
+// returned io.EOF.
+func (r *Reader) Entries() uint64 { return r.entries }
+
+// Next returns the next verified block payload, io.EOF at a valid
+// trailer, or an error wrapping ErrTorn. The returned slice is owned by
+// the caller (a fresh allocation per block).
+func (r *Reader) Next() ([]byte, error) {
+	if r.done {
+		return nil, io.EOF
+	}
+	var m [1]byte
+	if _, err := io.ReadFull(r.r, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: stream ends without trailer: %v", ErrTorn, err)
+	}
+	switch m[0] {
+	case blockMarker:
+		var hdr [8]byte
+		if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated block header: %v", ErrTorn, err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > MaxBlock {
+			return nil, fmt.Errorf("%w: block length %d exceeds MaxBlock", ErrTorn, n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r.r, payload); err != nil {
+			return nil, fmt.Errorf("%w: truncated block payload: %v", ErrTorn, err)
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			return nil, fmt.Errorf("%w: block checksum mismatch", ErrTorn)
+		}
+		r.blocks++
+		return payload, nil
+	case trailerMarker:
+		var tr [16]byte
+		if _, err := io.ReadFull(r.r, tr[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated trailer: %v", ErrTorn, err)
+		}
+		var full [13]byte
+		full[0] = trailerMarker
+		copy(full[1:], tr[:12])
+		if crc32.Checksum(full[:], castagnoli) != binary.LittleEndian.Uint32(tr[12:16]) {
+			return nil, fmt.Errorf("%w: trailer checksum mismatch", ErrTorn)
+		}
+		if got := binary.LittleEndian.Uint32(tr[8:12]); got != r.blocks {
+			return nil, fmt.Errorf("%w: trailer expects %d blocks, stream held %d", ErrTorn, got, r.blocks)
+		}
+		r.entries = binary.LittleEndian.Uint64(tr[:8])
+		r.done = true
+		return nil, io.EOF
+	default:
+		return nil, fmt.Errorf("%w: unknown marker 0x%02x", ErrTorn, m[0])
+	}
+}

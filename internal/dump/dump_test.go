@@ -1,0 +1,163 @@
+package dump
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func roundtrip(t *testing.T, payloads [][]byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, KindKV, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads {
+		if err := w.Block(p, len(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundtrip(t *testing.T) {
+	payloads := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{0xAB}, 4096)}
+	stream := roundtrip(t, payloads)
+
+	r, err := NewReader(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind() != KindKV || r.Width() != 32 {
+		t.Fatalf("header kind=%d width=%d", r.Kind(), r.Width())
+	}
+	for i, want := range payloads {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d: %q != %q", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at trailer, got %v", err)
+	}
+	if r.Entries() != 5+0+4096 {
+		t.Fatalf("Entries = %d", r.Entries())
+	}
+	// Reading past EOF stays EOF.
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("second EOF read: %v", err)
+	}
+}
+
+// TestTornDetection: every strict prefix of a valid stream must either
+// fail header parsing or yield only verified blocks and then an ErrTorn
+// (never a clean io.EOF, never a corrupted payload).
+func TestTornDetection(t *testing.T) {
+	payloads := [][]byte{[]byte("first block"), []byte("second"), []byte("third payload here")}
+	stream := roundtrip(t, payloads)
+
+	for cut := 0; cut < len(stream); cut++ {
+		r, err := NewReader(bytes.NewReader(stream[:cut]))
+		if err != nil {
+			if !errors.Is(err, ErrTorn) {
+				t.Fatalf("cut %d: header error not ErrTorn: %v", cut, err)
+			}
+			continue
+		}
+		blocks := 0
+		for {
+			p, err := r.Next()
+			if err == nil {
+				if blocks >= len(payloads) || !bytes.Equal(p, payloads[blocks]) {
+					t.Fatalf("cut %d: corrupt block %d passed verification", cut, blocks)
+				}
+				blocks++
+				continue
+			}
+			if err == io.EOF {
+				t.Fatalf("cut %d: truncated stream read as clean EOF", cut)
+			}
+			if !errors.Is(err, ErrTorn) {
+				t.Fatalf("cut %d: error not ErrTorn: %v", cut, err)
+			}
+			break
+		}
+	}
+}
+
+// TestBitFlipDetection: flipping any single byte of the stream must not
+// let a corrupted payload through: blocks must either verify to the
+// original bytes or fail with ErrTorn.
+func TestBitFlipDetection(t *testing.T) {
+	payloads := [][]byte{[]byte("alpha"), []byte("bravo charlie")}
+	stream := roundtrip(t, payloads)
+
+	for i := range stream {
+		mut := bytes.Clone(stream)
+		mut[i] ^= 0x40
+		r, err := NewReader(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		blocks := 0
+		for {
+			p, err := r.Next()
+			if err != nil {
+				break // torn or EOF (flip in trailer entry count is caught by its crc)
+			}
+			if blocks < len(payloads) && !bytes.Equal(p, payloads[blocks]) {
+				t.Fatalf("flip at %d: corrupt block %d passed crc", i, blocks)
+			}
+			blocks++
+		}
+	}
+}
+
+func TestTrailerBlockCountMismatch(t *testing.T) {
+	// A stream whose trailer was written for more blocks than present:
+	// drop a whole block from the middle (9-byte header + payload).
+	payloads := [][]byte{[]byte("aaaa"), []byte("bbbb")}
+	stream := roundtrip(t, payloads)
+	cut := append(bytes.Clone(stream[:8]), stream[8+9+4:]...)
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			t.Fatal("dropped-block stream read as clean EOF")
+		}
+		if err != nil {
+			if !errors.Is(err, ErrTorn) {
+				t.Fatalf("error not ErrTorn: %v", err)
+			}
+			return
+		}
+	}
+}
+
+func TestBadKindAndVersion(t *testing.T) {
+	stream := roundtrip(t, nil)
+	bad := bytes.Clone(stream)
+	bad[4] = 99 // version
+	if _, err := NewReader(bytes.NewReader(bad)); !errors.Is(err, ErrTorn) {
+		t.Fatalf("bad version: %v", err)
+	}
+	bad = bytes.Clone(stream)
+	bad[5] = 99 // kind
+	if _, err := NewReader(bytes.NewReader(bad)); !errors.Is(err, ErrTorn) {
+		t.Fatalf("bad kind: %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("nope"))); !errors.Is(err, ErrTorn) {
+		t.Fatalf("short header: %v", err)
+	}
+}

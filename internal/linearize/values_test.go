@@ -134,7 +134,7 @@ func TestMapHistoriesLinearizable(t *testing.T) {
 		keys    = 3
 	)
 	for run := 0; run < runs; run++ {
-		m := skiptrie.NewMap[uint64](skiptrie.WithWidth(8), skiptrie.WithSeed(uint64(run+1)))
+		m := skiptrie.MustNewMap[uint64](skiptrie.WithWidth(8), skiptrie.WithSeed(uint64(run+1)))
 		rec := &Recorder{}
 		var wg sync.WaitGroup
 		for g := 0; g < workers; g++ {
@@ -188,7 +188,7 @@ func TestMapHistoriesLinearizable(t *testing.T) {
 func TestShardedHistoriesLinearizable(t *testing.T) {
 	const runs = 30
 	for run := 0; run < runs; run++ {
-		m := skiptrie.NewSharded[uint64](
+		m := skiptrie.MustNewSharded[uint64](
 			skiptrie.WithWidth(8), skiptrie.WithShards(4), skiptrie.WithSeed(uint64(run+7)))
 		rec := &Recorder{}
 		var wg sync.WaitGroup

@@ -1,0 +1,140 @@
+package shard
+
+import (
+	"errors"
+
+	"skiptrie/internal/core"
+	"skiptrie/internal/stats"
+)
+
+// This file implements the cross-shard epoch-window diff. Buckets are
+// shared objects across routing-table generations — Split and Merge
+// build a new table out of the old one's untouched bucket pointers —
+// so two snapshots agree on the bucket owning every range that was not
+// reshaped between them. For those ranges the diff is the per-bucket
+// journal diff (core.DiffEpochs), O(changed keys). Only ranges whose
+// bucket was replaced in the window fall back to a merge-walk of the
+// two pinned views over exactly that range: child buckets are fresh
+// tries with fresh epoch clocks, so their stamps are not comparable to
+// the old bucket's pin and every resident key must be re-announced.
+//
+// The resulting contract is at-least-once per key with exact deletes:
+// a Put may re-state a key's unchanged value only if its range was
+// reshaped inside the window; a Delete is always a key present at the
+// old snapshot and absent at the new one.
+
+var (
+	// ErrSnapMismatch reports a diff between snapshots of different tries.
+	ErrSnapMismatch = errors.New("shard: diff requires snapshots of the same trie")
+	// ErrSnapOrder reports a diff whose receiver is the newer snapshot.
+	ErrSnapOrder = errors.New("shard: diff requires the older snapshot as receiver")
+	// ErrSnapClosed reports a diff against a closed snapshot.
+	ErrSnapClosed = errors.New("shard: diff on closed snapshot")
+)
+
+// DiffTo streams the net per-key changes from snapshot sn to the newer
+// snapshot b of the same trie to emit, in ascending key order: put=true
+// with the value current at b, put=false for keys removed. A stopped
+// emit is not an error. See the file comment for the delivery contract
+// under resharding.
+func (sn *Snap[V]) DiffTo(b *Snap[V], c *stats.Op, emit func(key uint64, val V, put bool) bool) error {
+	if sn.t != b.t {
+		return ErrSnapMismatch
+	}
+	if sn.closed.Load() || b.closed.Load() {
+		return ErrSnapClosed
+	}
+	ta, tb := sn.tab, b.tab
+	ia, ib := 0, 0
+	for ia < len(ta.buckets) && ib < len(tb.buckets) {
+		ba, bb := ta.buckets[ia], tb.buckets[ib]
+		if ba == bb {
+			// Shared bucket: one epoch clock, two pins, journal diff.
+			if sn.pins[ia] > b.pins[ib] {
+				return ErrSnapOrder
+			}
+			if !ba.trie.DiffEpochs(sn.pins[ia], b.pins[ib], c, emit) {
+				return nil
+			}
+			ia, ib = ia+1, ib+1
+			continue
+		}
+		// Reshaped region: extend to the first boundary both tables
+		// agree on. Bucket lists tile the universe, so ba.lo == bb.lo
+		// here and the alignment loop terminates at the region's end
+		// (at the latest, the universe's). Interior buckets the tables
+		// still share keep their aligned boundaries and are not
+		// swallowed — the loop stops as soon as the edges realign.
+		lo := ba.lo
+		hiA, hiB := ba.hi, bb.hi
+		for hiA != hiB {
+			if hiA < hiB {
+				ia++
+				hiA = ta.buckets[ia].hi
+			} else {
+				ib++
+				hiB = tb.buckets[ib].hi
+			}
+		}
+		if !diffRegion(sn, b, lo, hiA, c, emit) {
+			return nil
+		}
+		ia, ib = ia+1, ib+1
+	}
+	return nil
+}
+
+// diffRegion merge-walks the two pinned views over [lo, hi] and emits
+// the difference: keys only in sn become deletes, keys only in b (and,
+// conservatively, keys in both — values of arbitrary V carry no
+// identity across the two buckets' unrelated epoch clocks) become puts.
+// Returns false if emit stopped the walk.
+func diffRegion[V any](sn, b *Snap[V], lo, hi uint64, c *stats.Op, emit func(key uint64, val V, put bool) bool) bool {
+	ia := sn.MakeIter(c)
+	ib := b.MakeIter(c)
+	okA := ia.Seek(lo) && ia.Key() <= hi
+	okB := ib.Seek(lo) && ib.Key() <= hi
+	for okA || okB {
+		switch {
+		case okA && (!okB || ia.Key() < ib.Key()):
+			var zero V
+			if !emit(ia.Key(), zero, false) {
+				return false
+			}
+			okA = ia.Next() && ia.Key() <= hi
+		case okB && (!okA || ib.Key() < ia.Key()):
+			if !emit(ib.Key(), ib.Value(), true) {
+				return false
+			}
+			okB = ib.Next() && ib.Key() <= hi
+		default: // present in both views
+			if !emit(ib.Key(), ib.Value(), true) {
+				return false
+			}
+			okA = ia.Next() && ia.Key() <= hi
+			okB = ib.Next() && ib.Key() <= hi
+		}
+	}
+	return true
+}
+
+// NumShards returns the number of buckets the snapshot pinned.
+func (sn *Snap[V]) NumShards() int { return len(sn.tab.buckets) }
+
+// ShardIter returns an unpositioned snapshot cursor over shard i alone,
+// for per-shard parallel consumers (the dump fan-out); the cursor only
+// yields keys in the shard's range. Each cursor belongs to one
+// goroutine, but cursors over different shards may run concurrently.
+func (sn *Snap[V]) ShardIter(i int, c *stats.Op) core.Iter[V] {
+	b := sn.tab.buckets[i]
+	return b.trie.MakeSnapIter(sn.pins[i], c)
+}
+
+// ShardRange returns shard i's key range [lo, hi], inclusive.
+func (sn *Snap[V]) ShardRange(i int) (lo, hi uint64) {
+	b := sn.tab.buckets[i]
+	return b.lo, b.hi
+}
+
+// Width returns the full universe width of the snapshotted trie.
+func (sn *Snap[V]) Width() uint8 { return sn.t.width }

@@ -223,6 +223,7 @@ func (l *Topology) ReleaseEpoch(e uint64) {
 	l.pinMu.Unlock()
 	if swept {
 		l.sweepRetired(nil)
+		l.journalTruncate()
 	}
 }
 

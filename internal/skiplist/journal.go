@@ -1,0 +1,208 @@
+package skiplist
+
+import (
+	"slices"
+	"sync/atomic"
+
+	"skiptrie/internal/uintbits"
+)
+
+// This file implements the list's change journal: the index that makes
+// snapshot-to-snapshot diffs O(changed keys) instead of O(n).
+//
+// # Shape
+//
+// The journal is a striped sequence of fixed-size segments (a Michael-
+// Scott-style queue whose nodes are arrays). Each stamping commit —
+// insert publish, delete commit, in-place value overwrite — appends one
+// (key, epoch) entry to its key's stripe while any snapshot pin is
+// live. A diff over the window (a, b] collects every journaled key with
+// a < epoch <= b, dedupes, and resolves each key once against the two
+// pinned views; keys untouched in the window are never visited.
+//
+// # Why appends are pin-gated and why that is sound
+//
+// An entry is appended only when pinCount > 0, loaded after the entry's
+// epoch stamp was sampled. Diff(a, b) holds both pins for the duration.
+// Any commit stamped with epoch e > a must have loaded the clock after
+// pin a's bump, which happens after pin a's pinCount.Add(1) (PinEpoch
+// registers before bumping), so its pinCount load observes a live pin
+// and the entry is journaled. Commits the gate skips were stamped
+// e <= a and fall outside every window a live pin could anchor.
+//
+// # Completeness at the window's close
+//
+// Appends happen inside the commit-counter bracket (before the
+// lane.Add(-1) that exits it). PinEpoch drains the closing generation's
+// lane after its bump and before returning, so by the time pin b is
+// handed out every append whose entry could carry an epoch <= b has
+// fully landed — the same argument that makes born/dead stamps safe
+// makes their journal entries safe, and it is also the happens-before
+// edge that lets the diff read entry keys without a data race: a reader
+// only dereferences ent.key after observing ent.epoch inside its
+// window, and in-window epoch stores are ordered before the pin drain
+// the reader's own pin acquisition synchronized with.
+//
+// # Truncation
+//
+// Entries with epoch <= minPin can never fall inside a live window
+// (window lows are pinned epochs), so sealed segments whose entries are
+// all stamped at or below the horizon are dropped by advancing the
+// stripe's head — next links are never rewritten, so a reader walking
+// from a stale head only sees extra entries its window filter discards.
+// Truncation runs on segment seal and from ReleaseEpoch when the pin
+// horizon moves; with no pins live, minPin is noPin (max uint64) and
+// every sealed segment is droppable, so an unpinned workload carries at
+// most one partially-filled segment per stripe.
+
+// jsegCap is the number of entries per journal segment. 256 entries at
+// 16 bytes keeps a segment comfortably page-sized while amortizing the
+// allocation over enough appends that a pinned write burst does not
+// churn the allocator.
+const jsegCap = 256
+
+// jentry is one journaled commit. key is written before epoch; epoch
+// (0 = slot reserved, entry not yet landed) is the release store that
+// publishes the entry, and readers must load it before touching key.
+type jentry struct {
+	key   uint64
+	epoch atomic.Uint64
+}
+
+// jseg is one fixed-size journal segment. n counts reserved slots and
+// may overshoot jsegCap — reservations past the cap lose the race to
+// seal and retry on the successor segment.
+type jseg struct {
+	next atomic.Pointer[jseg]
+	n    atomic.Int64
+	ents [jsegCap]jentry
+}
+
+// jstripe is one stripe of the journal: a singly-linked segment chain
+// appended at tail, truncated at head. head is installed first (so a
+// reader that sees a non-nil tail always finds the chain from head) and
+// only ever advances along next links.
+type jstripe struct {
+	head atomic.Pointer[jseg]
+	tail atomic.Pointer[jseg]
+	_    [48]byte // keep stripes on separate cache lines
+}
+
+// journalStripes matches commitStripes: journal appends happen inside
+// the commit bracket, so using the same key hash keeps one commit's two
+// touched stripes on the same cache line pair.
+const journalStripes = commitStripes
+
+// journalMark appends a (key, epoch) entry if any snapshot pin is live.
+// It must be called inside the caller's commit bracket, after the epoch
+// stamp was sampled; see the file comment for why that ordering is what
+// makes the gate sound. Lock-free: the slow paths are a bounded number
+// of CASes that only fail when another appender made progress.
+func (l *Topology) journalMark(key, epoch uint64) {
+	if l.pinCount.Load() == 0 {
+		return
+	}
+	st := &l.journal[uintbits.Mix64(key)&(journalStripes-1)]
+	for {
+		s := st.tail.Load()
+		if s == nil {
+			// First append on this stripe: install the chain head, then
+			// let tail catch up to it. Head is CASed exactly once per
+			// chain lifetime-from-empty; truncation never resets it to
+			// nil, so head==nil means the stripe was never written.
+			if st.head.Load() == nil {
+				st.head.CompareAndSwap(nil, new(jseg))
+			}
+			st.tail.CompareAndSwap(nil, st.head.Load())
+			continue
+		}
+		if i := s.n.Add(1) - 1; i < jsegCap {
+			s.ents[i].key = key
+			s.ents[i].epoch.Store(epoch)
+			return
+		}
+		// Segment full: install a successor and advance the tail. Both
+		// CASes may lose to a faster appender; either way progress was
+		// made and the retry lands on a later segment.
+		ns := s.next.Load()
+		if ns == nil {
+			fresh := new(jseg)
+			if s.next.CompareAndSwap(nil, fresh) {
+				ns = fresh
+			} else {
+				ns = s.next.Load()
+			}
+		}
+		st.tail.CompareAndSwap(s, ns)
+		l.journalTruncateStripe(st)
+	}
+}
+
+// journalTruncate drops every fully-sealed segment whose entries all
+// fall at or below the pin horizon. Called from ReleaseEpoch when the
+// horizon moves; safe to run concurrently with appends, readers and
+// other truncators (head only advances, and only along next links).
+func (l *Topology) journalTruncate() {
+	for i := range l.journal {
+		l.journalTruncateStripe(&l.journal[i])
+	}
+}
+
+func (l *Topology) journalTruncateStripe(st *jstripe) {
+	min := l.minPin.Load()
+	for {
+		h := st.head.Load()
+		if h == nil {
+			return
+		}
+		next := h.next.Load()
+		if next == nil || h.n.Load() < jsegCap {
+			// Unsealed (or still mid-seal): the tail lives here or later.
+			return
+		}
+		for i := range h.ents {
+			if e := h.ents[i].epoch.Load(); e == 0 || e > min {
+				return // an entry is in flight or still windowable
+			}
+		}
+		st.head.CompareAndSwap(h, next)
+	}
+}
+
+// ChangedKeys returns, sorted and deduplicated, every key with at least
+// one journaled commit in the window (a, b]. The caller must hold live
+// pins on both a and b — that is what guarantees the journal covers the
+// window (see the file comment) — and a <= b.
+func (l *Topology) ChangedKeys(a, b uint64) []uint64 {
+	var keys []uint64
+	for i := range l.journal {
+		for s := l.journal[i].head.Load(); s != nil; s = s.next.Load() {
+			n := min(s.n.Load(), jsegCap)
+			for j := int64(0); j < n; j++ {
+				e := s.ents[j].epoch.Load()
+				if e <= a || e > b {
+					// Out of window — or still in flight (e == 0), in
+					// which case the entry's commit is concurrent with
+					// pin b and stamped after it. Either way the key
+					// slot must not be read (no happens-before edge).
+					continue
+				}
+				keys = append(keys, s.ents[j].key)
+			}
+		}
+	}
+	slices.Sort(keys)
+	return slices.Compact(keys)
+}
+
+// JournalSegments returns the number of live journal segments across
+// all stripes, for tests and diagnostics.
+func (l *Topology) JournalSegments() int {
+	n := 0
+	for i := range l.journal {
+		for s := l.journal[i].head.Load(); s != nil; s = s.next.Load() {
+			n++
+		}
+	}
+	return n
+}

@@ -185,6 +185,7 @@ func (l *List[V]) SetValue(n *Node, v V) {
 		d.old = append(d.old, version[V]{from: d.from, val: d.val})
 	}
 	d.val, d.from = v, e
+	l.journalMark(r.key, e)
 	if len(d.old) > 0 {
 		// Prune unreachable versions: a pin P selects the last version
 		// with from <= P, so everything before the last version at or
@@ -239,6 +240,36 @@ func (l *List[V]) ValueAt(n *Node, at uint64) V {
 	}
 	d.unlock()
 	return v
+}
+
+// ValueStampAt is ValueAt plus the epoch the returned value became
+// current — the stamp a diff compares against its window's low edge to
+// decide whether a surviving node's value was overwritten inside the
+// window. For the set form (zero-width V, never overwritten) the stamp
+// is the node's born epoch. The caller is responsible for having
+// checked VisibleAt(at) first.
+func (l *List[V]) ValueStampAt(n *Node, at uint64) (V, uint64) {
+	r := n.root
+	if r == nil || r.kind != kindData {
+		var zero V
+		return zero, 0
+	}
+	d := dataOf[V](r)
+	if unsafe.Sizeof(d.val) == 0 {
+		return d.val, r.born
+	}
+	d.lock()
+	v, from := d.val, d.from
+	if d.from > at {
+		for i := len(d.old) - 1; i >= 0; i-- {
+			if d.old[i].from <= at {
+				v, from = d.old[i].val, d.old[i].from
+				break
+			}
+		}
+	}
+	d.unlock()
+	return v, from
 }
 
 // InsertResult reports what Insert or Upsert did.
@@ -308,6 +339,9 @@ func (l *List[V]) insertWithHeight(key uint64, val V, start *Node, h int, upsert
 		root.back.Store(br.Left)
 		c.IncCAS()
 		_, ok := br.Left.succ.CompareAndSwap(br.LeftW, Succ{Next: root})
+		if ok {
+			l.journalMark(key, root.born)
+		}
 		commit.Add(-1)
 		if ok {
 			break

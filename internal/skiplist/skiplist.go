@@ -244,6 +244,11 @@ type Topology struct {
 	pins       map[uint64]int
 	retiredMu  sync.Mutex
 	retired    []*Node
+
+	// Change journal (journal.go): per-stripe segment chains of
+	// (key, epoch) entries appended by stamping commits while pins are
+	// live, the index that makes snapshot diffs O(changed keys).
+	journal [journalStripes]jstripe
 }
 
 // Config configures a List.
@@ -591,6 +596,9 @@ func (l *Topology) Delete(key uint64, start *Node, c *stats.Op) DeleteResult {
 	hook("delete.committing", root)
 	c.IncCAS()
 	won := root.dead.CompareAndSwap(0, dead)
+	if won {
+		l.journalMark(key, dead)
+	}
 	commit.Add(-1)
 	if !won {
 		return DeleteResult{}

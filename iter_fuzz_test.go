@@ -26,8 +26,8 @@ func FuzzIterVsRange(f *testing.F) {
 			t.Skip("program too long")
 		}
 		const w = 13
-		mp := NewMap[uint64](WithWidth(w), WithSeed(3))
-		sh := NewSharded[uint64](WithWidth(w), WithShards(8), WithSeed(7))
+		mp := MustNewMap[uint64](WithWidth(w), WithSeed(3))
+		sh := MustNewSharded[uint64](WithWidth(w), WithShards(8), WithSeed(7))
 
 		// Replay: top bit of the first byte selects Store vs Delete, the
 		// rest is key material; every key doubles as a scan origin.

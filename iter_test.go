@@ -10,7 +10,7 @@ import (
 )
 
 func TestIterPublicBasics(t *testing.T) {
-	m := NewMap[string](WithWidth(16))
+	m := MustNewMap[string](WithWidth(16))
 	m.Store(5, "five")
 	m.Store(9, "nine")
 	m.Store(1000, "k")
@@ -28,7 +28,7 @@ func TestIterPublicBasics(t *testing.T) {
 		t.Fatal("Last should land on 1000")
 	}
 
-	sh := NewSharded[string](WithWidth(16), WithShards(8))
+	sh := MustNewSharded[string](WithWidth(16), WithShards(8))
 	sh.Store(5, "five")
 	sh.Store(0xE000, "high")
 	sit := sh.Iter()
@@ -42,7 +42,7 @@ func TestIterPublicBasics(t *testing.T) {
 		t.Fatal("cursor should exhaust after the last key")
 	}
 
-	st := New(WithWidth(16))
+	st := MustNew(WithWidth(16))
 	st.Insert(3)
 	st.Insert(77)
 	kit := st.Iter()
@@ -71,14 +71,14 @@ func TestIterSeekDeletedMidScan(t *testing.T) {
 			Delete(uint64) bool
 			Iter() *Iter[uint64]
 		} {
-			return NewMap[uint64](WithWidth(16))
+			return MustNewMap[uint64](WithWidth(16))
 		}},
 		{"sharded", func() interface {
 			Store(uint64, uint64)
 			Delete(uint64) bool
 			Iter() *Iter[uint64]
 		} {
-			return NewSharded[uint64](WithWidth(16), WithShards(8))
+			return MustNewSharded[uint64](WithWidth(16), WithShards(8))
 		}},
 	} {
 		t.Run(build.name, func(t *testing.T) {
@@ -109,9 +109,9 @@ func TestIterSeekDeletedMidScan(t *testing.T) {
 }
 
 func TestSeqAdapters(t *testing.T) {
-	m := NewMap[uint64](WithWidth(16))
-	sh := NewSharded[uint64](WithWidth(16), WithShards(8))
-	st := New(WithWidth(16))
+	m := MustNewMap[uint64](WithWidth(16))
+	sh := MustNewSharded[uint64](WithWidth(16), WithShards(8))
+	st := MustNew(WithWidth(16))
 	keys := []uint64{2, 0x1FFF, 0x2000, 0x9000, 0xFFFF}
 	for _, k := range keys {
 		m.Store(k, k*3)
@@ -186,7 +186,7 @@ func TestIterBoundaryChurnScanWindows(t *testing.T) {
 	// churn without duplicating the test.
 	iters := testenv.Scale(400)
 	scans := testenv.Scale(25)
-	s := NewSharded[uint64](tortureOpts(WithWidth(w), WithShards(shards), WithSeed(13))...)
+	s := MustNewSharded[uint64](tortureShardedOpts(WithWidth(w), WithShards(shards), WithSeed(13))...)
 	step := uint64(1) << (w - uint(log2(shards)))
 	var boundary []uint64
 	for k := uint64(1); k < shards; k++ {
@@ -279,8 +279,8 @@ func TestIterBoundaryChurnScanWindows(t *testing.T) {
 // output on a quiesced structure for both backends — the property
 // FuzzIterVsRange explores the input space of.
 func TestIterMatchesRangeQuiesced(t *testing.T) {
-	m := NewMap[uint64](WithWidth(16), WithSeed(4))
-	sh := NewSharded[uint64](WithWidth(16), WithShards(8), WithSeed(6))
+	m := MustNewMap[uint64](WithWidth(16), WithSeed(4))
+	sh := MustNewSharded[uint64](WithWidth(16), WithShards(8), WithSeed(6))
 	rng := rand.New(rand.NewSource(44))
 	for i := 0; i < 3000; i++ {
 		k := uint64(rng.Intn(1 << 16))

@@ -24,9 +24,15 @@ type Map[V any] struct {
 	m *Metrics
 }
 
-// NewMap returns an empty ordered map. It accepts the same options as New.
-func NewMap[V any](opts ...Option) *Map[V] {
-	o := buildOptions(opts)
+// NewMap returns an empty ordered map. It accepts any MapOption (the
+// shared Option set); sharding options are NewSharded-only and do not
+// compile here. It fails with an error wrapping ErrInvalidOption when
+// an option carries an invalid value.
+func NewMap[V any](opts ...MapOption) (*Map[V], error) {
+	o, err := buildMapOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	return &Map[V]{
 		c: core.New[V](core.Config{
 			Width:       o.width,
@@ -35,7 +41,17 @@ func NewMap[V any](opts ...Option) *Map[V] {
 			Seed:        o.seed,
 		}),
 		m: o.metrics,
+	}, nil
+}
+
+// MustNewMap is NewMap, panicking on error — for static configurations
+// known valid at compile time.
+func MustNewMap[V any](opts ...MapOption) *Map[V] {
+	m, err := NewMap[V](opts...)
+	if err != nil {
+		panic(err)
 	}
+	return m
 }
 
 func (m *Map[V]) op() *stats.Op {

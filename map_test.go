@@ -7,7 +7,7 @@ import (
 )
 
 func TestMapBasics(t *testing.T) {
-	m := NewMap[string](WithWidth(32))
+	m := MustNewMap[string](WithWidth(32))
 	m.Store(5, "five")
 	m.Store(10, "ten")
 	if v, ok := m.Load(5); !ok || v != "five" {
@@ -33,7 +33,7 @@ func TestMapBasics(t *testing.T) {
 }
 
 func TestMapLoadOrStore(t *testing.T) {
-	m := NewMap[int](WithWidth(16))
+	m := MustNewMap[int](WithWidth(16))
 	v, loaded := m.LoadOrStore(1, 100)
 	if loaded || v != 100 {
 		t.Fatalf("first LoadOrStore = %d, %v", v, loaded)
@@ -45,7 +45,7 @@ func TestMapLoadOrStore(t *testing.T) {
 }
 
 func TestMapOrderedQueries(t *testing.T) {
-	m := NewMap[string](WithWidth(32))
+	m := MustNewMap[string](WithWidth(32))
 	m.Store(100, "a")
 	m.Store(200, "b")
 	m.Store(300, "c")
@@ -76,7 +76,7 @@ func TestMapOrderedQueries(t *testing.T) {
 }
 
 func TestMapRange(t *testing.T) {
-	m := NewMap[int](WithWidth(16))
+	m := MustNewMap[int](WithWidth(16))
 	for k := uint64(0); k < 50; k += 5 {
 		m.Store(k, int(k)*2)
 	}
@@ -93,14 +93,14 @@ func TestMapRange(t *testing.T) {
 
 func TestMapValueTypes(t *testing.T) {
 	type payload struct{ a, b int }
-	m := NewMap[*payload](WithWidth(16))
+	m := MustNewMap[*payload](WithWidth(16))
 	p := &payload{1, 2}
 	m.Store(9, p)
 	if got, ok := m.Load(9); !ok || got != p {
 		t.Fatal("pointer value round-trip failed")
 	}
 	// Slice values (not comparable) still work.
-	ms := NewMap[[]int](WithWidth(16))
+	ms := MustNewMap[[]int](WithWidth(16))
 	ms.Store(1, []int{1, 2, 3})
 	if got, ok := ms.Load(1); !ok || len(got) != 3 {
 		t.Fatal("slice value round-trip failed")
@@ -108,7 +108,7 @@ func TestMapValueTypes(t *testing.T) {
 }
 
 func TestMapConcurrent(t *testing.T) {
-	m := NewMap[uint64](tortureOpts(WithWidth(32))...)
+	m := MustNewMap[uint64](tortureMapOpts(WithWidth(32))...)
 	var wg sync.WaitGroup
 	const workers = 8
 	const perG = 800
@@ -141,7 +141,7 @@ func TestMapConcurrent(t *testing.T) {
 }
 
 func TestMapConcurrentLoadOrStore(t *testing.T) {
-	m := NewMap[int](tortureOpts(WithWidth(16))...)
+	m := MustNewMap[int](tortureMapOpts(WithWidth(16))...)
 	const workers = 8
 	var wg sync.WaitGroup
 	winners := make([]int, workers)
@@ -167,7 +167,7 @@ func TestMapConcurrentLoadOrStore(t *testing.T) {
 }
 
 func ExampleMap() {
-	m := NewMap[string](WithWidth(32))
+	m := MustNewMap[string](WithWidth(32))
 	m.Store(1000, "alpha")
 	m.Store(2000, "beta")
 	if k, v, ok := m.Predecessor(1500); ok {

@@ -10,7 +10,7 @@ import (
 // checks presence is reported independently of the value being zero.
 func TestMapZeroValueStructs(t *testing.T) {
 	type pair struct{ A, B int }
-	m := NewMap[pair](WithWidth(16))
+	m := MustNewMap[pair](WithWidth(16))
 	m.Store(7, pair{})
 	got, ok := m.Load(7)
 	if !ok {
@@ -38,7 +38,7 @@ func TestMapZeroValueStructs(t *testing.T) {
 // papered over (a nil any was returned as the zero V whether or not the key
 // existed).
 func TestMapNilPointerValues(t *testing.T) {
-	m := NewMap[*int](WithWidth(16))
+	m := MustNewMap[*int](WithWidth(16))
 	m.Store(1, nil)
 	v, ok := m.Load(1)
 	if !ok {
@@ -71,7 +71,7 @@ func TestMapNilPointerValues(t *testing.T) {
 // unboxed values, overwriting an existing key allocates nothing, and
 // neither does Load.
 func TestMapStoreUpdateNoAllocs(t *testing.T) {
-	m := NewMap[uint64](WithWidth(32))
+	m := MustNewMap[uint64](WithWidth(32))
 	keys := make([]uint64, 256)
 	for i := range keys {
 		keys[i] = uint64(i) * 16_411
@@ -101,7 +101,7 @@ func TestMapStoreUpdateNoAllocs(t *testing.T) {
 // allocation (the slice itself) no matter how many keys it copies —
 // growing from nil would cost O(log n) progressively larger ones.
 func TestKeysSingleAlloc(t *testing.T) {
-	st := New(WithWidth(32))
+	st := MustNew(WithWidth(32))
 	for i := uint64(0); i < 4096; i++ {
 		st.Insert(i * 1_048_583)
 	}
@@ -120,7 +120,7 @@ func TestKeysSingleAlloc(t *testing.T) {
 	// escapes because the eager seeding path can hand it to seeding
 	// goroutines). All O(1) per snapshot regardless of how many keys it
 	// copies.
-	sh := NewSharded[struct{}](WithWidth(32), WithShards(4))
+	sh := MustNewSharded[struct{}](WithWidth(32), WithShards(4))
 	for i := uint64(0); i < 1024; i++ {
 		sh.Store(i*4_194_301, struct{}{})
 	}
@@ -143,7 +143,7 @@ func TestMapConcurrentStoreDeleteLoadOrStore(t *testing.T) {
 	mk := func(x uint64) wide { return wide{x, x ^ 0xABCD, x * 3, x + 7} }
 	valid := func(w wide) bool { return w == mk(w[0]) }
 
-	m := NewMap[wide](tortureOpts(WithWidth(16))...)
+	m := MustNewMap[wide](tortureMapOpts(WithWidth(16))...)
 	const (
 		workers = 8
 		keys    = 16

@@ -52,6 +52,24 @@ const metricStripes = 16 // power of two
 type Metrics struct {
 	stripes [metricStripes]metricStripe
 	reshard reshardCounters
+	cdc     cdcCounters
+}
+
+// cdcCounters aggregates the change-data-capture and persistence
+// subsystem's activity: snapshot diffs, Watch deliveries, dump/restore
+// traffic, and the leak guard's finalizer fires. Written once per
+// diff/batch/stream, so they are not striped.
+type cdcCounters struct {
+	leakedPins     atomic.Uint64
+	diffs          atomic.Uint64
+	diffEvents     atomic.Uint64
+	watchBatches   atomic.Uint64
+	watchEvents    atomic.Uint64
+	watchLagged    atomic.Uint64
+	dumps          atomic.Uint64
+	dumpEntries    atomic.Uint64
+	restores       atomic.Uint64
+	restoreEntries atomic.Uint64
 }
 
 // reshardCounters aggregates the resharding subsystem's work: explicit
@@ -136,6 +154,52 @@ func (m *Metrics) setSkew(v float64) {
 	m.reshard.skewBits.Store(math.Float64bits(v))
 }
 
+// leakedPin records one snapshot or watcher handle reclaimed by the
+// garbage collector without Close. Nil receivers are ignored.
+func (m *Metrics) leakedPin() {
+	if m != nil {
+		m.cdc.leakedPins.Add(1)
+	}
+}
+
+// recordDiff folds one completed snapshot diff that emitted n events.
+func (m *Metrics) recordDiff(n uint64) {
+	if m != nil {
+		m.cdc.diffs.Add(1)
+		m.cdc.diffEvents.Add(n)
+	}
+}
+
+// recordWatch folds one delivered (or, with lagged, deferred) Watch
+// batch of n events.
+func (m *Metrics) recordWatch(n uint64, lagged bool) {
+	if m == nil {
+		return
+	}
+	if lagged {
+		m.cdc.watchLagged.Add(1)
+		return
+	}
+	m.cdc.watchBatches.Add(1)
+	m.cdc.watchEvents.Add(n)
+}
+
+// recordDump folds one completed dump stream of n entries.
+func (m *Metrics) recordDump(n uint64) {
+	if m != nil {
+		m.cdc.dumps.Add(1)
+		m.cdc.dumpEntries.Add(n)
+	}
+}
+
+// recordRestore folds one completed restore/apply of n entries.
+func (m *Metrics) recordRestore(n uint64) {
+	if m != nil {
+		m.cdc.restores.Add(1)
+		m.cdc.restoreEntries.Add(n)
+	}
+}
+
 // ReshardSnapshot is the resharding section of a MetricsSnapshot.
 type ReshardSnapshot struct {
 	Splits      uint64        // shard splits completed
@@ -157,6 +221,21 @@ type MetricsSnapshot struct {
 	Probes  uint64             // hash-table operations
 	Touches uint64             // operations that modified the x-fast trie
 	Reshard ReshardSnapshot    // resharding activity (Sharded only)
+	CDC     CDCSnapshot        // change-data-capture and persistence activity
+}
+
+// CDCSnapshot is the change-data-capture section of a MetricsSnapshot.
+type CDCSnapshot struct {
+	LeakedPins     uint64 // snapshot/watcher handles GC-reclaimed without Close
+	Diffs          uint64 // snapshot diffs completed
+	DiffEvents     uint64 // events emitted by snapshot diffs
+	WatchBatches   uint64 // Watch batches delivered
+	WatchEvents    uint64 // events across delivered Watch batches
+	WatchLagged    uint64 // Watch windows deferred because the subscriber lagged
+	Dumps          uint64 // dump streams completed
+	DumpEntries    uint64 // entries written across dump streams
+	Restores       uint64 // restore/apply streams completed
+	RestoreEntries uint64 // entries applied across restore streams
 }
 
 // Snapshot sums the stripes. It is safe to call concurrently with
@@ -184,6 +263,18 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		MovedKeys:   m.reshard.moved.Load(),
 		MigrateTime: time.Duration(m.reshard.nanos.Load()),
 		Skew:        math.Float64frombits(m.reshard.skewBits.Load()),
+	}
+	out.CDC = CDCSnapshot{
+		LeakedPins:     m.cdc.leakedPins.Load(),
+		Diffs:          m.cdc.diffs.Load(),
+		DiffEvents:     m.cdc.diffEvents.Load(),
+		WatchBatches:   m.cdc.watchBatches.Load(),
+		WatchEvents:    m.cdc.watchEvents.Load(),
+		WatchLagged:    m.cdc.watchLagged.Load(),
+		Dumps:          m.cdc.dumps.Load(),
+		DumpEntries:    m.cdc.dumpEntries.Load(),
+		Restores:       m.cdc.restores.Load(),
+		RestoreEntries: m.cdc.restoreEntries.Load(),
 	}
 	return out
 }

@@ -10,7 +10,7 @@ import (
 // queries land under OpSuccessor, not OpPredecessor.
 func TestMetricsAttribution(t *testing.T) {
 	var mx Metrics
-	s := New(WithWidth(16), WithMetrics(&mx))
+	s := MustNew(WithWidth(16), WithMetrics(&mx))
 	for k := uint64(10); k <= 50; k += 10 {
 		s.Insert(k) // 5 x OpInsert
 	}
@@ -44,7 +44,7 @@ func TestMetricsAttribution(t *testing.T) {
 
 	// The Map wrapper shares the same attribution.
 	var mm Metrics
-	m := NewMap[int](WithWidth(16), WithMetrics(&mm))
+	m := MustNewMap[int](WithWidth(16), WithMetrics(&mm))
 	m.Store(5, 1)          // OpInsert
 	m.Store(5, 2)          // OpInsert (update path)
 	m.LoadOrStore(6, 3)    // OpInsert

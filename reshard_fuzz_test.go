@@ -28,8 +28,8 @@ func FuzzReshardVsMap(f *testing.F) {
 			t.Skip("program too long")
 		}
 		const w = 13 // matches the key fold below: 5+8 bits of key material
-		sh := NewSharded[uint64](WithWidth(w), WithShards(2), WithMaxShards(64), WithSeed(2))
-		mp := NewMap[uint64](WithWidth(w), WithSeed(5))
+		sh := MustNewSharded[uint64](WithWidth(w), WithShards(2), WithMaxShards(64), WithSeed(2))
+		mp := MustNewMap[uint64](WithWidth(w), WithSeed(5))
 		model := map[uint64]uint64{}
 
 		for i := 0; i+1 < len(program); i += 2 {

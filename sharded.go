@@ -2,7 +2,6 @@ package skiptrie
 
 import (
 	"sync"
-	"time"
 
 	"skiptrie/internal/reshard"
 	"skiptrie/internal/shard"
@@ -49,42 +48,17 @@ type Sharded[V any] struct {
 	closeOnce sync.Once
 }
 
-// WithShards sets the initial shard count for NewSharded. The count is
-// rounded up to a power of two and clamped so every shard keeps at
-// least a 1-bit sub-universe. The default (0) is GOMAXPROCS rounded up
-// to a power of two. New and NewMap ignore this option.
-func WithShards(n int) Option {
-	return func(o *options) { o.shards = n }
-}
-
-// WithMaxShards caps how far Split (manual or balancer-driven) may
-// subdivide the universe, with the same rounding and clamping as
-// WithShards and a floor at the initial shard count. The default (0)
-// allows the package maximum (4096 shards). New and NewMap ignore this
-// option.
-func WithMaxShards(n int) Option {
-	return func(o *options) { o.maxShards = n }
-}
-
-// WithAutoReshard attaches a background balancer that samples per-shard
-// load every interval (0 selects the 50ms default) and splits hot
-// shards / merges cold buddies online, within the WithMaxShards cap.
-// The balancer samples op counters and shard lengths — one cheap pass
-// over the shard table per interval — and issues at most one reshard
-// per tick. Call Close to stop it. New and NewMap ignore this option.
-func WithAutoReshard(interval time.Duration) Option {
-	return func(o *options) {
-		o.autoReshard = true
-		o.reshardEvery = interval
+// NewSharded returns an empty sharded ordered map. It accepts any
+// ShardedOption: the shared Option set plus WithShards, WithMaxShards
+// and WithAutoReshard; WithSeed seeds the i'th shard ever created with
+// seed+i so shard shapes stay reproducible yet independent. It fails
+// with an error wrapping ErrInvalidOption when an option carries an
+// invalid value.
+func NewSharded[V any](opts ...ShardedOption) (*Sharded[V], error) {
+	o, err := buildShardedOptions(opts)
+	if err != nil {
+		return nil, err
 	}
-}
-
-// NewSharded returns an empty sharded ordered map. It accepts the same
-// options as New plus WithShards, WithMaxShards and WithAutoReshard;
-// WithSeed seeds the i'th shard ever created with seed+i so shard
-// shapes stay reproducible yet independent.
-func NewSharded[V any](opts ...Option) *Sharded[V] {
-	o := buildOptions(opts)
 	s := &Sharded[V]{
 		t: shard.New[V](shard.Config{
 			Width:       o.width,
@@ -101,6 +75,16 @@ func NewSharded[V any](opts ...Option) *Sharded[V] {
 			Interval: o.reshardEvery,
 		})
 		s.bal.Start()
+	}
+	return s, nil
+}
+
+// MustNewSharded is NewSharded, panicking on error — for static
+// configurations known valid at compile time.
+func MustNewSharded[V any](opts ...ShardedOption) *Sharded[V] {
+	s, err := NewSharded[V](opts...)
+	if err != nil {
+		panic(err)
 	}
 	return s
 }

@@ -25,8 +25,8 @@ func FuzzShardedVsMap(f *testing.F) {
 			t.Skip("program too long")
 		}
 		const w = 13 // matches the key fold below: 5+8 bits of key material
-		sh := NewSharded[uint64](WithWidth(w), WithShards(8), WithSeed(2))
-		mp := NewMap[uint64](WithWidth(w), WithSeed(5))
+		sh := MustNewSharded[uint64](WithWidth(w), WithShards(8), WithSeed(2))
+		mp := MustNewMap[uint64](WithWidth(w), WithSeed(5))
 		model := map[uint64]uint64{}
 
 		// Sequential reference for ordered queries over the model.

@@ -12,7 +12,7 @@ import (
 
 func TestShardedSplitMergeManual(t *testing.T) {
 	var m Metrics
-	s := NewSharded[uint64](WithWidth(16), WithShards(2), WithMaxShards(16),
+	s := MustNewSharded[uint64](WithWidth(16), WithShards(2), WithMaxShards(16),
 		WithSeed(3), WithMetrics(&m))
 	rng := rand.New(rand.NewSource(11))
 	want := map[uint64]uint64{}
@@ -78,7 +78,7 @@ func TestShardedSplitMergeManual(t *testing.T) {
 	}
 
 	// Depth and floor errors surface to the caller.
-	s2 := NewSharded[int](WithWidth(8), WithShards(1), WithMaxShards(1))
+	s2 := MustNewSharded[int](WithWidth(8), WithShards(1), WithMaxShards(1))
 	if err := s2.Split(0); err == nil {
 		t.Fatal("Split past WithMaxShards succeeded")
 	}
@@ -94,7 +94,7 @@ func TestShardedSplitMergeManual(t *testing.T) {
 func TestShardedAutoReshard(t *testing.T) {
 	const w = 16
 	var m Metrics
-	s := NewSharded[uint64](WithWidth(w), WithShards(2), WithMaxShards(64),
+	s := MustNewSharded[uint64](WithWidth(w), WithShards(2), WithMaxShards(64),
 		WithAutoReshard(time.Millisecond), WithMetrics(&m), WithSeed(7))
 	defer s.Close()
 
@@ -135,7 +135,7 @@ func TestReshardTortureScanWindows(t *testing.T) {
 	)
 	iters := testenv.Scale(500)
 	scans := testenv.Scale(20)
-	s := NewSharded[uint64](tortureOpts(WithWidth(w), WithShards(4), WithMaxShards(32), WithSeed(29))...)
+	s := MustNewSharded[uint64](tortureShardedOpts(WithWidth(w), WithShards(4), WithMaxShards(32), WithSeed(29))...)
 	// Hot keys at every boundary the partition can have at MaxShards=32,
 	// plus two stable anchors for the completeness rule.
 	step := uint64(1) << (w - 5)
@@ -262,7 +262,7 @@ func TestReshardSmallHistoriesLinearizable(t *testing.T) {
 	rounds := testenv.Scale(30)
 	keys := []uint64{0x0FF, 0x100, 0x2FF, 0x300} // straddle splittable boundaries
 	for r := 0; r < rounds; r++ {
-		s := NewSharded[uint64](tortureOpts(WithWidth(w), WithShards(2), WithMaxShards(8),
+		s := MustNewSharded[uint64](tortureShardedOpts(WithWidth(w), WithShards(2), WithMaxShards(8),
 			WithSeed(uint64(r)))...)
 		var rec linearize.Recorder
 		var wg sync.WaitGroup

@@ -15,7 +15,7 @@ import (
 func TestShardedBoundaryKeys(t *testing.T) {
 	const w = 16
 	for _, shards := range []int{2, 4, 8} {
-		s := NewSharded[uint64](WithWidth(w), WithShards(shards), WithSeed(7))
+		s := MustNewSharded[uint64](WithWidth(w), WithShards(shards), WithSeed(7))
 		if s.Shards() != shards {
 			t.Fatalf("Shards() = %d, want %d", s.Shards(), shards)
 		}
@@ -79,7 +79,7 @@ func TestShardedEmptyMiddleShards(t *testing.T) {
 		w      = 20
 		shards = 16
 	)
-	s := NewSharded[string](WithWidth(w), WithShards(shards))
+	s := MustNewSharded[string](WithWidth(w), WithShards(shards))
 	step := uint64(1) << (w - uint(log2(shards)))
 	lo, hi := step-1, uint64(shards-1)*step
 	s.Store(lo, "low")
@@ -118,7 +118,7 @@ func TestShardedTortureBoundaryChurn(t *testing.T) {
 		readers = 3
 		iters   = 2000
 	)
-	s := NewSharded[uint64](tortureOpts(WithWidth(w), WithShards(shards), WithSeed(13))...)
+	s := MustNewSharded[uint64](tortureShardedOpts(WithWidth(w), WithShards(shards), WithSeed(13))...)
 	step := uint64(1) << (w - uint(log2(shards)))
 	valid := map[uint64]bool{}
 	var boundary []uint64
@@ -195,13 +195,13 @@ func TestWithShardsRounding(t *testing.T) {
 		{9, 32, 16},
 		{64, 4, 8}, // clamped to width-1 bits
 	} {
-		s := NewSharded[int](WithWidth(tc.w), WithShards(tc.n))
+		s := MustNewSharded[int](WithWidth(tc.w), WithShards(tc.n))
 		if s.Shards() != tc.want {
 			t.Errorf("WithShards(%d) at W=%d: Shards() = %d, want %d", tc.n, tc.w, s.Shards(), tc.want)
 		}
 	}
 	// Default is a power of two.
-	s := NewSharded[int]()
+	s := MustNewSharded[int]()
 	if n := s.Shards(); n < 1 || n&(n-1) != 0 {
 		t.Errorf("default Shards() = %d, want a power of two", n)
 	}
@@ -212,8 +212,8 @@ func TestWithShardsRounding(t *testing.T) {
 // "exact semantics of Map" contract, sequentially.
 func TestShardedMatchesMapSemantics(t *testing.T) {
 	const w = 12
-	sh := NewSharded[uint64](WithWidth(w), WithShards(8), WithSeed(3))
-	mp := NewMap[uint64](WithWidth(w), WithSeed(4))
+	sh := MustNewSharded[uint64](WithWidth(w), WithShards(8), WithSeed(3))
+	mp := MustNewMap[uint64](WithWidth(w), WithSeed(4))
 	rng := rand.New(rand.NewSource(17))
 	for i := 0; i < 4000; i++ {
 		k := rng.Uint64() >> (64 - w)
@@ -278,7 +278,7 @@ func TestShardedMatchesMapSemantics(t *testing.T) {
 // Metrics snapshot across shards.
 func TestShardedMetrics(t *testing.T) {
 	var m Metrics
-	s := NewSharded[int](WithWidth(16), WithShards(4), WithMetrics(&m))
+	s := MustNewSharded[int](WithWidth(16), WithShards(4), WithMetrics(&m))
 	for i := uint64(0); i < 100; i++ {
 		s.Store(i*641, int(i))
 	}

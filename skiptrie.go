@@ -15,7 +15,7 @@
 //
 // # Quick start
 //
-//	st := skiptrie.New(skiptrie.WithWidth(32))
+//	st := skiptrie.MustNew(skiptrie.WithWidth(32))
 //	st.Insert(42)
 //	st.Insert(100)
 //	if k, ok := st.Predecessor(99); ok {
@@ -27,10 +27,7 @@
 package skiptrie
 
 import (
-	"time"
-
 	"skiptrie/internal/core"
-	"skiptrie/internal/skiplist"
 	"skiptrie/internal/stats"
 )
 
@@ -41,85 +38,15 @@ type SkipTrie struct {
 	m *Metrics
 }
 
-type options struct {
-	width        uint8
-	shards       int
-	maxShards    int
-	autoReshard  bool
-	reshardEvery time.Duration
-	disableDCSS  bool
-	repair       skiplist.RepairMode
-	seed         uint64
-	metrics      *Metrics
-}
-
-// Option configures a SkipTrie or Map.
-type Option func(*options)
-
-// WithWidth sets the universe width W = log2(u): keys must be < 2^w.
-// Valid widths are 1..64; the default is 64. Smaller universes use fewer
-// skiplist levels (log log u) and shallower trie searches.
-func WithWidth(w int) Option {
-	return func(o *options) {
-		if w < 1 {
-			w = 1
-		}
-		if w > 64 {
-			w = 64
-		}
-		o.width = uint8(w)
+// New returns an empty SkipTrie. It accepts any SetOption (the shared
+// Option set); sharding options are NewSharded-only and do not compile
+// here. It fails with an error wrapping ErrInvalidOption when an option
+// carries an invalid value.
+func New(opts ...SetOption) (*SkipTrie, error) {
+	o, err := buildSetOptions(opts)
+	if err != nil {
+		return nil, err
 	}
-}
-
-// WithoutDCSS replaces every DCSS with a plain CAS (dropping the second
-// guard). The paper proves the structure remains linearizable and
-// lock-free in this mode; only the amortized step bound degrades. Exposed
-// for the T7 ablation experiment.
-func WithoutDCSS() Option {
-	return func(o *options) { o.disableDCSS = true }
-}
-
-// WithEagerPrevRepair selects the paper's option (1) for maintaining
-// top-level prev pointers: inserts help their successors complete before
-// finishing, trading extra write contention for point-contention bounds.
-// The default is the paper's choice, option (2): transient backward gaps
-// are tolerated and repaired by the in-flight insert. Exposed for the T8
-// ablation experiment.
-func WithEagerPrevRepair() Option {
-	return func(o *options) { o.repair = skiplist.RepairEager }
-}
-
-// WithSeed seeds tower-height randomness. The default seed is fixed;
-// use distinct seeds for statistically independent runs.
-//
-// Height draws are served from striped per-goroutine generator states
-// (one padded lane per goroutine-hash bucket), so the seed fixes the
-// drawn sequence — and therefore the structure's shape — only when all
-// inserts come from a single goroutine. Concurrent writers interleave
-// stripe seeding and stepping nondeterministically: shapes stay
-// statistically identical but are not reproducible run to run.
-func WithSeed(seed uint64) Option {
-	return func(o *options) { o.seed = seed }
-}
-
-// WithMetrics attaches a Metrics collector that aggregates per-operation
-// step counts (pointer hops, CAS/DCSS attempts, hash probes). The overhead
-// is one short striped-counter update per operation.
-func WithMetrics(m *Metrics) Option {
-	return func(o *options) { o.metrics = m }
-}
-
-func buildOptions(opts []Option) options {
-	o := options{width: 64}
-	for _, fn := range opts {
-		fn(&o)
-	}
-	return o
-}
-
-// New returns an empty SkipTrie.
-func New(opts ...Option) *SkipTrie {
-	o := buildOptions(opts)
 	return &SkipTrie{
 		c: core.NewSet(core.Config{
 			Width:       o.width,
@@ -128,7 +55,17 @@ func New(opts ...Option) *SkipTrie {
 			Seed:        o.seed,
 		}),
 		m: o.metrics,
+	}, nil
+}
+
+// MustNew is New, panicking on error — for static configurations known
+// valid at compile time.
+func MustNew(opts ...SetOption) *SkipTrie {
+	s, err := New(opts...)
+	if err != nil {
+		panic(err)
 	}
+	return s
 }
 
 // op returns a fresh step counter when metrics are attached, else nil.

@@ -1,6 +1,7 @@
 package skiptrie
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"sync"
@@ -9,7 +10,7 @@ import (
 )
 
 func TestPublicAPIBasics(t *testing.T) {
-	st := New(WithWidth(32), WithSeed(1))
+	st := MustNew(WithWidth(32), WithSeed(1))
 	if st.Width() != 32 {
 		t.Fatalf("Width = %d", st.Width())
 	}
@@ -37,7 +38,7 @@ func TestPublicAPIBasics(t *testing.T) {
 }
 
 func TestDefaultWidth64(t *testing.T) {
-	st := New()
+	st := MustNew()
 	if st.Width() != 64 {
 		t.Fatalf("default Width = %d", st.Width())
 	}
@@ -49,17 +50,20 @@ func TestDefaultWidth64(t *testing.T) {
 	}
 }
 
-func TestWidthClamping(t *testing.T) {
-	if got := New(WithWidth(0)).Width(); got != 1 {
-		t.Fatalf("WithWidth(0) -> %d", got)
+func TestWidthValidation(t *testing.T) {
+	if _, err := New(WithWidth(0)); !errors.Is(err, ErrInvalidOption) {
+		t.Fatalf("WithWidth(0) err = %v", err)
 	}
-	if got := New(WithWidth(100)).Width(); got != 64 {
-		t.Fatalf("WithWidth(100) -> %d", got)
+	if _, err := New(WithWidth(100)); !errors.Is(err, ErrInvalidOption) {
+		t.Fatalf("WithWidth(100) err = %v", err)
+	}
+	if got := MustNew(WithWidth(64)).Width(); got != 64 {
+		t.Fatalf("WithWidth(64) -> %d", got)
 	}
 }
 
 func TestKeysAndRange(t *testing.T) {
-	st := New(WithWidth(16))
+	st := MustNew(WithWidth(16))
 	want := []uint64{3, 14, 15, 92, 653}
 	for _, k := range want {
 		st.Insert(k)
@@ -84,7 +88,7 @@ func TestKeysAndRange(t *testing.T) {
 }
 
 func TestMinMax(t *testing.T) {
-	st := New(WithWidth(20))
+	st := MustNew(WithWidth(20))
 	for _, k := range []uint64{500, 1, 999999} {
 		st.Insert(k)
 	}
@@ -108,7 +112,7 @@ func TestMinMax(t *testing.T) {
 // sorted-slice definition.
 func TestPredecessorQuick(t *testing.T) {
 	f := func(keys []uint64, queries []uint64) bool {
-		st := New(WithWidth(64))
+		st := MustNew(WithWidth(64))
 		set := map[uint64]bool{}
 		for _, k := range keys {
 			st.Insert(k)
@@ -142,7 +146,7 @@ func TestPredecessorQuick(t *testing.T) {
 // duality: succ(x) > pred-strict(succ(x)) etc.
 func TestSuccessorQuick(t *testing.T) {
 	f := func(keys []uint16, q uint16) bool {
-		st := New(WithWidth(16))
+		st := MustNew(WithWidth(16))
 		set := map[uint64]bool{}
 		for _, k := range keys {
 			st.Insert(uint64(k))
@@ -172,7 +176,7 @@ func TestInsertDeleteQuick(t *testing.T) {
 	f := func(ops []uint16, widthSeed uint8) bool {
 		widths := []int{4, 8, 12, 16}
 		w := widths[int(widthSeed)%len(widths)]
-		st := New(WithWidth(w))
+		st := MustNew(WithWidth(w))
 		model := map[uint64]bool{}
 		mask := uint64(1)<<w - 1
 		for i, o := range ops {
@@ -202,7 +206,7 @@ func TestInsertDeleteQuick(t *testing.T) {
 
 func TestMetricsRecorded(t *testing.T) {
 	m := &Metrics{}
-	st := New(WithWidth(32), WithMetrics(m))
+	st := MustNew(WithWidth(32), WithMetrics(m))
 	for k := uint64(0); k < 3000; k++ {
 		st.Insert(k * 1_000_003 % (1 << 32))
 	}
@@ -238,7 +242,7 @@ func TestMetricsNilSafe(t *testing.T) {
 	if sn := m.Snapshot(); sn.TotalOps() != 0 {
 		t.Fatal("nil Metrics snapshot not empty")
 	}
-	st := New(WithWidth(8)) // no metrics attached
+	st := MustNew(WithWidth(8)) // no metrics attached
 	st.Insert(1)
 	st.Predecessor(1)
 }
@@ -262,7 +266,7 @@ func TestOpKindString(t *testing.T) {
 }
 
 func TestConcurrentPublicAPI(t *testing.T) {
-	st := New(tortureOpts(WithWidth(32), WithSeed(7))...)
+	st := MustNew(tortureSetOpts(WithWidth(32), WithSeed(7))...)
 	var wg sync.WaitGroup
 	const workers = 8
 	const perG = 1000
@@ -294,7 +298,7 @@ func TestConcurrentPublicAPI(t *testing.T) {
 }
 
 func TestEagerOptionWorks(t *testing.T) {
-	st := New(WithWidth(16), WithEagerPrevRepair())
+	st := MustNew(WithWidth(16), WithEagerPrevRepair())
 	for k := uint64(0); k < 2000; k++ {
 		st.Insert(k)
 	}
@@ -304,7 +308,7 @@ func TestEagerOptionWorks(t *testing.T) {
 }
 
 func TestWithoutDCSSOptionWorks(t *testing.T) {
-	st := New(WithWidth(16), WithoutDCSS())
+	st := MustNew(WithWidth(16), WithoutDCSS())
 	for k := uint64(0); k < 2000; k++ {
 		st.Insert(k)
 		if k%3 == 0 {

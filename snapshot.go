@@ -1,16 +1,33 @@
 package skiptrie
 
 import (
+	"runtime"
+
 	"skiptrie/internal/core"
 	"skiptrie/internal/shard"
 )
 
 // snapSource is the backend a Snapshot handle reads through: a pinned
-// single trie (Map) or a per-shard pinned composite (Sharded).
+// single trie (Map) or a per-shard pinned composite (Sharded). Beyond
+// point reads and cursors it exposes the CDC hooks — the epoch-window
+// diff against a later snapshot of the same backend, and the partition
+// shape Dump fans its per-part encoders out over.
 type snapSource[V any] interface {
 	load(key uint64) (V, bool)
 	cursor() cursor[V]
 	close() bool
+	// width is the universe width W recorded in dump headers.
+	width() uint8
+	// parts is the number of independently scannable key-ordered
+	// partitions (1 for a Map snapshot, the pinned shard count for a
+	// Sharded snapshot); part returns a fresh cursor over one of them.
+	parts() int
+	part(i int) cursor[V]
+	// diffTo streams the net per-key changes from this (older) snapshot
+	// to the newer one in ascending key order; see Snapshot.Diff for the
+	// delivery contract. Both snapshots must wrap the same backend kind
+	// and structure.
+	diffTo(newer snapSource[V], emit func(key uint64, val V, put bool) bool) error
 }
 
 // Snapshot is an immutable point-in-time view of a Map or Sharded,
@@ -40,14 +57,38 @@ type snapSource[V any] interface {
 // All methods are safe for concurrent use; each cursor, as always,
 // belongs to a single goroutine.
 type Snapshot[V any] struct {
+	src     snapSource[V]
+	m       *Metrics
+	cleanup runtime.Cleanup
+}
+
+// newSnapshot wraps a pinned source in a handle with the leak guard
+// armed: if the handle is garbage-collected without Close, the cleanup
+// releases the pins anyway (so retained nodes do not accumulate
+// forever) and counts the leak in Metrics.LeakedPins. The cleanup's
+// argument deliberately holds the source, not the handle — a cleanup
+// argument must not keep its own pointer alive.
+func newSnapshot[V any](src snapSource[V], m *Metrics) *Snapshot[V] {
+	sn := &Snapshot[V]{src: src, m: m}
+	sn.cleanup = runtime.AddCleanup(sn, func(a leakedPin[V]) {
+		if a.src.close() {
+			a.m.leakedPin()
+		}
+	}, leakedPin[V]{src: src, m: m})
+	return sn
+}
+
+// leakedPin is the state a snapshot leak-guard cleanup runs against.
+type leakedPin[V any] struct {
 	src snapSource[V]
+	m   *Metrics
 }
 
 // Snapshot returns a point-in-time view of the map, pinned at the
 // current epoch. The pin is O(1); see Snapshot (the type) for the
 // consistency contract and Close discipline.
 func (m *Map[V]) Snapshot() *Snapshot[V] {
-	return &Snapshot[V]{src: coreSnapSource[V]{sn: m.c.Snapshot(), m: m.m}}
+	return newSnapshot[V](coreSnapSource[V]{sn: m.c.Snapshot(), m: m.m}, m.m)
 }
 
 // Snapshot returns a point-in-time view of the sharded map: every shard
@@ -56,7 +97,7 @@ func (m *Map[V]) Snapshot() *Snapshot[V] {
 // Split and Merge: a drained shard's frozen trie is wired into the
 // handle as-is rather than copied.
 func (s *Sharded[V]) Snapshot() *Snapshot[V] {
-	return &Snapshot[V]{src: shardSnapSource[V]{sn: s.t.Snapshot(), m: s.m}}
+	return newSnapshot[V](shardSnapSource[V]{sn: s.t.Snapshot(), m: s.m}, s.m)
 }
 
 // Load returns the value key held at the snapshot's pin point.
@@ -103,9 +144,17 @@ func (sn *Snapshot[V]) Iter() *Iter[V] { return &Iter[V]{c: sn.src.cursor()} }
 // Close releases the snapshot's pins so retained nodes and value
 // versions can be reclaimed, and reports whether this call closed it
 // (only the first call does). Reads must not be in flight or issued
-// after Close. Forgetting Close does not corrupt anything, but keys
-// deleted during the snapshot's life stay resident until it is called.
-func (sn *Snapshot[V]) Close() bool { return sn.src.close() }
+// after Close. Forgetting Close does not corrupt anything — a leak
+// guard releases the pins when the handle is garbage-collected, and
+// counts the leak in Metrics.LeakedPins — but until then keys deleted
+// during the snapshot's life stay resident.
+func (sn *Snapshot[V]) Close() bool {
+	if !sn.src.close() {
+		return false
+	}
+	sn.cleanup.Stop()
+	return true
+}
 
 // coreSnapSource adapts core.Snap (a Map snapshot). Point reads record
 // into the owning structure's Metrics exactly as live Loads do; cursor
@@ -121,8 +170,19 @@ func (s coreSnapSource[V]) load(key uint64) (V, bool) {
 	s.m.record(OpContains, c)
 	return v, ok
 }
-func (s coreSnapSource[V]) cursor() cursor[V] { return s.sn.NewIter(nil) }
-func (s coreSnapSource[V]) close() bool       { return s.sn.Close() }
+func (s coreSnapSource[V]) cursor() cursor[V]  { return s.sn.NewIter(nil) }
+func (s coreSnapSource[V]) close() bool        { return s.sn.Close() }
+func (s coreSnapSource[V]) width() uint8       { return s.sn.Width() }
+func (s coreSnapSource[V]) parts() int         { return 1 }
+func (s coreSnapSource[V]) part(int) cursor[V] { return s.sn.NewIter(nil) }
+
+func (s coreSnapSource[V]) diffTo(newer snapSource[V], emit func(key uint64, val V, put bool) bool) error {
+	n, ok := newer.(coreSnapSource[V])
+	if !ok {
+		return ErrSnapshotMismatch
+	}
+	return mapDiffErr(s.sn.DiffTo(n.sn, nil, emit))
+}
 
 // shardSnapSource adapts shard.Snap (a Sharded snapshot).
 type shardSnapSource[V any] struct {
@@ -138,3 +198,67 @@ func (s shardSnapSource[V]) load(key uint64) (V, bool) {
 }
 func (s shardSnapSource[V]) cursor() cursor[V] { return s.sn.NewIter(nil) }
 func (s shardSnapSource[V]) close() bool       { return s.sn.Close() }
+func (s shardSnapSource[V]) width() uint8      { return s.sn.Width() }
+func (s shardSnapSource[V]) parts() int        { return s.sn.NumShards() }
+
+func (s shardSnapSource[V]) part(i int) cursor[V] {
+	it := s.sn.ShardIter(i, nil)
+	return &it
+}
+
+func (s shardSnapSource[V]) diffTo(newer snapSource[V], emit func(key uint64, val V, put bool) bool) error {
+	n, ok := newer.(shardSnapSource[V])
+	if !ok {
+		return ErrSnapshotMismatch
+	}
+	return mapDiffErr(s.sn.DiffTo(n.sn, nil, emit))
+}
+
+// SetSnapshot is an immutable point-in-time view of a SkipTrie (the
+// set form), returned by its Snapshot method — the same strictly
+// consistent pinned view as Snapshot, over membership instead of
+// key/value pairs. It shares Snapshot's cost model, Close discipline
+// and leak guard.
+type SetSnapshot struct {
+	sn *Snapshot[struct{}]
+}
+
+// Snapshot returns a point-in-time view of the set, pinned at the
+// current epoch. The pin is O(1); see SetSnapshot for the contract.
+func (s *SkipTrie) Snapshot() *SetSnapshot {
+	return &SetSnapshot{sn: newSnapshot[struct{}](coreSnapSource[struct{}]{sn: s.c.Snapshot(), m: s.m}, s.m)}
+}
+
+// Contains reports whether key was in the set at the pin point.
+func (sn *SetSnapshot) Contains(key uint64) bool {
+	_, ok := sn.sn.Load(key)
+	return ok
+}
+
+// Range calls fn on each key >= from, in ascending order, until fn
+// returns false — over the pinned view.
+func (sn *SetSnapshot) Range(from uint64, fn func(key uint64) bool) {
+	sn.sn.Range(from, func(k uint64, _ struct{}) bool { return fn(k) })
+}
+
+// Descend calls fn on each key <= from, in descending order, until fn
+// returns false — over the pinned view.
+func (sn *SetSnapshot) Descend(from uint64, fn func(key uint64) bool) {
+	sn.sn.Descend(from, func(k uint64, _ struct{}) bool { return fn(k) })
+}
+
+// Keys returns every key live at the pin point, in ascending order.
+func (sn *SetSnapshot) Keys() []uint64 { return sn.sn.Keys() }
+
+// Diff streams the net membership changes from this snapshot to the
+// newer snapshot of the same set: added=true for keys present at newer
+// but not here, added=false for keys removed. Same contract and errors
+// as Snapshot.Diff.
+func (sn *SetSnapshot) Diff(newer *SetSnapshot, emit func(key uint64, added bool) bool) error {
+	return sn.sn.Diff(newer.sn, func(e DiffEvent[struct{}]) bool {
+		return emit(e.Key, e.Kind == DiffPut)
+	})
+}
+
+// Close releases the snapshot's pins; see Snapshot.Close.
+func (sn *SetSnapshot) Close() bool { return sn.sn.Close() }

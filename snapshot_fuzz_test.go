@@ -33,9 +33,9 @@ func FuzzSnapshotVsMap(f *testing.F) {
 			t.Skip("program too long")
 		}
 		const w = 13
-		sh := NewSharded[uint64](WithWidth(w), WithShards(4), WithMaxShards(32), WithSeed(3))
+		sh := MustNewSharded[uint64](WithWidth(w), WithShards(4), WithMaxShards(32), WithSeed(3))
 		defer sh.Close()
-		mp := NewMap[uint64](WithWidth(w), WithSeed(7))
+		mp := MustNewMap[uint64](WithWidth(w), WithSeed(7))
 		model := map[uint64]uint64{}
 
 		type pinned struct {

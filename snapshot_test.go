@@ -9,7 +9,7 @@ import (
 // TestSnapshotMapSemantics: the Map snapshot is a frozen view with the
 // full read surface.
 func TestSnapshotMapSemantics(t *testing.T) {
-	m := NewMap[string](WithWidth(16))
+	m := MustNewMap[string](WithWidth(16))
 	m.Store(1, "one")
 	m.Store(2, "two")
 	m.Store(3, "three")
@@ -66,7 +66,7 @@ func TestSnapshotMapSemantics(t *testing.T) {
 // TestSnapshotShardedSemantics mirrors the Map contract on the sharded
 // backend, including early-terminated callbacks.
 func TestSnapshotShardedSemantics(t *testing.T) {
-	s := NewSharded[uint64](WithWidth(16), WithShards(8), WithSeed(21))
+	s := MustNewSharded[uint64](WithWidth(16), WithShards(8), WithSeed(21))
 	defer s.Close()
 	for k := uint64(0); k < 1<<16; k += 1 << 10 {
 		s.Store(k, k+1)
@@ -99,7 +99,7 @@ func TestSnapshotShardedSemantics(t *testing.T) {
 // TestSnapshotOutlivesClose: Sharded.Close (balancer shutdown) must not
 // invalidate open snapshots or iterators, per the documented contract.
 func TestSnapshotOutlivesClose(t *testing.T) {
-	s := NewSharded[uint64](WithWidth(14), WithShards(4), WithAutoReshard(time.Millisecond))
+	s := MustNewSharded[uint64](WithWidth(14), WithShards(4), WithAutoReshard(time.Millisecond))
 	for k := uint64(0); k < 1<<14; k += 64 {
 		s.Store(k, k)
 	}
@@ -140,7 +140,7 @@ func TestSnapshotOutlivesClose(t *testing.T) {
 // TestSnapshotAcrossManualReshard: a Sharded snapshot pinned before
 // Split/Merge keeps its exact contents.
 func TestSnapshotAcrossManualReshard(t *testing.T) {
-	s := NewSharded[uint64](WithWidth(12), WithShards(2), WithMaxShards(16), WithSeed(5))
+	s := MustNewSharded[uint64](WithWidth(12), WithShards(2), WithMaxShards(16), WithSeed(5))
 	defer s.Close()
 	for k := uint64(0); k < 1<<12; k += 3 {
 		s.Store(k, k^0xAA)
@@ -172,7 +172,7 @@ func TestSnapshotAcrossManualReshard(t *testing.T) {
 // strictly after the pin — are never visible, and pins are cheap enough
 // to take per-operation.
 func TestSnapshotWriteVisibilityBoundary(t *testing.T) {
-	m := NewMap[uint64](WithWidth(16))
+	m := MustNewMap[uint64](WithWidth(16))
 	var sns []*Snapshot[uint64]
 	for i := uint64(0); i < 50; i++ {
 		m.Store(i, i)

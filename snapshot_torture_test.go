@@ -33,7 +33,7 @@ func TestSnapshotTortureStrictCompleteness(t *testing.T) {
 	)
 	iters := testenv.Scale(400)
 	snaps := testenv.Scale(20)
-	s := NewSharded[uint64](tortureOpts(WithWidth(w), WithShards(shards), WithMaxShards(64), WithSeed(31))...)
+	s := MustNewSharded[uint64](tortureShardedOpts(WithWidth(w), WithShards(shards), WithMaxShards(64), WithSeed(31))...)
 	defer s.Close()
 
 	// Churn keys at the boundaries every reachable partition can have,
@@ -174,7 +174,7 @@ func TestSnapshotTortureMap(t *testing.T) {
 	)
 	iters := testenv.Scale(400)
 	snaps := testenv.Scale(20)
-	m := NewMap[uint64](tortureOpts(WithWidth(w), WithSeed(17))...)
+	m := MustNewMap[uint64](tortureMapOpts(WithWidth(w), WithSeed(17))...)
 	keys := []uint64{3, 5, 1 << 7, 1<<7 + 1, 1 << 13, 1<<14 - 2}
 	var rec linearize.Recorder
 	var wg sync.WaitGroup

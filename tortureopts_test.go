@@ -2,12 +2,30 @@ package skiptrie
 
 import "skiptrie/internal/testenv"
 
-// tortureOpts appends the environment-selected degraded-mode options to
-// a concurrency test's construction options: with SKIPTRIE_TEST_NODCSS
-// set (CI's DisableDCSS race stage) every torture test that builds
-// through this helper re-runs in the CAS-fallback mode, auditing the
-// guard-free path for windows analogous to the PR 2 stale-prefix races.
-func tortureOpts(opts ...Option) []Option {
+// The torture*Opts helpers append the environment-selected degraded-mode
+// options to a concurrency test's construction options: with
+// SKIPTRIE_TEST_NODCSS set (CI's DisableDCSS race stage) every torture
+// test that builds through one of them re-runs in the CAS-fallback mode,
+// auditing the guard-free path for windows analogous to the PR 2
+// stale-prefix races. One helper per constructor option set, since a
+// []Option cannot spread into a ...MapOption (or other per-constructor)
+// variadic.
+
+func tortureSetOpts(opts ...SetOption) []SetOption {
+	if testenv.DisableDCSS() {
+		opts = append(opts, WithoutDCSS())
+	}
+	return opts
+}
+
+func tortureMapOpts(opts ...MapOption) []MapOption {
+	if testenv.DisableDCSS() {
+		opts = append(opts, WithoutDCSS())
+	}
+	return opts
+}
+
+func tortureShardedOpts(opts ...ShardedOption) []ShardedOption {
 	if testenv.DisableDCSS() {
 		opts = append(opts, WithoutDCSS())
 	}
