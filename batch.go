@@ -55,10 +55,12 @@ func (m *Map[V]) StoreBatch(keys []uint64, vals []V) {
 	if len(keys) == 0 {
 		return
 	}
+	t := m.m.latStart()
 	sk, sv := sortBatch(keys, vals)
 	c := m.op()
 	m.c.StoreRun(sk, sv, c)
 	m.m.recordN(OpInsert, uint64(len(keys)), c)
+	m.m.recordLatencyN(OpInsert, len(keys), t)
 }
 
 // StoreBatch stores vals[i] under keys[i] for every i with the same
@@ -74,10 +76,12 @@ func (s *Sharded[V]) StoreBatch(keys []uint64, vals []V) {
 	if len(keys) == 0 {
 		return
 	}
+	t := s.m.latStart()
 	sk, sv := sortBatch(keys, vals)
 	c := s.op()
 	s.t.StoreBatch(sk, sv, c)
 	s.m.recordN(OpInsert, uint64(len(keys)), c)
+	s.m.recordLatencyN(OpInsert, len(keys), t)
 }
 
 // AddBatch inserts every key in keys and returns how many were newly
@@ -89,9 +93,11 @@ func (s *SkipTrie) AddBatch(keys []uint64) int {
 	if len(keys) == 0 {
 		return 0
 	}
+	t := s.m.latStart()
 	sk := sortKeys(keys)
 	c := s.op()
 	n := s.c.AddRun(sk, c)
 	s.m.recordN(OpInsert, uint64(len(keys)), c)
+	s.m.recordLatencyN(OpInsert, len(keys), t)
 	return n
 }

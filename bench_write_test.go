@@ -58,6 +58,29 @@ func BenchmarkConcurrentStoreMetered(b *testing.B) {
 	})
 }
 
+// BenchmarkConcurrentStoreMeteredSampled layers latency sampling (1/64)
+// on top of the metered benchmark — the full observability stack on the
+// hot path. The sampled stream should cost a striped RNG draw per op
+// and a clock read per 64th op; CI gates it within 5% of the unsampled
+// metered run at GOMAXPROCS=1. The final snapshot's insert percentiles
+// are exported as p50-ns/p99-ns metrics so the bench matrix archives
+// latency alongside throughput.
+func BenchmarkConcurrentStoreMeteredSampled(b *testing.B) {
+	var met Metrics
+	m := MustNewMap[int](WithWidth(30), WithMetrics(&met), WithLatencySampling(1.0/64))
+	var ctr atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k := ctr.Add(1) * 0x9E3779B9 & ((1 << 30) - 1)
+			m.Store(k, int(k))
+		}
+	})
+	lat := met.Snapshot().Latency[OpInsert]
+	b.ReportMetric(float64(lat.P50), "p50-ns")
+	b.ReportMetric(float64(lat.P99), "p99-ns")
+}
+
 const batchBenchSize = 1024
 
 // BenchmarkStoreBatch inserts sorted disjoint runs via StoreBatch;

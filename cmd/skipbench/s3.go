@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sync"
+	"time"
+
+	"skiptrie"
+	"skiptrie/internal/harness"
+)
+
+// s3PinPressure measures what live snapshot pins cost the write path:
+// every open snapshot forces deletes to retain their nodes and
+// overwrites to retain superseded values, so Store tail latency and
+// retained memory should grow with the pin count (and the churn during
+// the pins' lives), never with structure size. Unlike the other
+// experiments this one drives the public API — Sharded with
+// WithMetrics + WithLatencySampling — because the latency histograms
+// and retention gauges under test live on that surface.
+func s3PinPressure(sc harness.Scale) harness.Result {
+	res := harness.Result{
+		Name:  "S3 pin pressure: store latency vs live snapshot pins (W=32)",
+		Claim: "open snapshots retain churned nodes: store tails and retained memory grow with pins and churn, not structure size",
+		Header: []string{"pins", "threads", "kop/s", "store p50 us", "store p99 us", "store p999 us",
+			"retained nodes", "oldest pin"},
+	}
+	const w = 32
+	threads := 1
+	if len(sc.Threads) > 0 {
+		threads = sc.Threads[len(sc.Threads)-1]
+	}
+	var lastWindow skiptrie.MetricsSnapshot
+	for _, pins := range []int{0, 1, 4, 16} {
+		var met skiptrie.Metrics
+		m := skiptrie.MustNewSharded[uint64](
+			skiptrie.WithWidth(w),
+			skiptrie.WithMetrics(&met),
+			skiptrie.WithLatencySampling(1.0/64),
+		)
+		// Spread resident population, bit-reversed so it tiles the
+		// universe (and the shards) evenly.
+		for i := 0; i < sc.M; i++ {
+			k := bits.Reverse64(uint64(i)) >> (64 - w)
+			m.Store(k, uint64(i))
+		}
+		snaps := make([]*skiptrie.Snapshot[uint64], pins)
+		for i := range snaps {
+			snaps[i] = m.Snapshot()
+		}
+
+		// Churn under the pins: overwrite half the draws, delete+reinsert
+		// the rest, so every pinned epoch accumulates retained versions.
+		before := met.Snapshot()
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		ops := make([]int, threads)
+		start := time.Now()
+		for g := 0; g < threads; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(701 + int64(g)*7919))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for i := 0; i < 64; i++ {
+						k := bits.Reverse64(uint64(rng.Intn(sc.M))) >> (64 - w)
+						if i&1 == 0 {
+							m.Store(k, rng.Uint64())
+						} else {
+							m.Delete(k)
+							m.Store(k, rng.Uint64())
+						}
+						ops[g]++
+					}
+				}
+			}(g)
+		}
+		time.Sleep(sc.Duration)
+		close(stop)
+		wg.Wait()
+		elapsed := time.Since(start)
+
+		// The measurement window is the churn phase alone: Sub strips the
+		// prefill's ops and samples, keeps the gauges' newer readings.
+		window := met.Snapshot().Sub(before)
+		lastWindow = window
+		lat := window.Latency[skiptrie.OpInsert]
+		total := 0
+		for _, n := range ops {
+			total += n
+		}
+		res.AddRow(
+			harness.I(pins), harness.I(threads),
+			harness.F(float64(total)/float64(elapsed.Milliseconds()+1)),
+			harness.Us(int64(lat.P50)), harness.Us(int64(lat.P99)), harness.Us(int64(lat.P999)),
+			harness.I(window.RetainedNodes),
+			window.OldestPinAge.Round(time.Millisecond).String(),
+		)
+		for _, sn := range snaps {
+			sn.Close()
+		}
+	}
+	res.Notes = append(res.Notes,
+		"workload: 50/25/25 overwrite/delete/reinsert churn over the resident population while N snapshots stay open",
+		"store latency sampled at 1/64 via WithLatencySampling; window isolated with MetricsSnapshot.Sub",
+		fmt.Sprintf("last window collector report:\n%s", lastWindow.String()),
+	)
+	return res
+}

@@ -126,7 +126,7 @@ type encodedPart struct {
 // dumpParts streams every part of src through enc into framed blocks
 // on w: parts are encoded concurrently (bounded by GOMAXPROCS), the
 // stream is written in part order, so record order equals key order.
-func dumpParts[V any](src snapSource[V], w io.Writer, kind dump.Kind,
+func dumpParts[V any](src snapSource[V], w io.Writer, kind dump.Kind, h *TraceHooks,
 	enc func(dst []byte, key uint64, val V) ([]byte, error)) (uint64, error) {
 	parts := src.parts()
 	ready := make([]chan encodedPart, parts)
@@ -186,6 +186,9 @@ func dumpParts[V any](src snapSource[V], w io.Writer, kind dump.Kind,
 			}
 		}
 		entries += p.entries
+		if err == nil {
+			h.emitDump(false, i, parts, p.entries)
+		}
 	}
 	if err != nil {
 		return 0, err
@@ -214,7 +217,7 @@ func appendKV[V any](codec ValueCodec[V], dst []byte, key uint64, val V) ([]byte
 // key order, so dump cost scales with cores. The stream is readable by
 // Restore on an empty Map or Sharded of the same or wider universe.
 func (sn *Snapshot[V]) Dump(w io.Writer, codec ValueCodec[V]) (uint64, error) {
-	n, err := dumpParts(sn.src, w, dump.KindKV, func(dst []byte, key uint64, val V) ([]byte, error) {
+	n, err := dumpParts(sn.src, w, dump.KindKV, sn.h, func(dst []byte, key uint64, val V) ([]byte, error) {
 		return appendKV(codec, dst, key, val)
 	})
 	if err == nil {
@@ -226,7 +229,7 @@ func (sn *Snapshot[V]) Dump(w io.Writer, codec ValueCodec[V]) (uint64, error) {
 // Dump writes the set snapshot's pinned membership to w as a
 // checksummed key-only stream readable by SkipTrie.Restore.
 func (sn *SetSnapshot) Dump(w io.Writer) (uint64, error) {
-	n, err := dumpParts(sn.sn.src, w, dump.KindSet, func(dst []byte, key uint64, _ struct{}) ([]byte, error) {
+	n, err := dumpParts(sn.sn.src, w, dump.KindSet, sn.sn.h, func(dst []byte, key uint64, _ struct{}) ([]byte, error) {
 		return binary.LittleEndian.AppendUint64(dst, key), nil
 	})
 	if err == nil {
@@ -276,7 +279,7 @@ func openRestore(r io.Reader, kind dump.Kind, width uint8) (*dump.Reader, error)
 }
 
 // restoreKV drains a KindKV stream into store, one batch per block.
-func restoreKV[V any](r io.Reader, codec ValueCodec[V], width uint8,
+func restoreKV[V any](r io.Reader, codec ValueCodec[V], width uint8, h *TraceHooks,
 	store func(keys []uint64, vals []V)) (uint64, error) {
 	dr, err := openRestore(r, dump.KindKV, width)
 	if err != nil {
@@ -285,6 +288,7 @@ func restoreKV[V any](r io.Reader, codec ValueCodec[V], width uint8,
 	var total uint64
 	var keys []uint64
 	var vals []V
+	block := 0
 	for {
 		p, err := dr.Next()
 		if err == io.EOF {
@@ -316,6 +320,8 @@ func restoreKV[V any](r io.Reader, codec ValueCodec[V], width uint8,
 		}
 		store(keys, vals)
 		total += uint64(len(keys))
+		h.emitDump(true, block, 0, uint64(len(keys)))
+		block++
 	}
 }
 
@@ -329,7 +335,7 @@ func (m *Map[V]) Restore(r io.Reader, codec ValueCodec[V]) (uint64, error) {
 	if m.Len() != 0 {
 		return 0, ErrRestoreNonEmpty
 	}
-	n, err := restoreKV(r, codec, uint8(m.c.Width()), func(keys []uint64, vals []V) {
+	n, err := restoreKV(r, codec, uint8(m.c.Width()), m.h, func(keys []uint64, vals []V) {
 		m.StoreBatch(keys, vals)
 	})
 	if err == nil {
@@ -344,7 +350,7 @@ func (s *Sharded[V]) Restore(r io.Reader, codec ValueCodec[V]) (uint64, error) {
 	if s.Len() != 0 {
 		return 0, ErrRestoreNonEmpty
 	}
-	n, err := restoreKV(r, codec, s.t.Width(), func(keys []uint64, vals []V) {
+	n, err := restoreKV(r, codec, s.t.Width(), s.h, func(keys []uint64, vals []V) {
 		s.StoreBatch(keys, vals)
 	})
 	if err == nil {
@@ -365,6 +371,7 @@ func (s *SkipTrie) Restore(r io.Reader) (uint64, error) {
 	}
 	var total uint64
 	var keys []uint64
+	block := 0
 	for {
 		p, err := dr.Next()
 		if err == io.EOF {
@@ -386,6 +393,8 @@ func (s *SkipTrie) Restore(r io.Reader) (uint64, error) {
 		}
 		s.AddBatch(keys)
 		total += uint64(len(keys))
+		s.h.emitDump(true, block, 0, uint64(len(keys)))
+		block++
 	}
 }
 
@@ -409,6 +418,7 @@ type BackupCursor[V any] struct {
 	take   func() *Snapshot[V]
 	codec  ValueCodec[V]
 	m      *Metrics
+	h      *TraceHooks
 	mu     sync.Mutex
 	base   *Snapshot[V]
 	closed bool
@@ -418,13 +428,13 @@ type BackupCursor[V any] struct {
 // the current state: the first DumpDiff reports changes since this
 // call (a DumpFull resets the position to its own cut).
 func (m *Map[V]) NewBackupCursor(codec ValueCodec[V]) *BackupCursor[V] {
-	return &BackupCursor[V]{take: m.Snapshot, codec: codec, m: m.m, base: m.Snapshot()}
+	return &BackupCursor[V]{take: m.Snapshot, codec: codec, m: m.m, h: m.h, base: m.Snapshot()}
 }
 
 // NewBackupCursor creates an incremental backup cursor on the sharded
 // map; see Map.NewBackupCursor.
 func (s *Sharded[V]) NewBackupCursor(codec ValueCodec[V]) *BackupCursor[V] {
-	return &BackupCursor[V]{take: s.Snapshot, codec: codec, m: s.m, base: s.Snapshot()}
+	return &BackupCursor[V]{take: s.Snapshot, codec: codec, m: s.m, h: s.h, base: s.Snapshot()}
 }
 
 // DumpFull writes a full KindKV dump of the current state to w and
@@ -519,6 +529,7 @@ func (c *BackupCursor[V]) DumpDiff(w io.Writer) (uint64, error) {
 	c.base.Close()
 	c.base = next
 	c.m.recordDump(entries)
+	c.h.emitDump(false, 0, 1, entries)
 	return entries, nil
 }
 

@@ -58,9 +58,14 @@ func main() {
 		fmt.Printf("map predecessor(1999) = %d -> %q\n", k, v)
 	}
 
-	// Attach Metrics to see the paper's cost model live.
+	// Attach Metrics — plus latency sampling — to see the paper's cost
+	// model live. MetricsSnapshot.String renders the whole collector:
+	// per-op counts with average steps, the structure counters, and the
+	// sampled latency quantiles (rate 1 here; use something like 1/64 in
+	// production so the hot path only pays a striped RNG draw per op).
 	metrics := &skiptrie.Metrics{}
-	st2 := skiptrie.MustNew(skiptrie.WithWidth(32), skiptrie.WithMetrics(metrics))
+	st2 := skiptrie.MustNew(skiptrie.WithWidth(32),
+		skiptrie.WithMetrics(metrics), skiptrie.WithLatencySampling(1))
 	for k := uint64(0); k < 10000; k++ {
 		st2.Insert(k * 429_496) // spread over the universe
 	}
@@ -68,8 +73,7 @@ func main() {
 		st2.Predecessor(q * 4_294_967)
 	}
 	sn := metrics.Snapshot()
-	fmt.Printf("avg predecessor steps: %.1f (universe 2^32, %d keys)\n",
-		sn.AvgSteps(skiptrie.OpPredecessor), st2.Len())
+	fmt.Println(sn.String())
 	fmt.Printf("fraction of inserts that touched the x-fast trie: %.3f (expected ~1/32)\n",
 		float64(sn.Touches)/float64(sn.Ops[skiptrie.OpInsert]))
 }

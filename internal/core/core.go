@@ -60,6 +60,9 @@ type Config struct {
 	Repair skiplist.RepairMode
 	// Seed seeds tower-height randomness; 0 selects a fixed default.
 	Seed uint64
+	// Trace, when non-nil, receives the skiplist's lifecycle events
+	// (pin acquire/release, sweeps, journal truncation).
+	Trace *stats.Trace
 }
 
 // New returns an empty SkipTrie with value type V.
@@ -81,6 +84,7 @@ func New[V any](cfg Config) *SkipTrie[V] {
 		DisableDCSS: cfg.DisableDCSS,
 		Repair:      cfg.Repair,
 		Seed:        cfg.Seed,
+		Trace:       cfg.Trace,
 	})
 	return &SkipTrie[V]{
 		width: w,

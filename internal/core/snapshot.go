@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"skiptrie/internal/stats"
 )
@@ -25,6 +26,15 @@ func (s *SkipTrie[V]) ReleaseEpoch(at uint64) { s.list.ReleaseEpoch(at) }
 // PinnedEpochs returns the number of live pins, for tests and
 // diagnostics.
 func (s *SkipTrie[V]) PinnedEpochs() int { return s.list.PinCount() }
+
+// PinStats returns the epoch-retention gauges in one call: live pin
+// count, retained dead nodes, live journal segments, and how long the
+// oldest live pin has been held (0 when unpinned). Safe concurrently
+// with everything.
+func (s *SkipTrie[V]) PinStats() (live, retained, segments int, oldest time.Duration) {
+	l := s.list
+	return l.PinCount(), l.RetainedCount(), l.JournalSegments(), l.OldestPinAge()
+}
 
 // FindAt returns the value key held at the pinned epoch at, reporting
 // whether the key was present then. The caller must hold a pin on at.

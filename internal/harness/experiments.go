@@ -396,7 +396,7 @@ func S1ShardedScaling(sc Scale) Result {
 		Name:  "S1 sharded throughput vs shard count (W=32)",
 		Claim: "partitioning by key prefix multiplies update throughput without giving up lock-freedom",
 		Header: []string{"shards", "threads", "uniform kop/s", "skew kop/s",
-			"pred-heavy kop/s", "balance max/mean"},
+			"pred-heavy kop/s", "p50 us", "p99 us", "p999 us", "balance max/mean"},
 	}
 	const w = 32
 	threads := 1
@@ -435,11 +435,13 @@ func S1ShardedScaling(sc Scale) Result {
 		res.AddRow(
 			I(tr.Shards()), I(threads),
 			F(uni.OpsPerMs), F(skew.OpsPerMs), F(pred.OpsPerMs),
+			Q(uni.Lat, 0.50), Q(uni.Lat, 0.99), Q(uni.Lat, 0.999),
 			F2(balance),
 		)
 	}
 	res.Notes = append(res.Notes,
 		"uniform/skew = 50/25/25 contains/insert/delete; pred-heavy = 90/5/5 predecessor/insert/delete",
+		"p50/p99/p999 = sampled per-op latency of the uniform cell (1 in 64 ops timed)",
 		"balance = busiest shard's key count over the per-shard mean (1.0 = perfectly even)")
 	return res
 }
@@ -449,7 +451,7 @@ func S1ShardedScaling(sc Scale) Result {
 // reshard balancer attached. It reports throughput, the final shard
 // count, the final max/mean shard-length skew, and the balancer's
 // reshard counts.
-func s2Cell(sc Scale, threads int, auto bool) (thr float64, shards int, skew float64, splits, merges uint64) {
+func s2Cell(sc Scale, threads int, auto bool) (thr float64, lat stats.Hist, shards int, skew float64, splits, merges uint64) {
 	const w = 32
 	// MaxShards 64 = 6 prefix bits = a 2^26-key minimum shard range, a
 	// quarter of the hot window: fine enough to spread the window over
@@ -486,7 +488,7 @@ func s2Cell(sc Scale, threads int, auto bool) (thr float64, shards int, skew flo
 	}
 	skew = reshard.SkewOf(tr.ShardLens())
 	sp, mg, _, _ := tr.ReshardStats()
-	return r.OpsPerMs, tr.Shards(), skew, sp, mg
+	return r.OpsPerMs, r.Lat, tr.Shards(), skew, sp, mg
 }
 
 // S2HotRangeResharding: the hot-range ablation for dynamic resharding.
@@ -502,8 +504,8 @@ func S2HotRangeResharding(sc Scale) Result {
 	res := Result{
 		Name:  "S2 hot-range: static vs auto-resharded partition (W=32)",
 		Claim: "online split/merge keeps shard-length skew bounded under a moving hot range that defeats static sharding",
-		Header: []string{"mode", "threads", "kop/s", "final shards",
-			"lens max/mean", "splits", "merges"},
+		Header: []string{"mode", "threads", "kop/s", "p50 us", "p99 us", "p999 us",
+			"final shards", "lens max/mean", "splits", "merges"},
 	}
 	threads := 1
 	if len(sc.Threads) > 0 {
@@ -514,12 +516,14 @@ func S2HotRangeResharding(sc Scale) Result {
 		if auto {
 			mode = "auto-reshard"
 		}
-		thr, shards, skew, splits, merges := s2Cell(sc, threads, auto)
-		res.AddRow(mode, I(threads), F(thr), I(shards), F2(skew),
-			I(int(splits)), I(int(merges)))
+		thr, lat, shards, skew, splits, merges := s2Cell(sc, threads, auto)
+		res.AddRow(mode, I(threads), F(thr),
+			Q(lat, 0.50), Q(lat, 0.99), Q(lat, 0.999),
+			I(shards), F2(skew), I(int(splits)), I(int(merges)))
 	}
 	res.Notes = append(res.Notes,
 		"workload: 40/10/40/10 insert/delete/contains/pred from a 2^28-key tempered-Zipf window advancing every 50k draws",
+		"p50/p99/p999 = sampled per-op latency (1 in 64 ops timed)",
 		"lens max/mean = busiest shard's key count over the per-shard mean at quiescence (1.0 = perfectly even)")
 	return res
 }

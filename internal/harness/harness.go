@@ -221,19 +221,24 @@ func MeasureSteps(s Set, gen workload.KeyGen, mix workload.Mix, ops int, seed in
 type ThroughputResult struct {
 	Ops      int
 	Elapsed  time.Duration
-	Steps    stats.Op // aggregate across workers
+	Steps    stats.Op   // aggregate across workers
+	Lat      stats.Hist // sampled per-op latencies (1 in 64 ops timed)
 	OpsPerMs float64
 }
 
 // RunConcurrent launches workers goroutines for approximately d, each
-// executing the mix against s, and reports aggregate throughput and step
-// counts.
+// executing the mix against s, and reports aggregate throughput, step
+// counts and sampled latency. Each worker times the first operation of
+// every 64-op inner loop — a fixed 1/64 sampling rate, cheap enough
+// not to perturb the throughput being measured while filling the
+// histogram at ~15k samples per million ops.
 func RunConcurrent(s Set, gen workload.KeyGen, mix workload.Mix, workers int, d time.Duration, seed int64) ThroughputResult {
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
 		total   int
 		steps   stats.Op
+		lat     stats.Hist
 		stopped = make(chan struct{})
 	)
 	start := time.Now()
@@ -243,6 +248,7 @@ func RunConcurrent(s Set, gen workload.KeyGen, mix workload.Mix, workers int, d 
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(g)*7919))
 			var local stats.Op
+			var localLat stats.Hist
 			ops := 0
 			for {
 				select {
@@ -250,6 +256,7 @@ func RunConcurrent(s Set, gen workload.KeyGen, mix workload.Mix, workers int, d 
 					mu.Lock()
 					total += ops
 					steps.Add(local)
+					lat.Merge(localLat)
 					mu.Unlock()
 					return
 				default:
@@ -257,6 +264,10 @@ func RunConcurrent(s Set, gen workload.KeyGen, mix workload.Mix, workers int, d 
 				for i := 0; i < 64; i++ {
 					var c stats.Op
 					k := gen.Next(rng)
+					var t0 time.Time
+					if i == 0 {
+						t0 = time.Now()
+					}
 					switch mix.Pick(rng) {
 					case workload.OpInsert:
 						s.Insert(k, &c)
@@ -266,6 +277,9 @@ func RunConcurrent(s Set, gen workload.KeyGen, mix workload.Mix, workers int, d 
 						s.Contains(k, &c)
 					default:
 						s.Predecessor(k, &c)
+					}
+					if i == 0 {
+						localLat.Record(int64(time.Since(t0)))
 					}
 					local.Add(c)
 					ops++
@@ -281,6 +295,7 @@ func RunConcurrent(s Set, gen workload.KeyGen, mix workload.Mix, workers int, d 
 		Ops:      total,
 		Elapsed:  elapsed,
 		Steps:    steps,
+		Lat:      lat,
 		OpsPerMs: float64(total) / float64(elapsed.Milliseconds()+1),
 	}
 }
@@ -293,3 +308,9 @@ func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
 
 // I formats an int.
 func I(v int) string { return fmt.Sprintf("%d", v) }
+
+// Us formats a nanosecond latency as microseconds with one decimal.
+func Us(ns int64) string { return fmt.Sprintf("%.1f", float64(ns)/1e3) }
+
+// Q returns the histogram's p'th quantile formatted in microseconds.
+func Q(h stats.Hist, p float64) string { return Us(h.Quantile(p)) }

@@ -160,8 +160,8 @@ func TestS2AutoReshardReducesSkew(t *testing.T) {
 	sc := tinyScale()
 	sc.Duration = 300 * time.Millisecond
 	threads := 2
-	_, staticShards, staticSkew, _, _ := s2Cell(sc, threads, false)
-	_, autoShards, autoSkew, splits, _ := s2Cell(sc, threads, true)
+	_, _, staticShards, staticSkew, _, _ := s2Cell(sc, threads, false)
+	_, _, autoShards, autoSkew, splits, _ := s2Cell(sc, threads, true)
 	if splits == 0 || autoShards <= staticShards {
 		t.Fatalf("auto cell never split: %d shards (static %d), %d splits", autoShards, staticShards, splits)
 	}

@@ -56,6 +56,18 @@ type MoveStats struct {
 	Shards int
 	// Duration is the operation's wall time, warm copy included.
 	Duration time.Duration
+	// WarmCopy and Resync split Duration by phase: WarmCopy is the
+	// source-live copy pass (phase 1), Resync the seal + dirty-delta
+	// replay (phases 2-3) — the only window writers can observe.
+	WarmCopy, Resync time.Duration
+}
+
+// traceMigration emits one migration-phase event when a trace sink is
+// configured.
+func (t *Trie[V]) traceMigration(split bool, phase string, b *bucket[V], keys int, d time.Duration) {
+	if tr := t.cfg.Trace; tr != nil && tr.Migration != nil {
+		tr.Migration(split, phase, b.lo, b.bits, keys, int64(d))
+	}
 }
 
 // Split divides the shard owning key into two children, each owning
@@ -85,7 +97,14 @@ func (t *Trie[V]) Split(key uint64) (MoveStats, error) {
 		}
 		return right.trie
 	}
-	moved, dirty := drain(b, dest)
+	warmStart := time.Now()
+	mig, moved := warmCopy(b, dest)
+	warm := time.Since(warmStart)
+	t.traceMigration(true, "warm-copy", b, moved, warm)
+	resyncStart := time.Now()
+	dirty := sealAndResync(b, mig, dest)
+	resync := time.Since(resyncStart)
+	t.traceMigration(true, "seal-resync", b, dirty, resync)
 
 	bs := make([]*bucket[V], 0, len(tab.buckets)+1)
 	for _, ob := range tab.buckets {
@@ -101,7 +120,8 @@ func (t *Trie[V]) Split(key uint64) (MoveStats, error) {
 	t.splits.Add(1)
 	t.movedKeys.Add(uint64(moved + dirty))
 	t.migrateNanos.Add(int64(d))
-	return MoveStats{Moved: moved, Dirty: dirty, Shards: len(bs), Duration: d}, nil
+	return MoveStats{Moved: moved, Dirty: dirty, Shards: len(bs), Duration: d,
+		WarmCopy: warm, Resync: resync}, nil
 }
 
 // Merge rejoins the shard owning key with its buddy — the sibling shard
@@ -138,10 +158,22 @@ func (t *Trie[V]) Merge(key uint64) (MoveStats, error) {
 	// dirty deltas, the same O(churn) bound Split gives, never to the
 	// other shard's size.
 	dest := func(uint64) *core.SkipTrie[V] { return parent.trie }
+	w1s := time.Now()
 	mig1, m1 := warmCopy(lower, dest)
+	w1 := time.Since(w1s)
+	t.traceMigration(false, "warm-copy", lower, m1, w1)
+	w2s := time.Now()
 	mig2, m2 := warmCopy(upper, dest)
+	w2 := time.Since(w2s)
+	t.traceMigration(false, "warm-copy", upper, m2, w2)
+	r1s := time.Now()
 	d1 := sealAndResync(lower, mig1, dest)
+	r1 := time.Since(r1s)
+	t.traceMigration(false, "seal-resync", lower, d1, r1)
+	r2s := time.Now()
 	d2 := sealAndResync(upper, mig2, dest)
+	r2 := time.Since(r2s)
+	t.traceMigration(false, "seal-resync", upper, d2, r2)
 
 	bs := make([]*bucket[V], 0, len(tab.buckets)-1)
 	for _, ob := range tab.buckets {
@@ -160,15 +192,8 @@ func (t *Trie[V]) Merge(key uint64) (MoveStats, error) {
 	t.merges.Add(1)
 	t.movedKeys.Add(uint64(m1 + m2 + d1 + d2))
 	t.migrateNanos.Add(int64(d))
-	return MoveStats{Moved: m1 + m2, Dirty: d1 + d2, Shards: len(bs), Duration: d}, nil
-}
-
-// drain migrates every key of b into dest(key), leaving b sealed with
-// the destinations holding exactly b's final contents. See the protocol
-// comment at the top of the file.
-func drain[V any](b *bucket[V], dest func(uint64) *core.SkipTrie[V]) (moved, dirty int) {
-	mig, moved := warmCopy(b, dest)
-	return moved, sealAndResync(b, mig, dest)
+	return MoveStats{Moved: m1 + m2, Dirty: d1 + d2, Shards: len(bs), Duration: d,
+		WarmCopy: w1 + w2, Resync: r1 + r2}, nil
 }
 
 // warmCopy runs phase 1 against a live source: flips it to migrating

@@ -80,6 +80,10 @@ type Config struct {
 	DisableDCSS bool
 	Repair      skiplist.RepairMode
 	Seed        uint64
+	// Trace, when non-nil, receives lifecycle events from every shard
+	// (pin/sweep/journal, via core.Config) plus this package's
+	// per-phase migration events.
+	Trace *stats.Trace
 }
 
 // Trie is a sharded SkipTrie over [0, 2^Width): independent
@@ -515,6 +519,24 @@ func (t *Trie[V]) Buckets() []Info {
 func (t *Trie[V]) ReshardStats() (splits, merges, moved uint64, dur time.Duration) {
 	return t.splits.Load(), t.merges.Load(), t.movedKeys.Load(),
 		time.Duration(t.migrateNanos.Load())
+}
+
+// PinStats aggregates the epoch-retention gauges over the current
+// partition: summed live pins, retained nodes and journal segments, and
+// the maximum oldest-pin age across shards. Shards retired by a
+// migration while still pinned by an old snapshot are not counted —
+// the gauges describe the live partition.
+func (t *Trie[V]) PinStats() (live, retained, segments int, oldest time.Duration) {
+	for _, b := range t.tab.Load().buckets {
+		l, r, s, o := b.trie.PinStats()
+		live += l
+		retained += r
+		segments += s
+		if o > oldest {
+			oldest = o
+		}
+	}
+	return live, retained, segments, oldest
 }
 
 // Space returns aggregate space statistics across shards.

@@ -134,6 +134,7 @@ func (t *Trie[V]) newBucket(lo uint64, bits uint8) *bucket[V] {
 			DisableDCSS: t.cfg.DisableDCSS,
 			Repair:      t.cfg.Repair,
 			Seed:        t.cfg.Seed + t.seedCtr.Add(1) - 1,
+			Trace:       t.cfg.Trace,
 		}),
 		lo:   lo,
 		hi:   lo + (^uint64(0) >> (64 - w)),

@@ -3,6 +3,7 @@ package skiplist
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"skiptrie/internal/stats"
 	"skiptrie/internal/uintbits"
@@ -145,6 +146,32 @@ func (l *Topology) RetainedCount() int {
 	return n
 }
 
+// pinClock anchors the monotonic timestamps pin ages are measured
+// against; storing offsets from it keeps the pinTimes entries word-sized.
+var pinClock = time.Now()
+
+// pinNow returns monotonic nanoseconds since pinClock.
+func pinNow() int64 { return int64(time.Since(pinClock)) }
+
+// OldestPinAge returns how long the longest-held live pin has been
+// held, or 0 when nothing is pinned. This is the retention-pressure
+// gauge: every delete since that pin was taken may be retaining its
+// node (see RetainedCount for the count actually held).
+func (l *Topology) OldestPinAge() time.Duration {
+	l.pinMu.Lock()
+	oldest := int64(-1)
+	for _, at := range l.pinTimes {
+		if oldest < 0 || at < oldest {
+			oldest = at
+		}
+	}
+	l.pinMu.Unlock()
+	if oldest < 0 {
+		return 0
+	}
+	return time.Duration(pinNow() - oldest)
+}
+
 // PinEpoch pins the current epoch and returns it: until a matching
 // ReleaseEpoch, every node and value version visible at the returned
 // epoch remains reachable. Pins are refcounted; any number may be live,
@@ -153,10 +180,14 @@ func (l *Topology) PinEpoch() uint64 {
 	l.pinMu.Lock()
 	if l.pins == nil {
 		l.pins = make(map[uint64]int)
+		l.pinTimes = make(map[uint64]int64)
 	}
 	e := l.epoch.Load()
+	if l.pins[e] == 0 {
+		l.pinTimes[e] = pinNow()
+	}
 	l.pins[e]++
-	l.pinCount.Add(1)
+	live := int(l.pinCount.Add(1))
 	if e < l.minPin.Load() {
 		l.minPin.Store(e)
 	}
@@ -192,6 +223,9 @@ func (l *Topology) PinEpoch() uint64 {
 		}
 	}
 	l.pinMu.Unlock()
+	if t := l.trace; t != nil && t.Pin != nil {
+		t.Pin(true, e, 0, live)
+	}
 	return e
 }
 
@@ -200,11 +234,16 @@ func (l *Topology) PinEpoch() uint64 {
 // by exactly one ReleaseEpoch with its returned value.
 func (l *Topology) ReleaseEpoch(e uint64) {
 	swept := false
+	ageNs := int64(0)
 	l.pinMu.Lock()
+	if at, ok := l.pinTimes[e]; ok {
+		ageNs = pinNow() - at
+	}
 	if n := l.pins[e]; n > 1 {
 		l.pins[e] = n - 1
 	} else {
 		delete(l.pins, e)
+		delete(l.pinTimes, e)
 		min := uint64(noPin)
 		for p := range l.pins {
 			if p < min {
@@ -219,8 +258,11 @@ func (l *Topology) ReleaseEpoch(e uint64) {
 		swept = min != l.minPin.Load()
 		l.minPin.Store(min)
 	}
-	l.pinCount.Add(-1)
+	live := int(l.pinCount.Add(-1))
 	l.pinMu.Unlock()
+	if t := l.trace; t != nil && t.Pin != nil {
+		t.Pin(false, e, ageNs, live)
+	}
 	if swept {
 		l.sweepRetired(nil)
 		l.journalTruncate()
@@ -253,6 +295,9 @@ func (l *Topology) sweepRetired(c *stats.Op) {
 	l.retiredMu.Unlock()
 	for _, n := range reclaim {
 		l.reclaimRoot(n, c)
+	}
+	if t := l.trace; t != nil && t.Sweep != nil && len(reclaim) > 0 {
+		t.Sweep(len(reclaim), len(kept))
 	}
 }
 

@@ -143,29 +143,40 @@ func (l *Topology) journalMark(key, epoch uint64) {
 // horizon moves; safe to run concurrently with appends, readers and
 // other truncators (head only advances, and only along next links).
 func (l *Topology) journalTruncate() {
+	dropped := 0
 	for i := range l.journal {
-		l.journalTruncateStripe(&l.journal[i])
+		dropped += l.journalTruncateStripe(&l.journal[i])
+	}
+	if t := l.trace; t != nil && t.JournalTruncate != nil && dropped > 0 {
+		t.JournalTruncate(dropped)
 	}
 }
 
-func (l *Topology) journalTruncateStripe(st *jstripe) {
+// journalTruncateStripe advances one stripe's head past droppable
+// segments, returning how many it dropped. Callers on the append path
+// (journalMark) ignore the count; only the ReleaseEpoch-driven
+// journalTruncate folds it into a trace event.
+func (l *Topology) journalTruncateStripe(st *jstripe) int {
 	min := l.minPin.Load()
+	dropped := 0
 	for {
 		h := st.head.Load()
 		if h == nil {
-			return
+			return dropped
 		}
 		next := h.next.Load()
 		if next == nil || h.n.Load() < jsegCap {
 			// Unsealed (or still mid-seal): the tail lives here or later.
-			return
+			return dropped
 		}
 		for i := range h.ents {
 			if e := h.ents[i].epoch.Load(); e == 0 || e > min {
-				return // an entry is in flight or still windowable
+				return dropped // an entry is in flight or still windowable
 			}
 		}
-		st.head.CompareAndSwap(h, next)
+		if st.head.CompareAndSwap(h, next) {
+			dropped++
+		}
 	}
 }
 

@@ -242,8 +242,14 @@ type Topology struct {
 	committing [commitStripes]commitStripe // stamping ops mid-commit (see epoch.go)
 	pinMu      sync.Mutex
 	pins       map[uint64]int
+	pinTimes   map[uint64]int64 // epoch -> monotonic ns of its first pin (pinMu)
 	retiredMu  sync.Mutex
 	retired    []*Node
+
+	// trace is the optional lifecycle-event sink (Config.Trace); nil
+	// disables every event at the cost of one branch per lifecycle
+	// action. Point-operation hot paths never consult it.
+	trace *stats.Trace
 
 	// Change journal (journal.go): per-stripe segment chains of
 	// (key, epoch) entries appended by stamping commits while pins are
@@ -266,6 +272,10 @@ type Config struct {
 	// the structure's shape — only for single-goroutine use; concurrent
 	// writers interleave stripe state nondeterministically.
 	Seed uint64
+	// Trace, when non-nil, receives lifecycle events (pin
+	// acquire/release, retained-node sweeps, journal truncation); see
+	// stats.Trace for the callback contract.
+	Trace *stats.Trace
 }
 
 // init builds the sentinel towers. Levels outside [2, MaxLevels] are
@@ -286,6 +296,7 @@ func (l *Topology) init(cfg Config) {
 		seed = 0x5ee0_70_1e_5eed
 	}
 	l.rngSeed = seed
+	l.trace = cfg.Trace
 	l.epoch.Store(1)
 	l.minPin.Store(noPin)
 	for i := 0; i < lv; i++ {

@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"skiptrie/internal/gid"
+)
+
+// This file implements the latency histogram substrate: a log-bucketed
+// (HDR-style) layout shared by a lock-free concurrent recorder (LatHist,
+// striped by goroutine hash like the metrics counters) and a plain
+// mergeable value form (Hist) for single-goroutine accumulation and
+// snapshot arithmetic.
+//
+// # Bucket layout
+//
+// Buckets are logarithmic with two sub-buckets per octave: a duration of
+// ns nanoseconds with bit length l (bits.Len64) lands in bucket
+//
+//	2*(l-7) + ((ns >> (l-2)) & 1)
+//
+// clamped to [0, HistBuckets-1]. Octaves below 64ns collapse into bucket
+// 0 (upper bound 96ns) and everything at or above 2^34 ns (~17s) lands
+// in the overflow bucket, so the resolved range 64ns..17s covers the
+// 100ns..10s band the experiments care about with a worst-case relative
+// quantile error of one half-octave (+50%).
+
+// HistBuckets is the number of histogram buckets: 2 sub-buckets per
+// octave for bit lengths 7..34 (56 buckets) plus one overflow bucket.
+const HistBuckets = 57
+
+// HistBucket returns the bucket index for a duration of ns nanoseconds.
+// Negative durations (clock anomalies) clamp to bucket 0.
+func HistBucket(ns int64) int {
+	if ns < 64 {
+		return 0
+	}
+	l := bits.Len64(uint64(ns))
+	i := 2*(l-7) + int((ns>>(l-2))&1)
+	if i >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return i
+}
+
+// HistUpper returns bucket i's exclusive upper bound in nanoseconds:
+// bucket i holds durations in [HistUpper(i-1), HistUpper(i)). The
+// overflow bucket's bound is MaxInt64.
+func HistUpper(i int) int64 {
+	if i >= HistBuckets-1 {
+		return math.MaxInt64
+	}
+	l := 7 + i/2
+	return int64(1)<<(l-1) + int64(i%2+1)<<(l-2)
+}
+
+// Hist is a plain (non-concurrent) histogram value: the snapshot form of
+// LatHist and the accumulator the harness threads through worker
+// goroutines. The zero value is an empty histogram. It supports exact
+// merge and subtraction, which is what makes per-window latency deltas
+// (MetricsSnapshot.Sub) possible without resetting the recorder.
+type Hist struct {
+	Counts [HistBuckets]uint64
+	Count  uint64
+	Sum    int64 // total nanoseconds
+}
+
+// Record folds one duration of ns nanoseconds into the histogram.
+func (h *Hist) Record(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.Counts[HistBucket(ns)]++
+	h.Count++
+	h.Sum += ns
+}
+
+// Merge accumulates o into h.
+func (h *Hist) Merge(o Hist) {
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+}
+
+// Sub returns the histogram of samples recorded after prev was taken,
+// assuming prev is an earlier snapshot of the same recorder.
+func (h Hist) Sub(prev Hist) Hist {
+	out := h
+	for i := range out.Counts {
+		out.Counts[i] -= prev.Counts[i]
+	}
+	out.Count -= prev.Count
+	out.Sum -= prev.Sum
+	return out
+}
+
+// Quantile returns the p'th quantile (p in [0, 1]) in nanoseconds: the
+// upper bound of the bucket holding the rank-⌈p·Count⌉ sample, so the
+// true quantile is overestimated by at most half an octave. The overflow
+// bucket reports its lower bound. An empty histogram returns 0.
+func (h Hist) Quantile(p float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			if i == HistBuckets-1 {
+				return HistUpper(HistBuckets - 2) // overflow: report its lower bound
+			}
+			return HistUpper(i)
+		}
+	}
+	return HistUpper(HistBuckets - 2)
+}
+
+// Mean returns the mean recorded duration in nanoseconds, 0 when empty.
+func (h Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// latHistStripes stripes the concurrent recorder by goroutine hash so
+// concurrent Records do not bounce one counter line. Power of two; 8
+// stripes suffice because recording is already sampled (the latency
+// sampler typically passes 1/64 of operations through).
+const latHistStripes = 8
+
+// latHistStripe is one stripe of a LatHist. The bucket array spans
+// several cache lines of its own, so stripes only need the count/sum
+// header kept apart; the trailing pad covers the header spill.
+type latHistStripe struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	buckets [HistBuckets]atomic.Uint64
+	_       [40]byte
+}
+
+// LatHist is a lock-free concurrent histogram: HistBuckets log buckets
+// striped by goroutine hash. Record never blocks and never allocates;
+// Snapshot sums the stripes into a Hist value. The zero value is ready
+// to use.
+type LatHist struct {
+	stripes [latHistStripes]latHistStripe
+}
+
+// Record folds one duration of ns nanoseconds into the histogram.
+func (h *LatHist) Record(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	s := &h.stripes[gid.Hash()&(latHistStripes-1)]
+	s.count.Add(1)
+	s.sum.Add(ns)
+	s.buckets[HistBucket(ns)].Add(1)
+}
+
+// Snapshot sums the stripes. Safe concurrently with Record; like the
+// metric counters, the result is a monotone point-in-time view in which
+// a racing Record may be partially visible (its count but not yet its
+// bucket, or vice versa).
+func (h *LatHist) Snapshot() Hist {
+	var out Hist
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		out.Count += s.count.Load()
+		out.Sum += s.sum.Load()
+		for b := range s.buckets {
+			out.Counts[b] += s.buckets[b].Load()
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// TestHistBucketBoundaries pins the bucket layout: exact indices at and
+// around every documented boundary.
+func TestHistBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {63, 0}, {64, 0}, {95, 0},
+		{96, 1}, {127, 1},
+		{128, 2}, {191, 2}, {192, 3}, {255, 3},
+		{256, 4},
+		{1000, 7},     // ~1µs: l=10, sub=1
+		{1024, 8},     // l=11, sub=0
+		{1 << 20, 28}, // ~1ms
+		{1<<34 - 1, 55},
+		{1 << 34, 56}, // overflow
+		{math.MaxInt64, 56},
+	}
+	for _, c := range cases {
+		if got := HistBucket(c.ns); got != c.want {
+			t.Errorf("HistBucket(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	if got := HistUpper(0); got != 96 {
+		t.Errorf("HistUpper(0) = %d, want 96", got)
+	}
+	if got := HistUpper(1); got != 128 {
+		t.Errorf("HistUpper(1) = %d, want 128", got)
+	}
+	if got := HistUpper(HistBuckets - 1); got != math.MaxInt64 {
+		t.Errorf("HistUpper(last) = %d, want MaxInt64", got)
+	}
+}
+
+// TestHistLayoutConsistent checks, exhaustively over bucket indices and
+// probes inside each bucket, that HistBucket and HistUpper agree: every
+// bucket's range is [HistUpper(i-1), HistUpper(i)) and bounds are
+// strictly increasing.
+func TestHistLayoutConsistent(t *testing.T) {
+	lower := int64(0)
+	for i := 0; i < HistBuckets; i++ {
+		upper := HistUpper(i)
+		if upper <= lower && i > 0 {
+			t.Fatalf("HistUpper not strictly increasing at %d: %d <= %d", i, upper, lower)
+		}
+		if got := HistBucket(lower); got != i {
+			t.Errorf("HistBucket(lower=%d) = %d, want %d", lower, got, i)
+		}
+		if i < HistBuckets-1 {
+			if got := HistBucket(upper - 1); got != i {
+				t.Errorf("HistBucket(upper-1=%d) = %d, want %d", upper-1, got, i)
+			}
+		}
+		lower = upper
+	}
+}
+
+// TestHistQuantileMonotone is the quantile property test: for random
+// histograms, Quantile is monotone in p, bounded by the recorded range's
+// bucket bounds, and p=1 hits the max sample's bucket.
+func TestHistQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 50; trial++ {
+		var h Hist
+		n := 1 + rng.IntN(2000)
+		maxNs := int64(0)
+		for i := 0; i < n; i++ {
+			ns := int64(rng.Uint64() >> (rng.IntN(40) + 20)) // spread across octaves
+			if ns > maxNs {
+				maxNs = ns
+			}
+			h.Record(ns)
+		}
+		prev := int64(-1)
+		for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+			q := h.Quantile(p)
+			if q < prev {
+				t.Fatalf("trial %d: Quantile(%v) = %d < previous %d", trial, p, q, prev)
+			}
+			prev = q
+		}
+		if q := h.Quantile(1); q < maxNs && HistBucket(q) < HistBucket(maxNs) {
+			t.Fatalf("trial %d: Quantile(1) = %d below max sample %d's bucket", trial, q, maxNs)
+		}
+	}
+	var empty Hist
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty Quantile = %d, want 0", q)
+	}
+}
+
+// TestLatHistConcurrentMerge records concurrently into one LatHist and
+// sequentially into per-goroutine Hist values, then checks the striped
+// snapshot equals the merge of the sequential ones — the concurrent
+// recorder loses nothing and buckets identically. Run under -race this
+// is also the recorder's data-race test.
+func TestLatHistConcurrentMerge(t *testing.T) {
+	const workers = 8
+	const perWorker = 10000
+	var lh LatHist
+	seq := make([]Hist, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 42))
+			for i := 0; i < perWorker; i++ {
+				ns := int64(rng.Uint64() >> 34)
+				lh.Record(ns)
+				seq[w].Record(ns)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var want Hist
+	for w := range seq {
+		want.Merge(seq[w])
+	}
+	got := lh.Snapshot()
+	if got != want {
+		t.Fatalf("concurrent snapshot != sequential merge:\n got %+v\nwant %+v", got, want)
+	}
+	// Sub of a later snapshot against an earlier one isolates the delta.
+	lh.Record(100)
+	delta := lh.Snapshot().Sub(got)
+	if delta.Count != 1 || delta.Counts[HistBucket(100)] != 1 || delta.Sum != 100 {
+		t.Fatalf("Sub delta = %+v, want single 100ns sample", delta)
+	}
+}
+
+// TestHistRecordAllocs pins that value-form recording does not allocate.
+func TestHistRecordAllocs(t *testing.T) {
+	var h Hist
+	if n := testing.AllocsPerRun(1000, func() { h.Record(512) }); n != 0 {
+		t.Fatalf("Hist.Record allocates %v objects/op, want 0", n)
+	}
+	var lh LatHist
+	if n := testing.AllocsPerRun(1000, func() { lh.Record(512) }); n != 0 {
+		t.Fatalf("LatHist.Record allocates %v objects/op, want 0", n)
+	}
+}

@@ -22,6 +22,7 @@ import (
 type Map[V any] struct {
 	c *core.SkipTrie[V]
 	m *Metrics
+	h *TraceHooks
 }
 
 // NewMap returns an empty ordered map. It accepts any MapOption (the
@@ -33,15 +34,19 @@ func NewMap[V any](opts ...MapOption) (*Map[V], error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Map[V]{
-		c: core.New[V](core.Config{
-			Width:       o.width,
-			DisableDCSS: o.disableDCSS,
-			Repair:      o.repair,
-			Seed:        o.seed,
-		}),
-		m: o.metrics,
-	}, nil
+	c := core.New[V](core.Config{
+		Width:       o.width,
+		DisableDCSS: o.disableDCSS,
+		Repair:      o.repair,
+		Seed:        o.seed,
+		Trace:       o.hooks.internalTrace(),
+	})
+	attachGauges(o.metrics, c, func(c *core.SkipTrie[V]) gaugeSample {
+		live, retained, segs, oldest := c.PinStats()
+		return gaugeSample{livePins: live, oldestPinAge: oldest,
+			retainedNodes: retained, journalSegments: segs}
+	})
+	return &Map[V]{c: c, m: o.metrics, h: o.hooks}, nil
 }
 
 // MustNewMap is NewMap, panicking on error — for static configurations
@@ -65,16 +70,20 @@ func (m *Map[V]) op() *stats.Op {
 // existing key's value happens in place, without allocation. Keys outside
 // the universe [0, 2^W) are rejected: nothing is stored.
 func (m *Map[V]) Store(key uint64, val V) {
+	t := m.m.latStart()
 	c := m.op()
 	m.c.Store(key, val, c)
 	m.m.record(OpInsert, c)
+	m.m.recordLatency(OpInsert, t)
 }
 
 // Load returns the value stored under key.
 func (m *Map[V]) Load(key uint64) (V, bool) {
+	t := m.m.latStart()
 	c := m.op()
 	v, ok := m.c.Find(key, c)
 	m.m.record(OpContains, c)
+	m.m.recordLatency(OpContains, t)
 	return v, ok
 }
 
@@ -83,49 +92,61 @@ func (m *Map[V]) Load(key uint64) (V, bool) {
 // outside the universe [0, 2^W) are rejected: nothing is stored and the
 // result is (val, false) even though no later Load will find it.
 func (m *Map[V]) LoadOrStore(key uint64, val V) (actual V, loaded bool) {
+	t := m.m.latStart()
 	c := m.op()
 	actual, loaded = m.c.LoadOrStore(key, val, c)
 	m.m.record(OpInsert, c)
+	m.m.recordLatency(OpInsert, t)
 	return actual, loaded
 }
 
 // Delete removes key and reports whether this call removed it.
 func (m *Map[V]) Delete(key uint64) bool {
+	t := m.m.latStart()
 	c := m.op()
 	ok := m.c.Delete(key, c)
 	m.m.record(OpDelete, c)
+	m.m.recordLatency(OpDelete, t)
 	return ok
 }
 
 // Predecessor returns the largest key <= x and its value.
 func (m *Map[V]) Predecessor(x uint64) (uint64, V, bool) {
+	t := m.m.latStart()
 	c := m.op()
 	k, v, ok := m.c.Predecessor(x, c)
 	m.m.record(OpPredecessor, c)
+	m.m.recordLatency(OpPredecessor, t)
 	return k, v, ok
 }
 
 // Successor returns the smallest key >= x and its value.
 func (m *Map[V]) Successor(x uint64) (uint64, V, bool) {
+	t := m.m.latStart()
 	c := m.op()
 	k, v, ok := m.c.Successor(x, c)
 	m.m.record(OpSuccessor, c)
+	m.m.recordLatency(OpSuccessor, t)
 	return k, v, ok
 }
 
 // StrictPredecessor returns the largest key < x and its value.
 func (m *Map[V]) StrictPredecessor(x uint64) (uint64, V, bool) {
+	t := m.m.latStart()
 	c := m.op()
 	k, v, ok := m.c.StrictPredecessor(x, c)
 	m.m.record(OpPredecessor, c)
+	m.m.recordLatency(OpPredecessor, t)
 	return k, v, ok
 }
 
 // StrictSuccessor returns the smallest key > x and its value.
 func (m *Map[V]) StrictSuccessor(x uint64) (uint64, V, bool) {
+	t := m.m.latStart()
 	c := m.op()
 	k, v, ok := m.c.StrictSuccessor(x, c)
 	m.m.record(OpSuccessor, c)
+	m.m.recordLatency(OpSuccessor, t)
 	return k, v, ok
 }
 

@@ -75,16 +75,16 @@ func TestMetricsAttribution(t *testing.T) {
 func TestMetricsReshardCounters(t *testing.T) {
 	// Nil receiver paths must not panic (Sharded without WithMetrics).
 	var nilM *Metrics
-	nilM.recordReshard(true, 5, time.Millisecond)
+	nilM.recordReshard(true, 5, time.Millisecond, 0, 0)
 	nilM.setSkew(2.0)
 	if sn := nilM.Snapshot(); sn.Reshard.Splits != 0 {
 		t.Fatalf("nil metrics snapshot = %+v", sn.Reshard)
 	}
 
 	var m Metrics
-	m.recordReshard(true, 10, 2*time.Millisecond)
-	m.recordReshard(true, 20, 3*time.Millisecond)
-	m.recordReshard(false, 30, 5*time.Millisecond)
+	m.recordReshard(true, 10, 2*time.Millisecond, time.Millisecond, time.Millisecond)
+	m.recordReshard(true, 20, 3*time.Millisecond, 2*time.Millisecond, time.Millisecond)
+	m.recordReshard(false, 30, 5*time.Millisecond, 3*time.Millisecond, 2*time.Millisecond)
 	m.setSkew(1.75)
 	sn := m.Snapshot()
 	r := sn.Reshard

@@ -43,7 +43,25 @@ type options struct {
 	repair       skiplist.RepairMode
 	seed         uint64
 	metrics      *Metrics
-	err          error // first validation failure, surfaced by the constructor
+	latRate      float64     // WithLatencySampling rate; 0 = off
+	hooks        *TraceHooks // WithTraceHooks sink; nil = off
+	err          error       // first validation failure, surfaced by the constructor
+}
+
+// finish runs the cross-option validations that need the full option
+// set, then arms the latency sampler. Every build*Options funnels
+// through it.
+func (o *options) finish() error {
+	if o.err == nil && o.latRate != 0 && o.metrics == nil {
+		o.fail("WithLatencySampling requires WithMetrics")
+	}
+	if o.err != nil {
+		return o.err
+	}
+	if o.latRate != 0 {
+		o.metrics.enableLatency(o.latRate)
+	}
+	return nil
 }
 
 // fail records the first option validation failure.
@@ -140,6 +158,40 @@ func WithMetrics(m *Metrics) Option {
 	return option(func(o *options) { o.metrics = m })
 }
 
+// WithLatencySampling records sampled per-operation latencies into the
+// attached Metrics collector's histograms (MetricsSnapshot.Latency).
+// rate is the sampling probability in (0, 1]: each operation draws from
+// a striped per-goroutine generator and is timed with probability rate.
+// Unsampled operations pay one atomic load and one generator step —
+// no timestamp, no allocation — so a rate around 1/64 keeps the
+// metered hot path within a few percent of its unsampled cost while
+// still resolving tail percentiles on any sustained workload.
+//
+// Requires WithMetrics on the same constructor call; rates outside
+// (0, 1] fail construction with ErrInvalidOption. Structures sharing
+// one Metrics collector share its histograms; the first sampling rate
+// armed on a collector wins and later rates are ignored.
+func WithLatencySampling(rate float64) Option {
+	return option(func(o *options) {
+		if !(rate > 0 && rate <= 1) { // != NaN-safe: rejects NaN too
+			o.fail("latency sampling rate %v outside (0, 1]", rate)
+			return
+		}
+		o.latRate = rate
+	})
+}
+
+// WithTraceHooks attaches lifecycle trace callbacks (see TraceHooks for
+// the event catalog and the callback contract). Hooks observe
+// maintenance paths — migrations, epoch pins, sweeps, journal
+// truncation, watch windows, dump progress — not per-operation reads
+// and writes, so enabling them does not perturb point-op latency.
+// Enabling hooks also tags the structure's background goroutines with
+// pprof labels and wraps reshard migrations in runtime/trace regions.
+func WithTraceHooks(h TraceHooks) Option {
+	return option(func(o *options) { o.hooks = &h })
+}
+
 // WithShards sets the initial shard count for NewSharded. The count is
 // rounded up to a power of two and clamped so every shard keeps at
 // least a 1-bit sub-universe; the default (0) is GOMAXPROCS rounded up
@@ -195,7 +247,7 @@ func buildSetOptions(opts []SetOption) (options, error) {
 	for _, fn := range opts {
 		fn.applySet(&o)
 	}
-	return o, o.err
+	return o, o.finish()
 }
 
 func buildMapOptions(opts []MapOption) (options, error) {
@@ -203,7 +255,7 @@ func buildMapOptions(opts []MapOption) (options, error) {
 	for _, fn := range opts {
 		fn.applyMap(&o)
 	}
-	return o, o.err
+	return o, o.finish()
 }
 
 func buildShardedOptions(opts []ShardedOption) (options, error) {
@@ -211,5 +263,5 @@ func buildShardedOptions(opts []ShardedOption) (options, error) {
 	for _, fn := range opts {
 		fn.applySharded(&o)
 	}
-	return o, o.err
+	return o, o.finish()
 }

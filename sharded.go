@@ -1,6 +1,8 @@
 package skiptrie
 
 import (
+	"context"
+	rtrace "runtime/trace"
 	"sync"
 
 	"skiptrie/internal/reshard"
@@ -44,6 +46,7 @@ import (
 type Sharded[V any] struct {
 	t         *shard.Trie[V]
 	m         *Metrics
+	h         *TraceHooks
 	bal       *reshard.Balancer
 	closeOnce sync.Once
 }
@@ -67,9 +70,16 @@ func NewSharded[V any](opts ...ShardedOption) (*Sharded[V], error) {
 			DisableDCSS: o.disableDCSS,
 			Repair:      o.repair,
 			Seed:        o.seed,
+			Trace:       o.hooks.internalTrace(),
 		}),
 		m: o.metrics,
+		h: o.hooks,
 	}
+	attachGauges(o.metrics, s.t, func(t *shard.Trie[V]) gaugeSample {
+		live, retained, segs, oldest := t.PinStats()
+		return gaugeSample{livePins: live, oldestPinAge: oldest,
+			retainedNodes: retained, journalSegments: segs}
+	})
 	if o.autoReshard {
 		s.bal = reshard.New(shardedTarget[V]{s}, reshard.Policy{
 			Interval: o.reshardEvery,
@@ -121,9 +131,12 @@ func (a shardedTarget[V]) Merge(lo uint64) error { return a.s.Merge(lo) }
 // WithAutoReshard instead; Split exists for tests and for callers with
 // out-of-band knowledge of incoming load.
 func (s *Sharded[V]) Split(key uint64) error {
+	if s.h != nil {
+		defer rtrace.StartRegion(context.Background(), "skiptrie.Split").End()
+	}
 	ms, err := s.t.Split(key)
 	if err == nil {
-		s.m.recordReshard(true, ms.Moved+ms.Dirty, ms.Duration)
+		s.m.recordReshard(true, ms.Moved+ms.Dirty, ms.Duration, ms.WarmCopy, ms.Resync)
 	}
 	return err
 }
@@ -133,9 +146,12 @@ func (s *Sharded[V]) Split(key uint64) error {
 // keys online with the same guarantees as Split. It fails on a
 // single-shard map and when the buddy has been split finer.
 func (s *Sharded[V]) Merge(key uint64) error {
+	if s.h != nil {
+		defer rtrace.StartRegion(context.Background(), "skiptrie.Merge").End()
+	}
 	ms, err := s.t.Merge(key)
 	if err == nil {
-		s.m.recordReshard(false, ms.Moved+ms.Dirty, ms.Duration)
+		s.m.recordReshard(false, ms.Moved+ms.Dirty, ms.Duration, ms.WarmCopy, ms.Resync)
 	}
 	return err
 }
@@ -178,16 +194,20 @@ func (s *Sharded[V]) ShardLens() []int { return s.t.ShardLens() }
 // Store sets the value for key, inserting it if absent. Keys outside
 // the universe [0, 2^W) are rejected: nothing is stored.
 func (s *Sharded[V]) Store(key uint64, val V) {
+	t := s.m.latStart()
 	c := s.op()
 	s.t.Store(key, val, c)
 	s.m.record(OpInsert, c)
+	s.m.recordLatency(OpInsert, t)
 }
 
 // Load returns the value stored under key.
 func (s *Sharded[V]) Load(key uint64) (V, bool) {
+	t := s.m.latStart()
 	c := s.op()
 	v, ok := s.t.Find(key, c)
 	s.m.record(OpContains, c)
+	s.m.recordLatency(OpContains, t)
 	return v, ok
 }
 
@@ -195,49 +215,61 @@ func (s *Sharded[V]) Load(key uint64) (V, bool) {
 // it stores val. The loaded result reports whether the value was
 // loaded. Keys outside the universe are rejected, as in Map.
 func (s *Sharded[V]) LoadOrStore(key uint64, val V) (actual V, loaded bool) {
+	t := s.m.latStart()
 	c := s.op()
 	actual, loaded = s.t.LoadOrStore(key, val, c)
 	s.m.record(OpInsert, c)
+	s.m.recordLatency(OpInsert, t)
 	return actual, loaded
 }
 
 // Delete removes key and reports whether this call removed it.
 func (s *Sharded[V]) Delete(key uint64) bool {
+	t := s.m.latStart()
 	c := s.op()
 	ok := s.t.Delete(key, c)
 	s.m.record(OpDelete, c)
+	s.m.recordLatency(OpDelete, t)
 	return ok
 }
 
 // Predecessor returns the largest key <= x and its value.
 func (s *Sharded[V]) Predecessor(x uint64) (uint64, V, bool) {
+	t := s.m.latStart()
 	c := s.op()
 	k, v, ok := s.t.Predecessor(x, c)
 	s.m.record(OpPredecessor, c)
+	s.m.recordLatency(OpPredecessor, t)
 	return k, v, ok
 }
 
 // Successor returns the smallest key >= x and its value.
 func (s *Sharded[V]) Successor(x uint64) (uint64, V, bool) {
+	t := s.m.latStart()
 	c := s.op()
 	k, v, ok := s.t.Successor(x, c)
 	s.m.record(OpSuccessor, c)
+	s.m.recordLatency(OpSuccessor, t)
 	return k, v, ok
 }
 
 // StrictPredecessor returns the largest key < x and its value.
 func (s *Sharded[V]) StrictPredecessor(x uint64) (uint64, V, bool) {
+	t := s.m.latStart()
 	c := s.op()
 	k, v, ok := s.t.StrictPredecessor(x, c)
 	s.m.record(OpPredecessor, c)
+	s.m.recordLatency(OpPredecessor, t)
 	return k, v, ok
 }
 
 // StrictSuccessor returns the smallest key > x and its value.
 func (s *Sharded[V]) StrictSuccessor(x uint64) (uint64, V, bool) {
+	t := s.m.latStart()
 	c := s.op()
 	k, v, ok := s.t.StrictSuccessor(x, c)
 	s.m.record(OpSuccessor, c)
+	s.m.recordLatency(OpSuccessor, t)
 	return k, v, ok
 }
 

@@ -36,6 +36,7 @@ import (
 type SkipTrie struct {
 	c *core.SkipTrie[struct{}]
 	m *Metrics
+	h *TraceHooks
 }
 
 // New returns an empty SkipTrie. It accepts any SetOption (the shared
@@ -47,15 +48,19 @@ func New(opts ...SetOption) (*SkipTrie, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &SkipTrie{
-		c: core.NewSet(core.Config{
-			Width:       o.width,
-			DisableDCSS: o.disableDCSS,
-			Repair:      o.repair,
-			Seed:        o.seed,
-		}),
-		m: o.metrics,
-	}, nil
+	c := core.NewSet(core.Config{
+		Width:       o.width,
+		DisableDCSS: o.disableDCSS,
+		Repair:      o.repair,
+		Seed:        o.seed,
+		Trace:       o.hooks.internalTrace(),
+	})
+	attachGauges(o.metrics, c, func(c *core.SkipTrie[struct{}]) gaugeSample {
+		live, retained, segs, oldest := c.PinStats()
+		return gaugeSample{livePins: live, oldestPinAge: oldest,
+			retainedNodes: retained, journalSegments: segs}
+	})
+	return &SkipTrie{c: c, m: o.metrics, h: o.hooks}, nil
 }
 
 // MustNew is New, panicking on error — for static configurations known
@@ -79,58 +84,72 @@ func (s *SkipTrie) op() *stats.Op {
 // Insert adds key to the set and reports whether it was absent. Keys
 // outside the universe are rejected (returns false).
 func (s *SkipTrie) Insert(key uint64) bool {
+	t := s.m.latStart()
 	c := s.op()
 	ok := s.c.Add(key, c)
 	s.m.record(OpInsert, c)
+	s.m.recordLatency(OpInsert, t)
 	return ok
 }
 
 // Delete removes key from the set and reports whether this call removed
 // it.
 func (s *SkipTrie) Delete(key uint64) bool {
+	t := s.m.latStart()
 	c := s.op()
 	ok := s.c.Delete(key, c)
 	s.m.record(OpDelete, c)
+	s.m.recordLatency(OpDelete, t)
 	return ok
 }
 
 // Contains reports whether key is in the set.
 func (s *SkipTrie) Contains(key uint64) bool {
+	t := s.m.latStart()
 	c := s.op()
 	ok := s.c.Contains(key, c)
 	s.m.record(OpContains, c)
+	s.m.recordLatency(OpContains, t)
 	return ok
 }
 
 // Predecessor returns the largest key <= x.
 func (s *SkipTrie) Predecessor(x uint64) (uint64, bool) {
+	t := s.m.latStart()
 	c := s.op()
 	k, _, ok := s.c.Predecessor(x, c)
 	s.m.record(OpPredecessor, c)
+	s.m.recordLatency(OpPredecessor, t)
 	return k, ok
 }
 
 // StrictPredecessor returns the largest key < x.
 func (s *SkipTrie) StrictPredecessor(x uint64) (uint64, bool) {
+	t := s.m.latStart()
 	c := s.op()
 	k, _, ok := s.c.StrictPredecessor(x, c)
 	s.m.record(OpPredecessor, c)
+	s.m.recordLatency(OpPredecessor, t)
 	return k, ok
 }
 
 // Successor returns the smallest key >= x.
 func (s *SkipTrie) Successor(x uint64) (uint64, bool) {
+	t := s.m.latStart()
 	c := s.op()
 	k, _, ok := s.c.Successor(x, c)
 	s.m.record(OpSuccessor, c)
+	s.m.recordLatency(OpSuccessor, t)
 	return k, ok
 }
 
 // StrictSuccessor returns the smallest key > x.
 func (s *SkipTrie) StrictSuccessor(x uint64) (uint64, bool) {
+	t := s.m.latStart()
 	c := s.op()
 	k, _, ok := s.c.StrictSuccessor(x, c)
 	s.m.record(OpSuccessor, c)
+	s.m.recordLatency(OpSuccessor, t)
 	return k, ok
 }
 

@@ -59,6 +59,7 @@ type snapSource[V any] interface {
 type Snapshot[V any] struct {
 	src     snapSource[V]
 	m       *Metrics
+	h       *TraceHooks
 	cleanup runtime.Cleanup
 }
 
@@ -68,8 +69,8 @@ type Snapshot[V any] struct {
 // forever) and counts the leak in Metrics.LeakedPins. The cleanup's
 // argument deliberately holds the source, not the handle — a cleanup
 // argument must not keep its own pointer alive.
-func newSnapshot[V any](src snapSource[V], m *Metrics) *Snapshot[V] {
-	sn := &Snapshot[V]{src: src, m: m}
+func newSnapshot[V any](src snapSource[V], m *Metrics, h *TraceHooks) *Snapshot[V] {
+	sn := &Snapshot[V]{src: src, m: m, h: h}
 	sn.cleanup = runtime.AddCleanup(sn, func(a leakedPin[V]) {
 		if a.src.close() {
 			a.m.leakedPin()
@@ -88,7 +89,7 @@ type leakedPin[V any] struct {
 // current epoch. The pin is O(1); see Snapshot (the type) for the
 // consistency contract and Close discipline.
 func (m *Map[V]) Snapshot() *Snapshot[V] {
-	return newSnapshot[V](coreSnapSource[V]{sn: m.c.Snapshot(), m: m.m}, m.m)
+	return newSnapshot[V](coreSnapSource[V]{sn: m.c.Snapshot(), m: m.m}, m.m, m.h)
 }
 
 // Snapshot returns a point-in-time view of the sharded map: every shard
@@ -97,7 +98,7 @@ func (m *Map[V]) Snapshot() *Snapshot[V] {
 // Split and Merge: a drained shard's frozen trie is wired into the
 // handle as-is rather than copied.
 func (s *Sharded[V]) Snapshot() *Snapshot[V] {
-	return newSnapshot[V](shardSnapSource[V]{sn: s.t.Snapshot(), m: s.m}, s.m)
+	return newSnapshot[V](shardSnapSource[V]{sn: s.t.Snapshot(), m: s.m}, s.m, s.h)
 }
 
 // Load returns the value key held at the snapshot's pin point.
@@ -226,7 +227,7 @@ type SetSnapshot struct {
 // Snapshot returns a point-in-time view of the set, pinned at the
 // current epoch. The pin is O(1); see SetSnapshot for the contract.
 func (s *SkipTrie) Snapshot() *SetSnapshot {
-	return &SetSnapshot{sn: newSnapshot[struct{}](coreSnapSource[struct{}]{sn: s.c.Snapshot(), m: s.m}, s.m)}
+	return &SetSnapshot{sn: newSnapshot[struct{}](coreSnapSource[struct{}]{sn: s.c.Snapshot(), m: s.m}, s.m, s.h)}
 }
 
 // Contains reports whether key was in the set at the pin point.

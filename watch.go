@@ -1,8 +1,10 @@
 package skiptrie
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"slices"
 	"sync"
 	"time"
@@ -94,6 +96,7 @@ type Watcher[V any] struct {
 type watcherState[V any] struct {
 	take func() *Snapshot[V]
 	m    *Metrics
+	h    *TraceHooks
 	ch   chan []DiffEvent[V]
 	stop chan struct{} // nil in manual mode
 	done chan struct{}
@@ -107,17 +110,17 @@ type watcherState[V any] struct {
 // Watch subscribes to the map's changes. See Watcher for the delivery
 // and backpressure contract.
 func (m *Map[V]) Watch(opts ...WatchOption) (*Watcher[V], error) {
-	return newWatcher(m.Snapshot, m.m, opts)
+	return newWatcher(m.Snapshot, m.m, m.h, opts)
 }
 
 // Watch subscribes to the sharded map's changes, across concurrent
 // Split and Merge. See Watcher for the delivery and backpressure
 // contract.
 func (s *Sharded[V]) Watch(opts ...WatchOption) (*Watcher[V], error) {
-	return newWatcher(s.Snapshot, s.m, opts)
+	return newWatcher(s.Snapshot, s.m, s.h, opts)
 }
 
-func newWatcher[V any](take func() *Snapshot[V], m *Metrics, opts []WatchOption) (*Watcher[V], error) {
+func newWatcher[V any](take func() *Snapshot[V], m *Metrics, h *TraceHooks, opts []WatchOption) (*Watcher[V], error) {
 	c := watchConfig{interval: defaultWatchInterval, buffer: defaultWatchBuffer}
 	for _, fn := range opts {
 		fn(&c)
@@ -128,13 +131,22 @@ func newWatcher[V any](take func() *Snapshot[V], m *Metrics, opts []WatchOption)
 	st := &watcherState[V]{
 		take: take,
 		m:    m,
+		h:    h,
 		ch:   make(chan []DiffEvent[V], c.buffer),
 		done: make(chan struct{}),
 		cur:  take(),
 	}
 	if c.interval > 0 {
 		st.stop = make(chan struct{})
-		go st.run(c.interval)
+		if h != nil {
+			// Label the ticker goroutine so it is attributable in CPU
+			// and goroutine profiles when tracing is on.
+			go pprof.Do(context.Background(), pprof.Labels("skiptrie", "watcher"), func(context.Context) {
+				st.run(c.interval)
+			})
+		} else {
+			go st.run(c.interval)
+		}
 	} else {
 		close(st.done)
 	}
@@ -182,6 +194,7 @@ func (st *watcherState[V]) window() ([]DiffEvent[V], error) {
 	}
 	st.cur.Close()
 	st.cur = next
+	st.h.emitWatch("cut", len(batch))
 	if len(st.held) > 0 {
 		for _, e := range batch {
 			st.held[e.Key] = e // this window is newer: it wins per key
@@ -228,9 +241,11 @@ func (st *watcherState[V]) tick() {
 	select {
 	case st.ch <- batch:
 		st.m.recordWatch(uint64(len(batch)), false)
+		st.h.emitWatch("deliver", len(batch))
 	default:
 		st.defer_(batch)
-		st.m.recordWatch(0, true)
+		st.m.recordWatch(uint64(len(batch)), true)
+		st.h.emitWatch("lag", len(batch))
 	}
 }
 
@@ -271,6 +286,7 @@ func (w *Watcher[V]) Poll() ([]DiffEvent[V], error) {
 		return nil, err
 	}
 	w.st.m.recordWatch(uint64(len(batch)), false)
+	w.st.h.emitWatch("deliver", len(batch))
 	return batch, nil
 }
 
