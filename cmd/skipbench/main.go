@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	skipbench [-exp all|t1|t2|t3|t4|t5|t6|f1|t7|t8|s1|s2|s3] [-m 16384]
+//	skipbench [-exp all|t1|t2|t3|t4|t5|t6|f1|t7|t8|s1|s2|s3|s4] [-m 16384]
 //	          [-queries 20000] [-dur 150ms] [-threads 1,2,4,8]
 //	          [-shards 1,2,4,8,16]
 //
@@ -30,7 +30,7 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: all, t1..t8, f1, s1, s2, s3 (comma-separated ok)")
+		exp     = flag.String("exp", "all", "experiment id: all, t1..t8, f1, s1, s2, s3, s4 (comma-separated ok)")
 		m       = flag.Int("m", 1<<14, "resident keys")
 		queries = flag.Int("queries", 20000, "sequential measured queries")
 		dur     = flag.Duration("dur", 150*time.Millisecond, "duration per concurrent cell")
@@ -67,8 +67,9 @@ func run() int {
 		"s1": harness.S1ShardedScaling,
 		"s2": harness.S2HotRangeResharding,
 		"s3": s3PinPressure,
+		"s4": s4ConnectionScale,
 	}
-	order := []string{"t1", "t2", "t3", "t4", "t5", "t6", "f1", "t7", "t8", "s1", "s2", "s3"}
+	order := []string{"t1", "t2", "t3", "t4", "t5", "t6", "f1", "t7", "t8", "s1", "s2", "s3", "s4"}
 
 	var ids []string
 	if *exp == "all" {

@@ -1,0 +1,186 @@
+// Command skipload drives a skiptried server at connection scale: N
+// concurrent connections, each pipelining a MovingZipf mixed workload,
+// with client-side latency histograms. It exits nonzero if any
+// protocol error (ERR status, seq mismatch, decode failure) occurs —
+// the e2e CI lane's pass/fail signal. BUSY and SHUTDOWN rejections are
+// counted but are not errors: they are the protocol's backpressure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skiptrie/internal/stats"
+	"skiptrie/internal/wire"
+	"skiptrie/internal/workload"
+)
+
+type counters struct {
+	ops      atomic.Uint64 // responses with OK/NotFound status
+	busy     atomic.Uint64
+	shutdown atomic.Uint64
+	errs     atomic.Uint64 // protocol errors
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7171", "server address")
+		nsName   = flag.String("ns", "load", "namespace")
+		conns    = flag.Int("conns", 64, "concurrent connections")
+		dur      = flag.Duration("dur", 5*time.Second, "run duration")
+		pipeline = flag.Int("pipeline", 16, "pipeline window per connection")
+		setPct   = flag.Int("set", 40, "SET percent of the mix")
+		delPct   = flag.Int("del", 10, "DEL percent of the mix")
+		getPct   = flag.Int("get", 45, "GET percent of the mix (remainder is SCAN)")
+		snapEv   = flag.Int("snapscan-every", 64, "issue one SNAPSHOT-SCAN every N windows per connection (0 disables)")
+		width    = flag.Uint("width", 24, "key universe width in bits")
+		valMin   = flag.Int("val-min", 16, "min value size")
+		valMax   = flag.Int("val-max", 128, "max value size")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		statsOut = flag.String("stats-out", "", "write the server's final STATS exposition to this file")
+	)
+	flag.Parse()
+
+	mix := workload.Mix{InsertPct: *setPct, DeletePct: *delPct, ContainsPct: *getPct}
+	gen := workload.NewMovingZipf(uint8(*width), 1<<(*width-4), 1<<20, 1.1)
+	sizer := workload.ValSizer{Min: *valMin, Max: *valMax}
+	ns := []byte(*nsName)
+
+	var ctr counters
+	var mu sync.Mutex
+	var lat stats.Hist
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	log.Printf("skipload: %d conns, pipeline %d, %s + scan, %s against %s",
+		*conns, *pipeline, mix, *dur, *addr)
+	start := time.Now()
+	for i := 0; i < *conns; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(id)))
+			c, err := wire.Dial(*addr, 10*time.Second)
+			if err != nil {
+				log.Printf("skipload: conn %d: dial: %v", id, err)
+				ctr.errs.Add(1)
+				return
+			}
+			defer c.Close()
+			local := runConn(c, rng, ns, gen, mix, sizer, *pipeline, *snapEv, &ctr, stop)
+			mu.Lock()
+			lat.Merge(*local)
+			mu.Unlock()
+		}(i)
+	}
+	time.AfterFunc(*dur, func() { close(stop) })
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ops := ctr.ops.Load()
+	fmt.Printf("skipload: %d ops in %s (%.1f kop/s) busy=%d shutdown=%d errors=%d\n",
+		ops, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds()/1e3,
+		ctr.busy.Load(), ctr.shutdown.Load(), ctr.errs.Load())
+	if lat.Count > 0 {
+		fmt.Printf("skipload: client latency p50=%s p99=%s p999=%s mean=%s (%d samples)\n",
+			time.Duration(lat.Quantile(0.50)), time.Duration(lat.Quantile(0.99)),
+			time.Duration(lat.Quantile(0.999)), time.Duration(int64(lat.Mean())), lat.Count)
+	}
+
+	if *statsOut != "" {
+		if err := dumpStats(*addr, ns, *statsOut); err != nil {
+			log.Printf("skipload: stats-out: %v", err)
+			ctr.errs.Add(1)
+		}
+	}
+	if ctr.errs.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// runConn drives one connection until stop closes, returning its
+// latency histogram (per-request, flush to response).
+func runConn(c *wire.Client, rng *rand.Rand, ns []byte, gen *workload.MovingZipf,
+	mix workload.Mix, sizer workload.ValSizer, window, snapEvery int,
+	ctr *counters, stop <-chan struct{}) *stats.Hist {
+	local := &stats.Hist{}
+	val := make([]byte, sizer.Max)
+	var resp wire.Response
+	for w := 0; ; w++ {
+		select {
+		case <-stop:
+			return local
+		default:
+		}
+		sent := 0
+		for j := 0; j < window; j++ {
+			key := gen.Next(rng)
+			var req wire.Request
+			if snapEvery > 0 && j == 0 && w%snapEvery == snapEvery-1 {
+				req = wire.Request{Op: wire.OpSnapScan, NS: ns, Key: key, Limit: 64}
+			} else {
+				switch mix.Pick(rng) {
+				case workload.OpInsert:
+					v := val[:sizer.Next(rng)]
+					sizer.Fill(v, key)
+					req = wire.Request{Op: wire.OpSet, NS: ns, Key: key, Val: v}
+				case workload.OpDelete:
+					req = wire.Request{Op: wire.OpDel, NS: ns, Key: key}
+				case workload.OpContains:
+					req = wire.Request{Op: wire.OpGet, NS: ns, Key: key}
+				default:
+					req = wire.Request{Op: wire.OpScan, NS: ns, Key: key, Limit: 16}
+				}
+			}
+			req.Seq = c.NextSeq()
+			if err := c.Send(&req); err != nil {
+				ctr.errs.Add(1)
+				return local
+			}
+			sent++
+		}
+		if err := c.Flush(); err != nil {
+			ctr.errs.Add(1)
+			return local
+		}
+		t0 := time.Now()
+		for j := 0; j < sent; j++ {
+			if err := c.Recv(&resp); err != nil {
+				ctr.errs.Add(1)
+				return local
+			}
+			local.Record(int64(time.Since(t0)))
+			switch resp.Status {
+			case wire.StatusOK, wire.StatusNotFound:
+				ctr.ops.Add(1)
+			case wire.StatusBusy:
+				ctr.busy.Add(1)
+			case wire.StatusShutdown:
+				ctr.shutdown.Add(1)
+			default:
+				ctr.errs.Add(1)
+			}
+		}
+	}
+}
+
+// dumpStats fetches the namespace's STATS exposition on a fresh
+// connection and writes it to path.
+func dumpStats(addr string, ns []byte, path string) error {
+	c, err := wire.Dial(addr, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	text, err := c.Stats(ns)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, text, 0o644)
+}

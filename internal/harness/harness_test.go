@@ -172,3 +172,47 @@ func TestS2AutoReshardReducesSkew(t *testing.T) {
 		t.Fatalf("static cell skew %.2f too low — the hot range never concentrated; workload broken?", staticSkew)
 	}
 }
+
+// TestRunConcurrentLatencySamplingExact pins the 1-in-64 sampling
+// contract that S4's client/server histogram comparison leans on.
+// Workers only leave the loop at 64-op batch boundaries and merge
+// their local histogram exactly once, under the mutex, so the merged
+// histogram holds precisely Ops/64 samples — no batch is half-timed,
+// no worker's samples are merged twice. (The double-counting hazard
+// audited alongside this lives elsewhere: structures sharing one
+// Metrics collector arm a single latency sampler first-wins, so
+// summing their per-structure snapshots counts every sample once per
+// structure. RunConcurrent's per-run histograms are independent and
+// merge additively; internal/server avoids the collector hazard by
+// giving every namespace its own collector.)
+func TestRunConcurrentLatencySamplingExact(t *testing.T) {
+	run := func(seed int64) ThroughputResult {
+		s := SkipTrieSet{T: core.NewSet(core.Config{Width: 24, Seed: uint64(seed)})}
+		Prefill(s, 256, 24)
+		return RunConcurrent(s, workload.Uniform{W: 24},
+			workload.Mix{InsertPct: 30, DeletePct: 10}, 3, 30*time.Millisecond, seed)
+	}
+	r := run(7)
+	if r.Ops == 0 || r.Lat.Count == 0 {
+		t.Fatalf("empty run: ops=%d samples=%d", r.Ops, r.Lat.Count)
+	}
+	if r.Lat.Count*64 != uint64(r.Ops) {
+		t.Fatalf("sampled %d of %d ops; want exactly 1 in 64 (%d)",
+			r.Lat.Count, r.Ops, r.Ops/64)
+	}
+	var bucketSum uint64
+	for _, c := range r.Lat.Counts {
+		bucketSum += c
+	}
+	if bucketSum != r.Lat.Count {
+		t.Fatalf("bucket sum %d != count %d: merge lost or duplicated samples", bucketSum, r.Lat.Count)
+	}
+	// Independent runs merge additively — the harness never shares
+	// histograms between structures.
+	r2 := run(11)
+	merged := r.Lat
+	merged.Merge(r2.Lat)
+	if merged.Count != r.Lat.Count+r2.Lat.Count {
+		t.Fatalf("merge not additive: %d != %d + %d", merged.Count, r.Lat.Count, r2.Lat.Count)
+	}
+}

@@ -1,0 +1,471 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"skiptrie/internal/server"
+	"skiptrie/internal/testenv"
+	"skiptrie/internal/wire"
+)
+
+// start launches a server on a random loopback port and returns it
+// with its address. The server is closed when the test ends.
+func start(t *testing.T, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(cfg)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != server.ErrDraining {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+func dial(t *testing.T, addr string) *wire.Client {
+	t.Helper()
+	c, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestServerOps(t *testing.T) {
+	srv, addr := start(t, server.Config{})
+	c := dial(t, addr)
+	ns := []byte("default")
+
+	if _, ok, err := c.Get(ns, 1); err != nil || ok {
+		t.Fatalf("get missing: ok=%v err=%v", ok, err)
+	}
+	for k := uint64(10); k < 20; k++ {
+		if err := c.Set(ns, k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok, err := c.Get(ns, 13)
+	if err != nil || !ok || string(v) != "v13" {
+		t.Fatalf("get 13: %q ok=%v err=%v", v, ok, err)
+	}
+	if found, err := c.Del(ns, 13); err != nil || !found {
+		t.Fatalf("del: found=%v err=%v", found, err)
+	}
+	if found, err := c.Del(ns, 13); err != nil || found {
+		t.Fatalf("re-del: found=%v err=%v", found, err)
+	}
+
+	for _, snap := range []bool{false, true} {
+		entries, err := c.Scan(ns, 11, 4, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []uint64{11, 12, 14, 15} // 13 deleted
+		if len(entries) != len(want) {
+			t.Fatalf("scan(snap=%v) len=%d want %d", snap, len(entries), len(want))
+		}
+		for i, e := range entries {
+			if e.Key != want[i] || string(e.Val) != fmt.Sprintf("v%d", e.Key) {
+				t.Fatalf("scan(snap=%v)[%d] = %d %q", snap, i, e.Key, e.Val)
+			}
+		}
+	}
+
+	stats, err := c.Stats(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"skiptrie_ops_total", "skiptried_frames_total", "skiptried_conns_open"} {
+		if !bytes.Contains(stats, []byte(want)) {
+			t.Errorf("STATS missing %q", want)
+		}
+	}
+	if srv.Stats().ProtoErrors != 0 {
+		t.Errorf("protocol errors: %+v", srv.Stats())
+	}
+}
+
+func TestServerNamespaceIsolation(t *testing.T) {
+	srv, addr := start(t, server.Config{})
+	c := dial(t, addr)
+	if err := c.Set([]byte("a"), 1, []byte("from-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set([]byte("b"), 1, []byte("from-b")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := c.Get([]byte("a"), 1); !ok || string(v) != "from-a" {
+		t.Fatalf("ns a: %q ok=%v", v, ok)
+	}
+	if v, ok, _ := c.Get([]byte("b"), 1); !ok || string(v) != "from-b" {
+		t.Fatalf("ns b: %q ok=%v", v, ok)
+	}
+	if _, ok, _ := c.Get([]byte("c"), 1); ok {
+		t.Fatal("ns c should be empty")
+	}
+	if got := srv.Stats().Namespaces; got != 3 {
+		t.Fatalf("namespaces = %d, want 3", got)
+	}
+	if srv.NamespaceMetrics("a") == nil || srv.NamespaceMetrics("a") == srv.NamespaceMetrics("b") {
+		t.Fatal("namespaces must have distinct collectors")
+	}
+}
+
+// TestServerPipelinedBatching drives a pipelined SET burst while the
+// worker is parked on a slow scan, so the queued run coalesces into
+// StoreBatch calls.
+func TestServerPipelinedBatching(t *testing.T) {
+	srv, addr := start(t, server.Config{QueueDepth: 256, BatchMin: 4})
+	c := dial(t, addr)
+	ns := []byte("default")
+	for k := uint64(0); k < 2048; k++ {
+		if err := c.Set(ns, k, []byte("prefill")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Occupy the worker, then flush a SET burst behind it.
+	if err := c.Send(&wire.Request{Seq: c.NextSeq(), Op: wire.OpScan, NS: ns, Limit: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	const burst = 64
+	base := uint64(1 << 20)
+	for i := uint64(0); i < burst; i++ {
+		if err := c.Send(&wire.Request{Seq: c.NextSeq(), Op: wire.OpSet, NS: ns, Key: base + i, Val: []byte("burst")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	for i := 0; i < burst+1; i++ {
+		if err := c.Recv(&resp); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if resp.Status != wire.StatusOK {
+			t.Fatalf("recv %d: status %v (%s)", i, resp.Status, resp.Val)
+		}
+	}
+	for i := uint64(0); i < burst; i++ {
+		if v, ok, err := c.Get(ns, base+i); err != nil || !ok || string(v) != "burst" {
+			t.Fatalf("get %d: %q ok=%v err=%v", base+i, v, ok, err)
+		}
+	}
+	st := srv.Stats()
+	if st.SetBatches == 0 || st.BatchedSets < 4 {
+		t.Errorf("no batching observed: %+v", st)
+	}
+}
+
+// TestServerDrain pins the graceful-drain contract: requests accepted
+// before the drain switch complete with their real results, and frames
+// arriving after it get a clean SHUTDOWN status on a still-open
+// connection.
+func TestServerDrain(t *testing.T) {
+	cases := []struct {
+		name string
+		sets int // pipelined, in-flight when drain begins
+		late int // frames sent after drain
+	}{
+		{"idle", 0, 1},
+		{"pipelined", 32, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, addr := start(t, server.Config{QueueDepth: 256, DrainLinger: 3 * time.Second})
+			c := dial(t, addr)
+			ns := []byte("default")
+			for k := uint64(0); k < 2048; k++ {
+				if err := c.Set(ns, k, []byte("prefill")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			prefillFrames := srv.Stats().Frames
+
+			inFlight := 0
+			if tc.sets > 0 {
+				// Park the worker on a scan so the SETs are provably
+				// queued, not completed, when the drain flag flips.
+				if err := c.Send(&wire.Request{Seq: c.NextSeq(), Op: wire.OpScan, NS: ns, Limit: 2048}); err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < tc.sets; i++ {
+					if err := c.Send(&wire.Request{Seq: c.NextSeq(), Op: wire.OpSet, NS: ns, Key: uint64(1<<20 + i), Val: []byte("inflight")}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := c.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				inFlight = tc.sets + 1
+				want := prefillFrames + uint64(inFlight)
+				waitFor(t, "requests enqueued", func() bool { return srv.Stats().Enqueued >= want })
+			}
+
+			drained := make(chan struct{})
+			go func() { srv.Drain(); close(drained) }()
+			waitFor(t, "drain flag", srv.Draining)
+			// Draining() flips before each connection's own switch; give
+			// beginDrain a beat so late frames deterministically land
+			// after it (linger is 3s, so there is no racing deadline).
+			time.Sleep(100 * time.Millisecond)
+
+			lateSeqs := make(map[uint32]bool)
+			for i := 0; i < tc.late; i++ {
+				seq := c.NextSeq()
+				lateSeqs[seq] = true
+				if err := c.Send(&wire.Request{Seq: seq, Op: wire.OpGet, NS: ns, Key: 1}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := c.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			okResponses, shutdowns := 0, 0
+			var resp wire.Response
+			for i := 0; i < inFlight+tc.late; i++ {
+				if err := c.Recv(&resp); err != nil {
+					t.Fatalf("recv %d: %v", i, err)
+				}
+				switch {
+				case lateSeqs[resp.Seq]:
+					if resp.Status != wire.StatusShutdown {
+						t.Fatalf("late seq %d: status %v, want SHUTDOWN", resp.Seq, resp.Status)
+					}
+					shutdowns++
+				case resp.Status == wire.StatusOK:
+					okResponses++
+				default:
+					t.Fatalf("in-flight seq %d: status %v (%s)", resp.Seq, resp.Status, resp.Val)
+				}
+			}
+			if okResponses != inFlight || shutdowns != tc.late {
+				t.Fatalf("ok=%d shutdown=%d, want %d/%d", okResponses, shutdowns, inFlight, tc.late)
+			}
+			// Closing our end lets the drain complete before the linger.
+			c.Close()
+			select {
+			case <-drained:
+			case <-time.After(10 * time.Second):
+				t.Fatal("Drain did not return")
+			}
+			if got := srv.Stats().ShutdownRejects; got != uint64(tc.late) {
+				t.Errorf("shutdown rejects = %d, want %d", got, tc.late)
+			}
+			if _, err := wire.Dial(addr, 200*time.Millisecond); err == nil {
+				t.Error("dial succeeded after drain")
+			}
+		})
+	}
+}
+
+// TestServerBusyBackpressure floods a depth-1 queue behind a slow scan
+// and expects BUSY rejections instead of unbounded buffering — and a
+// connection that still works afterwards.
+func TestServerBusyBackpressure(t *testing.T) {
+	srv, addr := start(t, server.Config{QueueDepth: 1, BurstWindow: 1, BatchMin: -1})
+	c := dial(t, addr)
+	ns := []byte("default")
+	for k := uint64(0); k < 2048; k++ {
+		if err := c.Set(ns, k, []byte("prefill")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Send(&wire.Request{Seq: c.NextSeq(), Op: wire.OpScan, NS: ns, Limit: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	const flood = 16
+	for i := 0; i < flood; i++ {
+		if err := c.Send(&wire.Request{Seq: c.NextSeq(), Op: wire.OpGet, NS: ns, Key: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	busy, ok := 0, 0
+	var resp wire.Response
+	for i := 0; i < flood+1; i++ {
+		if err := c.Recv(&resp); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		switch resp.Status {
+		case wire.StatusBusy:
+			busy++
+		case wire.StatusOK, wire.StatusNotFound:
+			ok++
+		default:
+			t.Fatalf("recv %d: status %v", i, resp.Status)
+		}
+	}
+	if busy == 0 {
+		t.Fatalf("no BUSY rejections across %d flooded requests", flood)
+	}
+	if got := srv.Stats().BusyRejects; got != uint64(busy) {
+		t.Errorf("busy rejects = %d, client saw %d", got, busy)
+	}
+	// The connection survives rejection.
+	if v, okv, err := c.Get(ns, 7); err != nil || !okv || string(v) != "prefill" {
+		t.Fatalf("get after flood: %q ok=%v err=%v", v, okv, err)
+	}
+}
+
+// TestServerMalformedFrame sends garbage and expects one ERR response,
+// a closed connection, and a protocol-error count — not a panic.
+func TestServerMalformedFrame(t *testing.T) {
+	srv, addr := start(t, server.Config{})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// A framed body with an unknown opcode.
+	body := []byte{0, 0, 0, 1, 99, 0} // seq=1, op=99, nsLen=0
+	frame := binary.BigEndian.AppendUint32(nil, uint32(len(body)))
+	frame = append(frame, body...)
+	if _, err := nc.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	br := bytes.NewBuffer(nil)
+	if _, err := io.Copy(br, nc); err != nil {
+		t.Fatal(err) // server closes the conn after replying
+	}
+	bodyOut, err := wire.ReadFrame(bytes.NewReader(br.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := wire.DecodeResponse(bodyOut, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusErr {
+		t.Fatalf("status %v, want ERR", resp.Status)
+	}
+	waitFor(t, "protocol error count", func() bool { return srv.Stats().ProtoErrors == 1 })
+}
+
+// TestServerChurnAutoReshard is the race-lane torture: connections
+// churn while every namespace's balancer splits shards under the load.
+// It asserts zero protocol errors and ordered scans at the end.
+func TestServerChurnAutoReshard(t *testing.T) {
+	srv, addr := start(t, server.Config{
+		Shards:       1,
+		MaxShards:    32,
+		ReshardEvery: 2 * time.Millisecond,
+		QueueDepth:   64,
+	})
+	const workers = 8
+	rounds := testenv.Scale(6)
+	opsPerConn := 120
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ns := []byte{'n', byte('0' + w%3)} // 3 namespaces shared across workers
+			for r := 0; r < rounds; r++ {
+				c, err := wire.Dial(addr, 5*time.Second)
+				if err != nil {
+					errs <- err
+					return
+				}
+				seed := uint64(w*1000 + r)
+				var resp wire.Response
+				for i := 0; i < opsPerConn; i += 8 {
+					// Pipeline a window of 8 mixed ops.
+					sent := 0
+					for j := 0; j < 8; j++ {
+						seed = seed*6364136223846793005 + 1442695040888963407
+						key := seed >> 32
+						var req wire.Request
+						switch j % 4 {
+						case 0, 1:
+							req = wire.Request{Op: wire.OpSet, NS: ns, Key: key, Val: []byte("churn")}
+						case 2:
+							req = wire.Request{Op: wire.OpGet, NS: ns, Key: key}
+						default:
+							op := wire.OpScan
+							if j == 7 {
+								op = wire.OpSnapScan
+							}
+							req = wire.Request{Op: op, NS: ns, Key: key, Limit: 16}
+						}
+						req.Seq = c.NextSeq()
+						if err := c.Send(&req); err != nil {
+							errs <- err
+							return
+						}
+						sent++
+					}
+					if err := c.Flush(); err != nil {
+						errs <- err
+						return
+					}
+					for j := 0; j < sent; j++ {
+						if err := c.Recv(&resp); err != nil {
+							errs <- fmt.Errorf("worker %d recv: %w", w, err)
+							return
+						}
+						if resp.Status == wire.StatusErr {
+							errs <- fmt.Errorf("worker %d: ERR response: %s", w, resp.Val)
+							return
+						}
+						if len(resp.Entries) > 1 {
+							for k := 1; k < len(resp.Entries); k++ {
+								if resp.Entries[k].Key <= resp.Entries[k-1].Key {
+									errs <- fmt.Errorf("worker %d: scan out of order", w)
+									return
+								}
+							}
+						}
+					}
+				}
+				c.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.ProtoErrors != 0 {
+		t.Fatalf("protocol errors under churn: %+v", st)
+	}
+	if st.ConnsAccepted < uint64(workers) {
+		t.Fatalf("implausible accept count: %+v", st)
+	}
+	// The balancer had real load on shard 1 of 32; it should have split.
+	if got := srv.NamespaceShards("n0"); got < 1 {
+		t.Fatalf("namespace n0 shards = %d", got)
+	}
+}

@@ -224,3 +224,31 @@ func itoa(n int) string {
 	}
 	return string(buf[i:])
 }
+
+// ValSizer draws value payload sizes for workloads that carry bytes
+// (the network front-end, persistence benchmarks). Sizes are uniform
+// in [Min, Max]; Max == Min (or Max == 0) pins them to Min.
+type ValSizer struct {
+	Min, Max int
+}
+
+// Next draws one payload size.
+func (v ValSizer) Next(rng *rand.Rand) int {
+	if v.Max <= v.Min {
+		return v.Min
+	}
+	return v.Min + rng.Intn(v.Max-v.Min+1)
+}
+
+// Fill deterministically fills buf with a compressible-but-nontrivial
+// byte pattern derived from key, so stored values can be validated
+// without a shadow map: a re-derived fill must match a read-back value.
+func (v ValSizer) Fill(buf []byte, key uint64) {
+	x := key*0x9E3779B97F4A7C15 + 1
+	for i := range buf {
+		buf[i] = byte(x >> (8 * (uint(i) % 8)))
+		if i%8 == 7 {
+			x = x*6364136223846793005 + 1442695040888963407
+		}
+	}
+}
